@@ -1,0 +1,383 @@
+//! The dispatcher service hosted on the front-end node.
+//!
+//! Receives client requests, consults the embedded [`MonitorClient`] for
+//! the latest per-back-end load information, picks a server with the
+//! configured [`Policy`], forwards the request, and relays the response
+//! back to the client. Optionally applies admission control: when even the
+//! least-loaded server exceeds the overload threshold, the request is
+//! rejected immediately.
+
+use std::collections::{HashMap, HashSet};
+
+use fgmon_core::{BackendHandle, MonitorClient};
+
+use crate::reconfig::{Reconfigurator, ServiceClass};
+use fgmon_os::{OsApi, Service};
+use fgmon_sim::SimDuration;
+use fgmon_types::{
+    ConnId, LoadWeights, McastGroup, NodeCapacity, NodeId, Payload, RdmaResult,
+    Scheme, ThreadId,
+};
+
+const TOK_POLL: u64 = 0xD15B_0001;
+
+/// Server-selection policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// The paper's WebSphere-style policy: servers receive traffic in
+    /// proportion to how much *less* loaded than the most-loaded server
+    /// their weighted index says they are (weighted routing, not hard
+    /// argmin — hard argmin on stale information herds every request of a
+    /// monitoring interval onto one machine).
+    WeightedLeastLoad,
+    /// Hard argmin on the same index (ablation: shows the herding
+    /// pathology that weighted routing avoids).
+    ArgminLeastLoad,
+    /// Rotate across back-ends regardless of load.
+    RoundRobin,
+    /// Pick the back-end with the fewest dispatcher-tracked in-flight
+    /// requests (load oblivious to monitoring freshness).
+    LeastOutstanding,
+    /// Uniform random.
+    Random,
+}
+
+/// Dispatcher configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DispatcherConfig {
+    pub scheme: Scheme,
+    pub poll_interval: SimDuration,
+    pub policy: Policy,
+    pub weights: LoadWeights,
+    pub capacity: NodeCapacity,
+    /// Reject requests when the best load index exceeds this (None = admit
+    /// everything).
+    pub admission_threshold: Option<f64>,
+    /// Weight of the dispatcher's *locally tracked* in-flight count in the
+    /// index (the "connection load" part of the WebSphere formula the
+    /// dispatcher knows first-hand). Damps herd oscillations when the
+    /// monitored information is stale.
+    pub local_conn_weight: f64,
+}
+
+impl DispatcherConfig {
+    pub fn for_scheme(scheme: Scheme, poll_interval: SimDuration) -> Self {
+        let weights = if scheme.uses_irq_signal() {
+            LoadWeights::with_irq_signal()
+        } else {
+            LoadWeights::default()
+        };
+        DispatcherConfig {
+            scheme,
+            poll_interval,
+            policy: Policy::WeightedLeastLoad,
+            weights,
+            capacity: NodeCapacity::default(),
+            admission_threshold: None,
+            local_conn_weight: 0.0,
+        }
+    }
+}
+
+/// Observable dispatcher statistics.
+#[derive(Clone, Debug, Default)]
+pub struct DispatcherStats {
+    pub forwarded: u64,
+    pub completed: u64,
+    pub rejected: u64,
+    /// Requests forwarded per back-end (routing shares).
+    pub per_backend: Vec<u64>,
+}
+
+struct Pending {
+    client_conn: ConnId,
+    client_req_id: u64,
+    backend_idx: usize,
+}
+
+/// The front-end dispatcher service.
+pub struct Dispatcher {
+    cfg: DispatcherConfig,
+    pub monitor: MonitorClient,
+    backends: Vec<(NodeId, ConnId)>,
+    backend_conn_set: HashSet<ConnId>,
+    client_conns: Vec<ConnId>,
+    inflight: HashMap<u64, Pending>,
+    outstanding: Vec<u32>,
+    next_id: u64,
+    rr: usize,
+    /// Optional shared-data-center partition manager (paper §7 future
+    /// work): when set, requests only go to back-ends assigned to their
+    /// service class, and the partition adapts to the monitored load.
+    pub reconfig: Option<Reconfigurator>,
+    pub stats: DispatcherStats,
+}
+
+impl Dispatcher {
+    /// `backends`: per back-end, its node id, the conn the dispatcher
+    /// forwards requests over, and the monitoring handle.
+    pub fn new(
+        cfg: DispatcherConfig,
+        backends: Vec<(NodeId, ConnId)>,
+        monitor_handles: Vec<BackendHandle>,
+        client_conns: Vec<ConnId>,
+    ) -> Self {
+        assert_eq!(backends.len(), monitor_handles.len());
+        let n = backends.len();
+        let backend_conn_set = backends.iter().map(|&(_, c)| c).collect();
+        Dispatcher {
+            monitor: MonitorClient::new(cfg.scheme, cfg.scheme.uses_irq_signal(), monitor_handles),
+            cfg,
+            backends,
+            backend_conn_set,
+            client_conns,
+            inflight: HashMap::new(),
+            outstanding: vec![0; n],
+            next_id: 1,
+            rr: 0,
+            reconfig: None,
+            stats: DispatcherStats {
+                per_backend: vec![0; n],
+                ..Default::default()
+            },
+        }
+    }
+
+    pub fn config(&self) -> &DispatcherConfig {
+        &self.cfg
+    }
+
+    fn index_of(&self, idx: usize) -> f64 {
+        let monitored = match self.monitor.views()[idx].latest {
+            Some(snap) => self.cfg.weights.index(&snap, &self.cfg.capacity),
+            None => 0.0,
+        };
+        monitored + self.cfg.local_conn_weight * self.outstanding[idx] as f64
+    }
+
+    /// Back-ends eligible for a request of `class` under the current
+    /// partition (all of them when reconfiguration is off).
+    fn candidates(&self, class: ServiceClass) -> Vec<usize> {
+        match &self.reconfig {
+            Some(r) => {
+                let c: Vec<usize> = (0..self.backends.len())
+                    .filter(|&i| r.class_of(i) == class)
+                    .collect();
+                if c.is_empty() {
+                    (0..self.backends.len()).collect()
+                } else {
+                    c
+                }
+            }
+            None => (0..self.backends.len()).collect(),
+        }
+    }
+
+    /// Pick a back-end for the next request; `None` means reject.
+    fn choose(&mut self, class: ServiceClass, os: &mut OsApi<'_, '_>) -> Option<usize> {
+        let cands = self.candidates(class);
+        let n = cands.len();
+        if n == 0 {
+            return None;
+        }
+        let idx = match self.cfg.policy {
+            Policy::RoundRobin => {
+                let i = cands[self.rr % n];
+                self.rr += 1;
+                i
+            }
+            Policy::Random => cands[os.rng().index(n)],
+            Policy::LeastOutstanding => cands
+                .iter()
+                .copied()
+                .min_by_key(|&i| self.outstanding[i])
+                .expect("nonempty"),
+            Policy::ArgminLeastLoad => {
+                // Least index; ties broken round-robin so stale uniform
+                // views degrade gracefully rather than pinning server 0.
+                let mut best = cands[0];
+                let mut best_val = f64::INFINITY;
+                for off in 0..n {
+                    let i = cands[(self.rr + off) % n];
+                    let val = self.index_of(i);
+                    if val < best_val {
+                        best_val = val;
+                        best = i;
+                    }
+                }
+                self.rr += 1;
+                best
+            }
+            Policy::WeightedLeastLoad => {
+                // WebSphere-style weighted routing: share of traffic
+                // proportional to headroom below the most-loaded server,
+                // with a floor so no server leaves the rotation entirely.
+                let idxs: Vec<f64> = cands.iter().map(|&i| self.index_of(i)).collect();
+                let max = idxs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let floor = 0.15 * max.max(0.3);
+                let weights: Vec<f64> = idxs.iter().map(|&v| (max - v) + floor).collect();
+                let total: f64 = weights.iter().sum();
+                let mut draw = os.rng().f64() * total;
+                let mut pick = cands[n - 1];
+                for (k, &w) in weights.iter().enumerate() {
+                    draw -= w;
+                    if draw <= 0.0 {
+                        pick = cands[k];
+                        break;
+                    }
+                }
+                pick
+            }
+        };
+        if let Some(threshold) = self.cfg.admission_threshold {
+            if self.index_of(idx) > threshold {
+                return None;
+            }
+        }
+        Some(idx)
+    }
+
+    fn handle_client_request(
+        &mut self,
+        client_conn: ConnId,
+        req_id: u64,
+        kind: fgmon_types::RequestKind,
+        os: &mut OsApi<'_, '_>,
+    ) {
+        let class = ServiceClass::of_request(&kind);
+        match self.choose(class, os) {
+            Some(b) => {
+                let fe_id = self.next_id;
+                self.next_id += 1;
+                self.inflight.insert(
+                    fe_id,
+                    Pending {
+                        client_conn,
+                        client_req_id: req_id,
+                        backend_idx: b,
+                    },
+                );
+                self.outstanding[b] += 1;
+                self.stats.forwarded += 1;
+                self.stats.per_backend[b] += 1;
+                let conn = self.backends[b].1;
+                os.send_direct(
+                    conn,
+                    Payload::HttpRequest {
+                        req_id: fe_id,
+                        kind,
+                    },
+                );
+            }
+            None => {
+                // Overloaded cluster: bounce the request (zero-byte reply).
+                self.stats.rejected += 1;
+                os.recorder().counter("lb/rejected").inc();
+                os.send_direct(
+                    client_conn,
+                    Payload::HttpResponse {
+                        req_id,
+                        bytes: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_backend_response(&mut self, fe_id: u64, bytes: u32, os: &mut OsApi<'_, '_>) {
+        let Some(p) = self.inflight.remove(&fe_id) else {
+            return;
+        };
+        self.outstanding[p.backend_idx] = self.outstanding[p.backend_idx].saturating_sub(1);
+        self.stats.completed += 1;
+        os.send_direct(
+            p.client_conn,
+            Payload::HttpResponse {
+                req_id: p.client_req_id,
+                bytes,
+            },
+        );
+    }
+}
+
+impl Service for Dispatcher {
+    fn name(&self) -> &'static str {
+        "dispatcher"
+    }
+
+    fn on_start(&mut self, os: &mut OsApi<'_, '_>) {
+        self.monitor.start(os);
+        for &c in &self.client_conns {
+            os.listen_direct(c);
+        }
+        for &(_, c) in &self.backends {
+            os.listen_direct(c);
+        }
+        os.set_timer(self.cfg.poll_interval, TOK_POLL);
+    }
+
+    fn on_timer(&mut self, token: u64, os: &mut OsApi<'_, '_>) {
+        if token == TOK_POLL {
+            self.monitor.poll_all(os);
+            if let Some(reconfig) = self.reconfig.as_mut() {
+                let views: Vec<_> = self.monitor.views().iter().map(|v| v.latest).collect();
+                let now = os.now();
+                if reconfig.evaluate(now, &views).is_some() {
+                    let dynamic = reconfig.count(ServiceClass::Dynamic) as f64;
+                    os.recorder().counter("lb/reconfig_moves").inc();
+                    os.recorder()
+                        .series("lb/reconfig_dynamic_nodes")
+                        .push(now, dynamic);
+                }
+            }
+            // ±10% jitter: see MonitorFrontendService — exact periods
+            // phase-lock with the back-ends' tick-aligned threads.
+            let jitter = 0.9 + 0.2 * os.rng().f64();
+            os.set_timer(self.cfg.poll_interval.mul_f64(jitter), TOK_POLL);
+        }
+    }
+
+    fn on_packet(
+        &mut self,
+        _tid: Option<ThreadId>,
+        conn: ConnId,
+        _size: u32,
+        payload: Payload,
+        os: &mut OsApi<'_, '_>,
+    ) {
+        if self.monitor.on_packet(conn, &payload, os) {
+            return;
+        }
+        match payload {
+            Payload::HttpRequest { req_id, kind } if !self.backend_conn_set.contains(&conn) => {
+                self.handle_client_request(conn, req_id, kind, os);
+            }
+            Payload::HttpResponse { req_id, bytes } if self.backend_conn_set.contains(&conn) => {
+                self.handle_backend_response(req_id, bytes, os);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_rdma_complete(&mut self, token: u64, result: RdmaResult, os: &mut OsApi<'_, '_>) {
+        self.monitor.on_rdma_complete(token, &result, os);
+    }
+
+    fn on_mcast(&mut self, _group: McastGroup, payload: Payload, os: &mut OsApi<'_, '_>) {
+        self.monitor.on_mcast(&payload, os);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_for_scheme_sets_irq_weights() {
+        let c = DispatcherConfig::for_scheme(Scheme::ERdmaSync, SimDuration::from_millis(50));
+        assert!(c.weights.irq_penalty > 0.0);
+        let c = DispatcherConfig::for_scheme(Scheme::RdmaSync, SimDuration::from_millis(50));
+        assert!(c.weights.irq_penalty == 0.0);
+        assert_eq!(c.policy, Policy::WeightedLeastLoad);
+    }
+}

@@ -1,0 +1,17 @@
+//! # fgmon-balancer — front-end request dispatcher
+//!
+//! Implements the load-balancing policy the paper adopts from IBM
+//! WebSphere (§5.2.1): fold each back-end's monitored CPU / memory /
+//! network / connection load into a weighted scalar index and route every
+//! incoming request to the least-loaded server. The e-RDMA-Sync variant
+//! additionally feeds the pending-interrupt signal into the index.
+//!
+//! Also provides policy baselines (round-robin, least-outstanding, random)
+//! and optional admission control — the "number of requests the
+//! cluster-system can admit" metric behind the paper's headline 25%.
+
+pub mod dispatcher;
+pub mod reconfig;
+
+pub use dispatcher::{Dispatcher, DispatcherConfig, DispatcherStats, Policy};
+pub use reconfig::{ReconfigEvent, ReconfigPolicy, Reconfigurator, ServiceClass};

@@ -1,0 +1,299 @@
+//! Dynamic reconfiguration of a shared data-center (the paper's §7
+//! future work, building on the authors' earlier RAIT'04/ISPASS'05
+//! reconfiguration papers): back-end nodes are *partitioned* between the
+//! co-hosted services, and a reconfiguration manager reassigns nodes from
+//! the underloaded service to the overloaded one based on the monitored
+//! load — so the quality of the monitoring information directly bounds
+//! how quickly the cluster adapts to demand shifts.
+
+use fgmon_sim::SimTime;
+use fgmon_types::{LoadSnapshot, LoadWeights, NodeCapacity, RequestKind};
+
+/// Which co-hosted service a back-end currently serves.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServiceClass {
+    /// The RUBiS dynamic-content service.
+    Dynamic,
+    /// The Zipf static-content service.
+    Static,
+}
+
+impl ServiceClass {
+    pub fn of_request(kind: &RequestKind) -> ServiceClass {
+        match kind {
+            RequestKind::Rubis(_) => ServiceClass::Dynamic,
+            RequestKind::Zipf { .. } => ServiceClass::Static,
+            RequestKind::Float { .. } => ServiceClass::Dynamic,
+        }
+    }
+}
+
+/// Reconfiguration policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ReconfigPolicy {
+    /// Minimum pressure gap between the two groups before a node moves.
+    pub hysteresis: f64,
+    /// Never shrink a group below this many nodes.
+    pub min_nodes: usize,
+    /// Minimum virtual time between two moves (reconfiguration cost /
+    /// stability guard).
+    pub cooldown: fgmon_sim::SimDuration,
+}
+
+impl Default for ReconfigPolicy {
+    fn default() -> Self {
+        ReconfigPolicy {
+            hysteresis: 0.12,
+            min_nodes: 1,
+            cooldown: fgmon_sim::SimDuration::from_millis(200),
+        }
+    }
+}
+
+/// One reassignment event (for analysis).
+#[derive(Clone, Copy, Debug)]
+pub struct ReconfigEvent {
+    pub at: SimTime,
+    pub backend_idx: usize,
+    pub to: ServiceClass,
+}
+
+/// Tracks the node partition and decides reassignments.
+pub struct Reconfigurator {
+    assignment: Vec<ServiceClass>,
+    policy: ReconfigPolicy,
+    weights: LoadWeights,
+    capacity: NodeCapacity,
+    last_move: SimTime,
+    /// History of every move performed.
+    pub events: Vec<ReconfigEvent>,
+}
+
+impl Reconfigurator {
+    /// Start with the first `dynamic_nodes` backends serving the dynamic
+    /// service and the rest serving static content.
+    pub fn new(
+        total_nodes: usize,
+        dynamic_nodes: usize,
+        policy: ReconfigPolicy,
+        weights: LoadWeights,
+        capacity: NodeCapacity,
+    ) -> Self {
+        assert!(total_nodes >= 2, "need at least one node per service");
+        let dynamic_nodes = dynamic_nodes.clamp(policy.min_nodes, total_nodes - policy.min_nodes);
+        let assignment = (0..total_nodes)
+            .map(|i| {
+                if i < dynamic_nodes {
+                    ServiceClass::Dynamic
+                } else {
+                    ServiceClass::Static
+                }
+            })
+            .collect();
+        Reconfigurator {
+            assignment,
+            policy,
+            weights,
+            capacity,
+            last_move: SimTime::ZERO,
+            events: Vec::new(),
+        }
+    }
+
+    pub fn assignment(&self) -> &[ServiceClass] {
+        &self.assignment
+    }
+
+    pub fn class_of(&self, backend_idx: usize) -> ServiceClass {
+        self.assignment[backend_idx]
+    }
+
+    pub fn count(&self, class: ServiceClass) -> usize {
+        self.assignment.iter().filter(|&&c| c == class).count()
+    }
+
+    fn index_of(&self, snap: &Option<LoadSnapshot>) -> f64 {
+        snap.as_ref()
+            .map(|s| self.weights.index(s, &self.capacity))
+            .unwrap_or(0.0)
+    }
+
+    /// Mean load index of one group's nodes.
+    fn group_pressure(&self, class: ServiceClass, views: &[Option<LoadSnapshot>]) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (i, &c) in self.assignment.iter().enumerate() {
+            if c == class {
+                sum += self.index_of(&views[i]);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Evaluate the partition against current monitored views and move at
+    /// most one node. Returns the move, if any.
+    ///
+    /// The decision consumes whatever the monitoring scheme delivered —
+    /// with stale information the manager reacts late or moves the wrong
+    /// node, which is exactly the coupling the paper's future-work section
+    /// points at.
+    pub fn evaluate(
+        &mut self,
+        now: SimTime,
+        views: &[Option<LoadSnapshot>],
+    ) -> Option<ReconfigEvent> {
+        assert_eq!(views.len(), self.assignment.len());
+        if now.since(self.last_move) < self.policy.cooldown {
+            return None;
+        }
+        let dyn_p = self.group_pressure(ServiceClass::Dynamic, views);
+        let stat_p = self.group_pressure(ServiceClass::Static, views);
+        let (hot, cold, gap) = if dyn_p > stat_p {
+            (ServiceClass::Dynamic, ServiceClass::Static, dyn_p - stat_p)
+        } else {
+            (ServiceClass::Static, ServiceClass::Dynamic, stat_p - dyn_p)
+        };
+        if gap < self.policy.hysteresis {
+            return None;
+        }
+        if self.count(cold) <= self.policy.min_nodes {
+            return None;
+        }
+        // Move the least-loaded node of the cold group to the hot group
+        // (it can drain its residual work fastest).
+        let donor = self
+            .assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == cold)
+            .min_by(|&(a, _), &(b, _)| {
+                self.index_of(&views[a])
+                    .partial_cmp(&self.index_of(&views[b]))
+                    .expect("finite indices")
+            })
+            .map(|(i, _)| i)
+            .expect("cold group nonempty");
+        self.assignment[donor] = hot;
+        self.last_move = now;
+        let ev = ReconfigEvent {
+            at: now,
+            backend_idx: donor,
+            to: hot,
+        };
+        self.events.push(ev);
+        Some(ev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgmon_sim::SimDuration;
+
+    fn snap(util: f64, rq: u32) -> Option<LoadSnapshot> {
+        Some(LoadSnapshot {
+            cpu_util: util,
+            run_queue: rq,
+            loadavg1: rq as f64,
+            ..LoadSnapshot::zero()
+        })
+    }
+
+    fn mk(total: usize, dynamic: usize) -> Reconfigurator {
+        Reconfigurator::new(
+            total,
+            dynamic,
+            ReconfigPolicy::default(),
+            LoadWeights::default(),
+            NodeCapacity::default(),
+        )
+    }
+
+    #[test]
+    fn initial_partition() {
+        let r = mk(8, 5);
+        assert_eq!(r.count(ServiceClass::Dynamic), 5);
+        assert_eq!(r.count(ServiceClass::Static), 3);
+        assert_eq!(r.class_of(0), ServiceClass::Dynamic);
+        assert_eq!(r.class_of(7), ServiceClass::Static);
+    }
+
+    #[test]
+    fn initial_partition_respects_min_nodes() {
+        let r = mk(4, 0);
+        assert_eq!(r.count(ServiceClass::Dynamic), 1);
+        let r = mk(4, 99);
+        assert_eq!(r.count(ServiceClass::Static), 1);
+    }
+
+    #[test]
+    fn moves_node_towards_hot_service() {
+        let mut r = mk(4, 2);
+        // Dynamic nodes (0,1) overloaded, static (2,3) idle.
+        let views = vec![snap(0.95, 10), snap(0.9, 9), snap(0.05, 0), snap(0.1, 1)];
+        let ev = r
+            .evaluate(SimTime(SimDuration::from_secs(1).nanos()), &views)
+            .expect("should reconfigure");
+        assert_eq!(ev.to, ServiceClass::Dynamic);
+        // The least-loaded static node (2) moves.
+        assert_eq!(ev.backend_idx, 2);
+        assert_eq!(r.count(ServiceClass::Dynamic), 3);
+    }
+
+    #[test]
+    fn hysteresis_prevents_flapping() {
+        let mut r = mk(4, 2);
+        let views = vec![snap(0.5, 2), snap(0.5, 2), snap(0.45, 2), snap(0.45, 2)];
+        assert!(r
+            .evaluate(SimTime(SimDuration::from_secs(1).nanos()), &views)
+            .is_none());
+    }
+
+    #[test]
+    fn cooldown_limits_move_rate() {
+        let mut r = mk(5, 2);
+        let views = vec![
+            snap(0.95, 10),
+            snap(0.9, 9),
+            snap(0.05, 0),
+            snap(0.1, 1),
+            snap(0.08, 0),
+        ];
+        assert!(r.evaluate(SimTime(250_000_000), &views).is_some());
+        // Immediately after: blocked by cooldown even though still hot.
+        assert!(r.evaluate(SimTime(260_000_000), &views).is_none());
+        // After the cooldown: allowed again (static still above min).
+        assert!(r.evaluate(SimTime(600_000_000), &views).is_some());
+        // Static group now at min_nodes: no further shrink.
+        assert!(r.evaluate(SimTime(900_000_000), &views).is_none());
+        assert_eq!(r.count(ServiceClass::Static), 1);
+        assert_eq!(r.events.len(), 2);
+    }
+
+    #[test]
+    fn unknown_views_are_neutral() {
+        let mut r = mk(4, 2);
+        let views = vec![None, None, None, None];
+        assert!(r
+            .evaluate(SimTime(SimDuration::from_secs(1).nanos()), &views)
+            .is_none());
+    }
+
+    #[test]
+    fn request_class_mapping() {
+        use fgmon_types::QueryClass;
+        assert_eq!(
+            ServiceClass::of_request(&RequestKind::Rubis(QueryClass::Home)),
+            ServiceClass::Dynamic
+        );
+        assert_eq!(
+            ServiceClass::of_request(&RequestKind::Zipf { doc: 1, size_kb: 8 }),
+            ServiceClass::Static
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Criterion-driven ablations of the design choices DESIGN.md calls out:
+//! scheduler quantum, wake boost, and the multicast-push extension.
+//! (These measure *simulated outcomes*, reported via custom measurements
+//! of virtual quantities is not what Criterion does, so we measure the
+//! host cost of each configuration and print the simulated results once.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgmon_cluster::micro_latency;
+use fgmon_sim::{SimDuration, NANOS_PER_MILLI};
+use fgmon_types::{CostModel, OsConfig, Scheme};
+
+fn quantum_cfg(quantum_ms: u64) -> OsConfig {
+    OsConfig {
+        costs: CostModel {
+            quantum: SimDuration(quantum_ms * NANOS_PER_MILLI),
+            ..CostModel::default()
+        },
+        ..OsConfig::default()
+    }
+}
+
+/// Ablation: socket monitoring latency under load for different scheduler
+/// quanta (larger quanta stretch the monitor's queueing delay).
+fn ablation_quantum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/quantum");
+    g.sample_size(10);
+    for &q in &[1u64, 10, 100] {
+        // Print the simulated outcome once per configuration.
+        let mut w = micro_latency(
+            Scheme::SocketSync,
+            16,
+            false,
+            SimDuration::from_millis(50),
+            quantum_cfg(q),
+            11,
+        );
+        w.cluster.run_for(SimDuration::from_secs(5));
+        let lat = w
+            .cluster
+            .recorder()
+            .get_histogram("mon/latency/Socket-Sync")
+            .map(|h| h.mean() / 1e6)
+            .unwrap_or(f64::NAN);
+        eprintln!("[ablation] quantum={q}ms -> Socket-Sync mean latency {lat:.2}ms");
+
+        g.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            b.iter(|| {
+                let mut w = micro_latency(
+                    Scheme::SocketSync,
+                    16,
+                    false,
+                    SimDuration::from_millis(50),
+                    quantum_cfg(q),
+                    11,
+                );
+                w.cluster.run_for(SimDuration::from_secs(1));
+                w.cluster.eng.events_processed()
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: wake boost on/off (paper: the kernel "tries to schedule the
+/// resource monitoring process as early as possible" on packet arrival).
+fn ablation_wake_boost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/wake_boost");
+    g.sample_size(10);
+    for &boost in &[false, true] {
+        let cfg = OsConfig {
+            wake_boost: boost,
+            ..OsConfig::default()
+        };
+        let mut w = micro_latency(
+            Scheme::SocketSync,
+            24,
+            false,
+            SimDuration::from_millis(50),
+            cfg,
+            13,
+        );
+        w.cluster.run_for(SimDuration::from_secs(5));
+        let lat = w
+            .cluster
+            .recorder()
+            .get_histogram("mon/latency/Socket-Sync")
+            .map(|h| h.mean() / 1e6)
+            .unwrap_or(f64::NAN);
+        eprintln!("[ablation] wake_boost={boost} -> Socket-Sync mean latency {lat:.2}ms");
+
+        g.bench_with_input(BenchmarkId::from_parameter(boost), &boost, |b, _| {
+            b.iter(|| {
+                let cfg = OsConfig {
+                    wake_boost: boost,
+                    ..OsConfig::default()
+                };
+                let mut w = micro_latency(
+                    Scheme::SocketSync,
+                    24,
+                    false,
+                    SimDuration::from_millis(50),
+                    cfg,
+                    13,
+                );
+                w.cluster.run_for(SimDuration::from_secs(1));
+                w.cluster.eng.events_processed()
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: the multicast-push extension vs. the pull schemes.
+fn ablation_multicast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/multicast_push");
+    g.sample_size(10);
+    for &scheme in &[Scheme::McastPush, Scheme::RdmaSync] {
+        let mut w = micro_latency(
+            scheme,
+            16,
+            false,
+            SimDuration::from_millis(50),
+            OsConfig::default(),
+            17,
+        );
+        w.cluster.run_for(SimDuration::from_secs(5));
+        let stale = w
+            .cluster
+            .recorder()
+            .get_histogram(&format!("mon/staleness/{}", scheme.label()))
+            .map(|h| h.mean() / 1e6)
+            .unwrap_or(f64::NAN);
+        eprintln!("[ablation] {} -> staleness {stale:.2}ms", scheme.label());
+
+        g.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    let mut w = micro_latency(
+                        scheme,
+                        16,
+                        false,
+                        SimDuration::from_millis(50),
+                        OsConfig::default(),
+                        17,
+                    );
+                    w.cluster.run_for(SimDuration::from_secs(1));
+                    w.cluster.eng.events_processed()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablation_quantum, ablation_wake_boost, ablation_multicast);
+criterion_main!(benches);

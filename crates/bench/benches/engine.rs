@@ -1,0 +1,114 @@
+//! Criterion microbenches: DES engine fundamentals — event throughput,
+//! scheduler dispatch, metric recording.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgmon_sim::{Actor, ActorId, Ctx, DetRng, Engine, Histogram, SimDuration, SimTime};
+
+/// Self-ping actor: one event per hop.
+struct Pinger {
+    hops: u64,
+}
+
+impl Actor<u64> for Pinger {
+    fn handle(&mut self, _now: SimTime, msg: u64, ctx: &mut Ctx<'_, u64>) {
+        if msg < self.hops {
+            ctx.send_self_in(SimDuration::from_micros(1), msg + 1);
+        }
+    }
+}
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/event_throughput");
+    for &n in &[1_000u64, 100_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut eng: Engine<u64> = Engine::new();
+                let a = eng.add_actor(Box::new(Pinger { hops: n }));
+                eng.schedule(SimTime::ZERO, a, 0);
+                eng.run_until(SimTime::MAX);
+                eng.events_processed()
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Fan-out actor set: events bounce among k actors (queue pressure).
+struct Bouncer {
+    peers: Vec<ActorId>,
+    remaining: u64,
+    rng: DetRng,
+}
+
+impl Actor<u64> for Bouncer {
+    fn handle(&mut self, _now: SimTime, _msg: u64, ctx: &mut Ctx<'_, u64>) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        let dst = self.peers[self.rng.index(self.peers.len())];
+        ctx.send_in(SimDuration::from_micros(self.rng.range_u64(1, 50)), dst, 0);
+    }
+}
+
+fn bench_multi_actor(c: &mut Criterion) {
+    c.bench_function("engine/64_actors_bounce", |b| {
+        b.iter(|| {
+            let mut eng: Engine<u64> = Engine::new();
+            let ids: Vec<ActorId> = (0..64).map(|_| eng.reserve_actor()).collect();
+            for (i, &id) in ids.iter().enumerate() {
+                eng.install(
+                    id,
+                    Box::new(Bouncer {
+                        peers: ids.clone(),
+                        remaining: 1_000,
+                        rng: DetRng::new(i as u64),
+                    }),
+                );
+            }
+            for &id in &ids {
+                eng.schedule(SimTime::ZERO, id, 0);
+            }
+            eng.run_until(SimTime::MAX);
+            eng.events_processed()
+        });
+    });
+}
+
+fn bench_histogram_record(c: &mut Criterion) {
+    c.bench_function("metrics/histogram_record_10k", |b| {
+        let mut rng = DetRng::new(3);
+        let values: Vec<u64> = (0..10_000).map(|_| rng.range_u64(100, 10_000_000)).collect();
+        b.iter(|| {
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            h.quantile(0.99)
+        });
+    });
+}
+
+fn bench_zipf_sampling(c: &mut Criterion) {
+    use fgmon_sim::ZipfSampler;
+    c.bench_function("workload/zipf_sample_10k", |b| {
+        let z = ZipfSampler::new(10_000, 0.75);
+        let mut rng = DetRng::new(9);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..10_000 {
+                acc += z.sample(&mut rng);
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_throughput,
+    bench_multi_actor,
+    bench_histogram_record,
+    bench_zipf_sampling
+);
+criterion_main!(benches);

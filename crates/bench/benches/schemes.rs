@@ -1,0 +1,53 @@
+//! Criterion microbenches: how much host time one simulated second of
+//! each monitoring scheme costs (simulator efficiency per scheme), plus
+//! the load-index computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgmon_cluster::micro_latency;
+use fgmon_sim::SimDuration;
+use fgmon_types::{LoadSnapshot, LoadWeights, NodeCapacity, OsConfig, Scheme};
+
+fn bench_scheme_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schemes/sim_one_second");
+    g.sample_size(10);
+    for &scheme in &Scheme::MICRO {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    let mut w = micro_latency(
+                        scheme,
+                        8,
+                        true,
+                        SimDuration::from_millis(10),
+                        OsConfig::default(),
+                        1,
+                    );
+                    w.cluster.run_for(SimDuration::from_secs(1));
+                    w.cluster.eng.events_processed()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_load_index(c: &mut Criterion) {
+    let weights = LoadWeights::with_irq_signal();
+    let cap = NodeCapacity::default();
+    let mut snap = LoadSnapshot::zero();
+    snap.cpu_util = 0.7;
+    snap.run_queue = 9;
+    snap.loadavg1 = 6.5;
+    snap.mem_used_kb = 700_000;
+    snap.net_kbps = 120_000.0;
+    snap.active_conns = 48;
+    snap.pending_irqs = [3, 8, 0, 0];
+    c.bench_function("schemes/load_index", |b| {
+        b.iter(|| weights.index(&snap, &cap));
+    });
+}
+
+criterion_group!(benches, bench_scheme_simulation, bench_load_index);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion microbenches: workload generators and full-cluster
+//! simulation rates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fgmon_cluster::{rubis_world, RubisWorldCfg};
+use fgmon_sim::{DetRng, SimDuration};
+use fgmon_workload::{QueryProfile, TransitionMatrix, ZipfCatalog};
+use fgmon_types::QueryClass;
+
+fn bench_rubis_sampling(c: &mut Criterion) {
+    c.bench_function("workload/rubis_demand_10k", |b| {
+        let mut rng = DetRng::new(4);
+        let profiles: Vec<QueryProfile> = QueryClass::ALL.iter().map(|&q| QueryProfile::of(q)).collect();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000 {
+                acc += profiles[i % 8].sample_cpu(&mut rng).nanos();
+            }
+            acc
+        });
+    });
+}
+
+fn bench_transition_walk(c: &mut Criterion) {
+    c.bench_function("workload/session_walk_10k", |b| {
+        let m = TransitionMatrix::default();
+        let mut rng = DetRng::new(5);
+        b.iter(|| {
+            let mut class = QueryClass::Home;
+            for _ in 0..10_000 {
+                class = m.next(class, &mut rng);
+            }
+            class
+        });
+    });
+}
+
+fn bench_zipf_catalog(c: &mut Criterion) {
+    c.bench_function("workload/zipf_catalog_build_1k", |b| {
+        b.iter(|| {
+            let mut rng = DetRng::new(6);
+            ZipfCatalog::new(1_000, 0.75, &mut rng).len()
+        });
+    });
+}
+
+fn bench_cluster_second(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster/rubis_sim_one_second");
+    g.sample_size(10);
+    g.bench_function("8_backends_96_sessions", |b| {
+        b.iter(|| {
+            let cfg = RubisWorldCfg {
+                backends: 8,
+                rubis_sessions: 96,
+                think_mean: SimDuration::from_millis(100),
+                seed: 3,
+                ..Default::default()
+            };
+            let mut w = rubis_world(&cfg);
+            w.cluster.run_for(SimDuration::from_secs(1));
+            w.cluster.eng.events_processed()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rubis_sampling,
+    bench_transition_walk,
+    bench_zipf_catalog,
+    bench_cluster_second
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Figure 3: latency of Socket-Async, Socket-Sync, RDMA-Async and
+//! RDMA-Sync with increasing background threads.
+//!
+//! The paper's observation to reproduce: socket latencies grow linearly
+//! with background load; the one-sided schemes stay flat.
+
+use fgmon_bench::HarnessOpts;
+use fgmon_cluster::{micro_latency, report::fmt_f, sweep_parallel, Table};
+use fgmon_sim::SimDuration;
+use fgmon_types::{OsConfig, Scheme};
+
+fn main() {
+    let opts = HarnessOpts::parse(10);
+    let threads: Vec<u32> = if opts.quick {
+        vec![0, 16, 48]
+    } else {
+        vec![0, 4, 8, 16, 24, 32, 48, 64]
+    };
+
+    let mut points = Vec::new();
+    for &t in &threads {
+        for &scheme in &Scheme::MICRO {
+            points.push((scheme, t));
+        }
+    }
+
+    let rows = sweep_parallel(points, |&(scheme, t)| {
+        let mut w = micro_latency(
+            scheme,
+            t,
+            true,
+            SimDuration::from_millis(50),
+            OsConfig::default(),
+            opts.seed,
+        );
+        w.cluster.run_for(SimDuration::from_secs(opts.seconds));
+        let h = w
+            .cluster
+            .recorder()
+            .get_histogram(&format!("mon/latency/{}", scheme.label()))
+            .expect("latency histogram");
+        (scheme, t, h.mean() / 1e3, h.quantile(0.99) as f64 / 1e3)
+    });
+
+    let mut table = Table::new(vec![
+        "bg threads",
+        "Socket-Async (us)",
+        "Socket-Sync (us)",
+        "RDMA-Async (us)",
+        "RDMA-Sync (us)",
+    ]);
+    for &t in &threads {
+        let mut cells = vec![t.to_string()];
+        for &scheme in &Scheme::MICRO {
+            let (_, _, mean, _) = rows
+                .iter()
+                .find(|r| r.0 == scheme && r.1 == t)
+                .expect("point computed");
+            cells.push(fmt_f(*mean));
+        }
+        table.row(cells);
+    }
+    opts.print(
+        "Figure 3 — monitoring latency vs. background threads (poll T=50ms)",
+        &table,
+    );
+}

@@ -1,0 +1,61 @@
+//! Figure 4: impact on application performance of the four schemes as the
+//! monitoring granularity shrinks from 1024 ms to 1 ms.
+//!
+//! Reports the average application delay normalized to the application
+//! execution time (0 = undisturbed).
+
+use fgmon_bench::HarnessOpts;
+use fgmon_cluster::{float_granularity, sweep_parallel, Table};
+use fgmon_sim::SimDuration;
+use fgmon_types::Scheme;
+use fgmon_workload::FloatApp;
+
+fn main() {
+    let opts = HarnessOpts::parse(15);
+    let grans_ms: Vec<u64> = if opts.quick {
+        vec![1, 64, 1024]
+    } else {
+        vec![1, 4, 16, 64, 256, 1024]
+    };
+
+    let mut points = Vec::new();
+    for &g in &grans_ms {
+        for &scheme in &Scheme::MICRO {
+            points.push((scheme, g));
+        }
+    }
+
+    let rows = sweep_parallel(points, |&(scheme, g)| {
+        let mut w = float_granularity(scheme, SimDuration::from_millis(g), opts.seed);
+        w.cluster.run_for(SimDuration::from_secs(opts.seconds));
+        let app: &FloatApp = w
+            .cluster
+            .node(w.backend)
+            .service(w.app_slot)
+            .expect("float app");
+        (scheme, g, app.mean_normalized_delay())
+    });
+
+    let mut table = Table::new(vec![
+        "granularity (ms)",
+        "Socket-Async",
+        "Socket-Sync",
+        "RDMA-Async",
+        "RDMA-Sync",
+    ]);
+    for &g in &grans_ms {
+        let mut cells = vec![g.to_string()];
+        for &scheme in &Scheme::MICRO {
+            let (_, _, delay) = rows
+                .iter()
+                .find(|r| r.0 == scheme && r.1 == g)
+                .expect("point computed");
+            cells.push(format!("{delay:.4}"));
+        }
+        table.row(cells);
+    }
+    opts.print(
+        "Figure 4 — normalized application delay vs. monitoring granularity",
+        &table,
+    );
+}

@@ -1,0 +1,84 @@
+//! Figure 5: accuracy of the load information obtained by the four
+//! schemes, against a fine-granularity ground-truth probe (the paper's
+//! kernel module), while client load ramps up and down.
+//!
+//! (a) deviation of the reported number of threads;
+//! (b) deviation of the reported CPU load.
+
+use fgmon_bench::HarnessOpts;
+use fgmon_cluster::{accuracy_world, sweep_parallel, Table};
+use fgmon_core::{mean_deviation, AccuracyMetric};
+use fgmon_sim::{SimDuration, SimTime};
+use fgmon_types::Scheme;
+use fgmon_workload::RampStep;
+
+fn ramp(total_secs: u64) -> Vec<RampStep> {
+    // Triangle ramp 0 → 24 → 0 hog threads across the run.
+    let steps = 12u64;
+    let step_ns = total_secs * 1_000_000_000 / (steps + 1);
+    (0..=steps)
+        .map(|i| RampStep {
+            at: SimTime(i * step_ns),
+            hogs: if i <= steps / 2 {
+                (i * 4) as u32
+            } else {
+                ((steps - i) * 4) as u32
+            },
+        })
+        .collect()
+}
+
+fn main() {
+    let opts = HarnessOpts::parse(12);
+
+    // One world runs all four schemes simultaneously (the paper's setup),
+    // so the sweep is over polling intervals only.
+    let polls_ms: Vec<u64> = if opts.quick { vec![50] } else { vec![10, 50] };
+
+    let results = sweep_parallel(polls_ms.clone(), |&poll| {
+        let mut w = accuracy_world(
+            SimDuration::from_millis(poll),
+            ramp(opts.seconds),
+            24,
+            false,
+            false,
+            opts.seed,
+        );
+        w.cluster.run_for(SimDuration::from_secs(opts.seconds));
+        let rec = w.cluster.recorder();
+        let mut rows = Vec::new();
+        for &scheme in &Scheme::MICRO {
+            let th = mean_deviation(rec, scheme, w.backend, AccuracyMetric::NThreads)
+                .unwrap_or(f64::NAN);
+            let cpu = mean_deviation(rec, scheme, w.backend, AccuracyMetric::CpuUtil)
+                .unwrap_or(f64::NAN);
+            let rq = mean_deviation(rec, scheme, w.backend, AccuracyMetric::RunQueue)
+                .unwrap_or(f64::NAN);
+            rows.push((scheme, th, cpu, rq));
+        }
+        (poll, rows)
+    });
+
+    let mut table = Table::new(vec![
+        "poll (ms)",
+        "scheme",
+        "dev nthreads (5a)",
+        "dev cpu load (5b)",
+        "dev run queue",
+    ]);
+    for (poll, rows) in &results {
+        for (scheme, th, cpu, rq) in rows {
+            table.row(vec![
+                poll.to_string(),
+                scheme.label().to_string(),
+                format!("{th:.3}"),
+                format!("{cpu:.4}"),
+                format!("{rq:.3}"),
+            ]);
+        }
+    }
+    opts.print(
+        "Figure 5 — mean absolute deviation of reported load vs. kernel ground truth",
+        &table,
+    );
+}

@@ -1,0 +1,86 @@
+//! Figure 6: number of pending interrupts reported on both CPUs by each
+//! scheme (the `irq_stat` kernel structure), under communication-heavy
+//! background load.
+//!
+//! The user-space schemes — even with the helper kernel module exposing
+//! `irq_stat` — only sample once their reporting process is scheduled, by
+//! which time the interrupt backlog has drained; the kernel-registered
+//! RDMA-Sync read observes the true backlog, more often and with higher
+//! counts, and shows the second CPU servicing more interrupts.
+
+use fgmon_bench::HarnessOpts;
+use fgmon_cluster::{accuracy_world, Table};
+use fgmon_sim::{SimDuration, SimTime};
+use fgmon_types::Scheme;
+use fgmon_workload::RampStep;
+
+fn main() {
+    let opts = HarnessOpts::parse(15);
+
+    let mut w = accuracy_world(
+        SimDuration::from_millis(10),
+        vec![RampStep {
+            at: SimTime::ZERO,
+            hogs: 8,
+        }],
+        0,
+        true, // communication chatter -> interrupt pressure
+        true, // kernel module exposes irq_stat to the user-space schemes
+        opts.seed,
+    );
+    w.cluster.run_for(SimDuration::from_secs(opts.seconds));
+    let rec = w.cluster.recorder();
+    let node = w.backend;
+
+    let mut table = Table::new(vec![
+        "scheme",
+        "mean pending cpu0",
+        "mean pending cpu1",
+        "nonzero samples %",
+        "samples",
+    ]);
+    for &scheme in &Scheme::MICRO {
+        let label = scheme.label();
+        let c0 = rec
+            .get_series(&format!("mon/{label}/{node}/pending_irqs_cpu0"))
+            .map(|s| s.mean())
+            .unwrap_or(f64::NAN);
+        let c1 = rec
+            .get_series(&format!("mon/{label}/{node}/pending_irqs_cpu1"))
+            .map(|s| s.mean())
+            .unwrap_or(f64::NAN);
+        let total = rec
+            .get_series(&format!("mon/{label}/{node}/pending_irqs"))
+            .expect("series");
+        let nonzero = total.values().filter(|&v| v > 0.0).count();
+        table.row(vec![
+            label.to_string(),
+            format!("{c0:.4}"),
+            format!("{c1:.4}"),
+            format!("{:.1}", nonzero as f64 / total.len().max(1) as f64 * 100.0),
+            total.len().to_string(),
+        ]);
+    }
+
+    // Ground truth for reference (what a perfect observer sees).
+    let gt0 = rec
+        .get_series(&format!("gt/{node}/pending_irqs_cpu0"))
+        .map(|s| s.mean())
+        .unwrap_or(f64::NAN);
+    let gt1 = rec
+        .get_series(&format!("gt/{node}/pending_irqs_cpu1"))
+        .map(|s| s.mean())
+        .unwrap_or(f64::NAN);
+    table.row(vec![
+        "(ground truth)".to_string(),
+        format!("{gt0:.4}"),
+        format!("{gt1:.4}"),
+        String::new(),
+        String::new(),
+    ]);
+
+    opts.print(
+        "Figure 6 — pending interrupts reported per CPU by each scheme",
+        &table,
+    );
+}

@@ -1,0 +1,97 @@
+//! Figure 7: throughput improvement over Socket-Async for the co-hosted
+//! RUBiS + Zipf-trace cluster, as the Zipf α varies from 0.25 to 0.9.
+//!
+//! Lower α ⇒ less temporal locality ⇒ more divergent per-request demand ⇒
+//! more to gain from fresh fine-grained load information.
+
+use fgmon_bench::{improvement_pct, HarnessOpts};
+use fgmon_cluster::{rubis_world, sweep_parallel, RubisWorldCfg, Table};
+use fgmon_sim::SimDuration;
+use fgmon_types::Scheme;
+use fgmon_workload::{RubisClient, ZipfClient};
+
+fn main() {
+    let opts = HarnessOpts::parse(25);
+    let alphas: Vec<f64> = if opts.quick {
+        vec![0.25, 0.9]
+    } else {
+        vec![0.25, 0.5, 0.75, 0.9]
+    };
+    let schemes = Scheme::ALL_PAPER;
+
+    // Closed-loop cluster throughput is chaotic run to run (herding
+    // feedback); average each point over several seeds.
+    let reps: u64 = if opts.quick { 2 } else { 4 };
+    let mut points = Vec::new();
+    for &a in &alphas {
+        for &s in &schemes {
+            for rep in 0..reps {
+                points.push((a, s, rep));
+            }
+        }
+    }
+
+    let raw = sweep_parallel(points, |&(alpha, scheme, rep)| {
+        let cfg = RubisWorldCfg {
+            scheme,
+            backends: 8,
+            rubis_sessions: 192,
+            think_mean: SimDuration::from_millis(30),
+            zipf: Some((alpha, 96)),
+            granularity: SimDuration::from_millis(50),
+            seed: opts.seed ^ (rep * 0x9E37_79B9),
+            ..Default::default()
+        };
+        let mut w = rubis_world(&cfg);
+        w.cluster.run_for(SimDuration::from_secs(opts.seconds));
+        let rubis: &RubisClient = w.cluster.service(w.client_node, w.rubis_client_slot);
+        let zipf: &ZipfClient = w
+            .cluster
+            .service(w.client_node, w.zipf_client_slot.expect("zipf"));
+        (alpha, scheme, (rubis.completed + zipf.completed) as f64)
+    });
+    // Average the repetitions.
+    let mut results: Vec<(f64, fgmon_types::Scheme, f64)> = Vec::new();
+    for &a in &alphas {
+        for &s in &schemes {
+            let total: f64 = raw
+                .iter()
+                .filter(|r| r.0 == a && r.1 == s)
+                .map(|r| r.2)
+                .sum();
+            results.push((a, s, total / reps as f64));
+        }
+    }
+
+    let tp = |alpha: f64, scheme: Scheme| -> f64 {
+        results
+            .iter()
+            .find(|r| r.0 == alpha && r.1 == scheme)
+            .expect("point computed")
+            .2
+    };
+
+    let mut table = Table::new(vec![
+        "alpha",
+        "Socket-Sync %",
+        "RDMA-Async %",
+        "RDMA-Sync %",
+        "e-RDMA-Sync %",
+        "baseline req",
+    ]);
+    for &alpha in &alphas {
+        let base = tp(alpha, Scheme::SocketAsync);
+        table.row(vec![
+            format!("{alpha}"),
+            format!("{:+.1}", improvement_pct(tp(alpha, Scheme::SocketSync), base)),
+            format!("{:+.1}", improvement_pct(tp(alpha, Scheme::RdmaAsync), base)),
+            format!("{:+.1}", improvement_pct(tp(alpha, Scheme::RdmaSync), base)),
+            format!("{:+.1}", improvement_pct(tp(alpha, Scheme::ERdmaSync), base)),
+            format!("{base:.0}"),
+        ]);
+    }
+    opts.print(
+        "Figure 7 — throughput improvement vs. Socket-Async (RUBiS + Zipf trace)",
+        &table,
+    );
+}

@@ -1,0 +1,94 @@
+//! Figure 8: maximum response time of two RUBiS queries
+//! (SearchItemsInRegion, Browse) while Ganglia + gmetric perform
+//! fine-grained monitoring through each scheme, for monitoring thresholds
+//! from 1 ms to 4096 ms.
+
+use fgmon_bench::HarnessOpts;
+use fgmon_cluster::{ganglia_world, sweep_parallel, RubisWorldCfg, Table};
+use fgmon_sim::SimDuration;
+use fgmon_types::Scheme;
+
+fn main() {
+    let opts = HarnessOpts::parse(20);
+    let grans_ms: Vec<u64> = if opts.quick {
+        vec![1, 64, 4096]
+    } else {
+        vec![1, 4, 16, 64, 256, 1024, 4096]
+    };
+
+    let mut points = Vec::new();
+    for &g in &grans_ms {
+        for &s in &Scheme::MICRO {
+            points.push((g, s));
+        }
+    }
+
+    let results = sweep_parallel(points, |&(g, scheme)| {
+        let base = RubisWorldCfg {
+            scheme: Scheme::ERdmaSync, // the dispatcher per §5.2.2
+            backends: 8,
+            rubis_sessions: 416,
+            think_mean: SimDuration::from_millis(100),
+            seed: opts.seed,
+            ..Default::default()
+        };
+        let mut w = ganglia_world(&base, scheme, SimDuration::from_millis(g));
+        w.rubis.cluster.run_for(SimDuration::from_secs(opts.seconds));
+        let rec = w.rubis.cluster.recorder();
+        // Pool every query class for a stable tail statistic alongside
+        // the paper's per-query maximum.
+        let mut pooled = fgmon_sim::Histogram::new();
+        for class in fgmon_types::QueryClass::ALL {
+            if let Some(h) = rec.get_histogram(&format!("rubis/resp/{}", class.label())) {
+                pooled.merge(h);
+            }
+        }
+        let max_of = |key: &str| {
+            rec.get_histogram(key)
+                .map(|h| h.max() as f64 / 1e6)
+                .unwrap_or(f64::NAN)
+        };
+        (
+            g,
+            scheme,
+            max_of("rubis/resp/SearchItemsReg"),
+            max_of("rubis/resp/Browse"),
+            pooled.quantile(0.99) as f64 / 1e6,
+            pooled.mean() / 1e6,
+        )
+    });
+
+    for (title, pick) in [
+        ("Figure 8a — max response time of SearchItemInCategories-like query (ms)", 2usize),
+        ("Figure 8b — max response time of Browse query (ms)", 3usize),
+        ("Figure 8 (supplement) — p99 response time, all queries pooled (ms)", 4usize),
+        ("Figure 8 (supplement) — mean response time, all queries pooled (ms)", 5usize),
+    ] {
+        let mut table = Table::new(vec![
+            "gmetric threshold (ms)",
+            "Socket-Async",
+            "Socket-Sync",
+            "RDMA-Async",
+            "RDMA-Sync",
+        ]);
+        for &g in &grans_ms {
+            let mut cells = vec![g.to_string()];
+            for &scheme in &Scheme::MICRO {
+                let r = results
+                    .iter()
+                    .find(|r| r.0 == g && r.1 == scheme)
+                    .expect("point computed");
+                let v = match pick {
+                    2 => r.2,
+                    3 => r.3,
+                    4 => r.4,
+                    _ => r.5,
+                };
+                cells.push(format!("{v:.1}"));
+            }
+            table.row(cells);
+        }
+        opts.print(title, &table);
+        println!();
+    }
+}

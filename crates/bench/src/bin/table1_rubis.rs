@@ -1,0 +1,80 @@
+//! Table 1: average and maximum response times (ms) of the RUBiS query
+//! classes under each monitoring scheme, with the WebSphere-style
+//! least-loaded dispatcher using the monitored information.
+
+use fgmon_bench::HarnessOpts;
+use fgmon_cluster::{rubis_world, sweep_parallel, RubisWorldCfg, Table};
+use fgmon_sim::SimDuration;
+use fgmon_types::{QueryClass, Scheme};
+
+fn main() {
+    let opts = HarnessOpts::parse(30);
+    let schemes: Vec<Scheme> = if opts.quick {
+        vec![Scheme::SocketAsync, Scheme::RdmaSync]
+    } else {
+        Scheme::ALL_PAPER.to_vec()
+    };
+
+    let results = sweep_parallel(schemes.clone(), |&scheme| {
+        let cfg = RubisWorldCfg {
+            scheme,
+            backends: 8,
+            rubis_sessions: 288,
+            think_mean: SimDuration::from_millis(100),
+            zipf: None,
+            granularity: SimDuration::from_millis(50),
+            seed: opts.seed,
+            ..Default::default()
+        };
+        let mut w = rubis_world(&cfg);
+        w.cluster.run_for(SimDuration::from_secs(opts.seconds));
+        let mut rows = Vec::new();
+        for class in QueryClass::ALL {
+            let h = w
+                .cluster
+                .recorder()
+                .get_histogram(&format!("rubis/resp/{}", class.label()));
+            let (avg, max, n) = match h {
+                Some(h) if !h.is_empty() => {
+                    (h.mean() / 1e6, h.max() as f64 / 1e6, h.count())
+                }
+                _ => (f64::NAN, f64::NAN, 0),
+            };
+            rows.push((class, avg, max, n));
+        }
+        (scheme, rows)
+    });
+
+    // Average response time block.
+    let mut header = vec!["Query".to_string()];
+    for s in &schemes {
+        header.push(format!("{} avg", s.label()));
+    }
+    for s in &schemes {
+        header.push(format!("{} max", s.label()));
+    }
+    let mut table = Table::new(header);
+    for (ci, class) in QueryClass::ALL.iter().enumerate() {
+        let mut cells = vec![class.label().to_string()];
+        for (_, rows) in &results {
+            cells.push(format!("{:.1}", rows[ci].1));
+        }
+        for (_, rows) in &results {
+            cells.push(format!("{:.0}", rows[ci].2));
+        }
+        table.row(cells);
+    }
+    opts.print(
+        "Table 1 — RUBiS response times (ms) per query class and scheme",
+        &table,
+    );
+
+    // Completed-request summary.
+    let mut summary = Table::new(vec!["scheme", "total responses"]);
+    for (scheme, rows) in &results {
+        let total: u64 = rows.iter().map(|r| r.3).sum();
+        summary.row(vec![scheme.label().to_string(), total.to_string()]);
+    }
+    println!();
+    opts.print("Requests completed per scheme", &summary);
+}

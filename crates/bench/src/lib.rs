@@ -1,0 +1,109 @@
+//! # fgmon-bench — experiment harnesses
+//!
+//! One binary per table/figure of the paper's evaluation (§5), each
+//! printing the same rows/series the paper reports:
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `fig3_latency` | Fig. 3 — monitoring latency vs. background threads |
+//! | `fig4_granularity` | Fig. 4 — app slowdown vs. monitoring granularity |
+//! | `fig5_accuracy` | Fig. 5 — accuracy of reported load information |
+//! | `fig6_interrupts` | Fig. 6 — pending interrupts seen per CPU |
+//! | `table1_rubis` | Table 1 — RUBiS response times, 5 schemes |
+//! | `fig7_zipf` | Fig. 7 — throughput improvement vs. Zipf α |
+//! | `fig8_ganglia` | Fig. 8 — RUBiS max response under gmetric monitoring |
+//! | `fig9_fine_vs_coarse` | Fig. 9 — fine- vs. coarse-grained throughput |
+//!
+//! Run with `--quick` for a reduced sweep, `--seconds N` to change the
+//! virtual duration per point, `--seed N` for a different seed.
+
+/// Common command-line options for the harness binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessOpts {
+    /// Virtual seconds simulated per parameter point.
+    pub seconds: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Reduced parameter sweep for smoke runs.
+    pub quick: bool,
+    /// Emit CSV instead of an aligned table.
+    pub csv: bool,
+}
+
+impl HarnessOpts {
+    /// Parse from `std::env::args()`. Unknown flags abort with usage.
+    pub fn parse(default_seconds: u64) -> Self {
+        let mut opts = HarnessOpts {
+            seconds: default_seconds,
+            seed: 42,
+            quick: false,
+            csv: false,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--seconds" => {
+                    i += 1;
+                    opts.seconds = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage());
+                }
+                "--seed" => {
+                    i += 1;
+                    opts.seed = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage());
+                }
+                "--quick" => opts.quick = true,
+                "--csv" => opts.csv = true,
+                "--help" | "-h" => usage(),
+                _ => usage(),
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// Render a finished table per the `--csv` flag.
+    pub fn print(&self, title: &str, table: &fgmon_cluster::Table) {
+        if self.csv {
+            print!("{}", table.to_csv());
+        } else {
+            println!("{title}");
+            println!();
+            print!("{}", table.render());
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: <bin> [--seconds N] [--seed N] [--quick] [--csv]\n\
+         Regenerates one table/figure of the CLUSTER'06 paper."
+    );
+    std::process::exit(2);
+}
+
+/// Percentage improvement of `value` over `baseline`.
+pub fn improvement_pct(value: f64, baseline: f64) -> f64 {
+    if baseline <= 0.0 {
+        0.0
+    } else {
+        (value - baseline) / baseline * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_math() {
+        assert!((improvement_pct(125.0, 100.0) - 25.0).abs() < 1e-12);
+        assert!((improvement_pct(75.0, 100.0) + 25.0).abs() < 1e-12);
+        assert_eq!(improvement_pct(5.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Cluster assembly: build an engine populated with nodes, a fabric, and
+//! services, mirroring the paper's 8-back-end + front-end testbed.
+
+use fgmon_net::Fabric;
+use fgmon_os::{NodeActor, OsCore, Service};
+use fgmon_sim::{ActorId, DetRng, Engine, RunOutcome, SimDuration, SimTime};
+use fgmon_types::{ConnId, McastGroup, Msg, NetConfig, NodeId, NodeMsg, OsConfig, ServiceSlot};
+
+/// Incrementally builds a simulated cluster.
+pub struct ClusterBuilder {
+    eng: Engine<Msg>,
+    fabric_slot: ActorId,
+    fabric: Fabric,
+    nodes: Vec<ActorId>,
+    rng: DetRng,
+}
+
+impl ClusterBuilder {
+    pub fn new(seed: u64, net: NetConfig) -> Self {
+        let mut eng: Engine<Msg> = Engine::new();
+        let fabric_slot = eng.reserve_actor();
+        ClusterBuilder {
+            eng,
+            fabric_slot,
+            fabric: Fabric::new(net, Vec::new()),
+            nodes: Vec::new(),
+            rng: DetRng::new(seed),
+        }
+    }
+
+    /// Add a node with the given OS configuration.
+    pub fn add_node(&mut self, cfg: OsConfig) -> NodeId {
+        let node_id = NodeId(self.nodes.len() as u16);
+        let actor_id = self.eng.reserve_actor();
+        let rng = self.rng.fork_idx("node", node_id.0 as u64);
+        let core = OsCore::new(node_id, cfg, self.fabric_slot, actor_id, rng);
+        self.eng.install(actor_id, Box::new(NodeActor::new(core)));
+        self.nodes.push(actor_id);
+        node_id
+    }
+
+    /// Mutable access to a node actor during assembly (pre-boot wiring).
+    pub fn node_actor_mut(&mut self, node: NodeId) -> Option<&mut NodeActor> {
+        let actor = *self.nodes.get(node.index())?;
+        self.eng.actor_mut::<NodeActor>(actor)
+    }
+
+    /// Host a service on `node`; returns its slot.
+    pub fn add_service(&mut self, node: NodeId, svc: Box<dyn Service>) -> ServiceSlot {
+        let actor = self.nodes[node.index()];
+        self.eng
+            .actor_mut::<NodeActor>(actor)
+            .expect("node actor")
+            .add_service(svc)
+    }
+
+    /// Mutable access to a typed service on a node (pre-boot wiring).
+    pub fn node_service_mut<T: Service>(
+        &mut self,
+        node: NodeId,
+        slot: ServiceSlot,
+    ) -> Option<&mut T> {
+        self.node_actor_mut(node)?.service_mut::<T>(slot)
+    }
+
+    /// Register a connection between two services.
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        svc_a: ServiceSlot,
+        b: NodeId,
+        svc_b: ServiceSlot,
+    ) -> ConnId {
+        self.fabric.add_conn(a, svc_a, b, svc_b)
+    }
+
+    /// Subscribe a node to a multicast group.
+    pub fn join_mcast(&mut self, group: McastGroup, node: NodeId) {
+        self.fabric.join_mcast(group, node);
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Finish assembly: install the fabric, schedule boot events, and
+    /// start the ground-truth probe on the given nodes.
+    pub fn finish(mut self, ground_truth: &[(NodeId, SimDuration)]) -> Cluster {
+        let mut fabric = self.fabric;
+        fabric.set_node_actors(self.nodes.clone());
+        self.eng.install(self.fabric_slot, Box::new(fabric));
+        for &actor in &self.nodes {
+            self.eng.schedule(SimTime::ZERO, actor, Msg::Node(NodeMsg::Boot));
+        }
+        for &(node, period) in ground_truth {
+            let actor = self.nodes[node.index()];
+            self.eng.schedule(
+                SimTime::ZERO,
+                actor,
+                Msg::Node(NodeMsg::GroundTruthTick {
+                    period_nanos: period.nanos(),
+                }),
+            );
+        }
+        Cluster {
+            eng: self.eng,
+            fabric: self.fabric_slot,
+            nodes: self.nodes,
+        }
+    }
+}
+
+/// A fully assembled cluster ready to run.
+pub struct Cluster {
+    pub eng: Engine<Msg>,
+    pub fabric: ActorId,
+    nodes: Vec<ActorId>,
+}
+
+impl Cluster {
+    /// Run for `dur` of virtual time.
+    pub fn run_for(&mut self, dur: SimDuration) -> RunOutcome {
+        self.eng.run_for(dur)
+    }
+
+    /// Engine actor id of a node.
+    pub fn actor_of(&self, node: NodeId) -> ActorId {
+        self.nodes[node.index()]
+    }
+
+    /// Borrow a node actor.
+    pub fn node(&self, node: NodeId) -> &NodeActor {
+        self.eng
+            .actor::<NodeActor>(self.actor_of(node))
+            .expect("node actor")
+    }
+
+    pub fn node_mut(&mut self, node: NodeId) -> &mut NodeActor {
+        let actor = self.actor_of(node);
+        self.eng
+            .actor_mut::<NodeActor>(actor)
+            .expect("node actor")
+    }
+
+    /// Borrow a service hosted on a node.
+    pub fn service<T: Service>(&self, node: NodeId, slot: ServiceSlot) -> &T {
+        self.node(node)
+            .service::<T>(slot)
+            .expect("service downcast")
+    }
+
+    pub fn service_mut<T: Service>(&mut self, node: NodeId, slot: ServiceSlot) -> &mut T {
+        self.node_mut(node)
+            .service_mut::<T>(slot)
+            .expect("service downcast")
+    }
+
+    pub fn recorder(&self) -> &fgmon_sim::Recorder {
+        self.eng.recorder()
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}

@@ -1,0 +1,30 @@
+//! # fgmon-cluster — testbed assembly and experiment scenarios
+//!
+//! Builds complete simulated clusters mirroring the paper's testbed
+//! (8 dual-CPU back-ends behind a front-end dispatcher on an
+//! InfiniBand-like fabric) and provides one pre-wired *world* per
+//! experiment family:
+//!
+//! * [`scenarios::micro_latency`] — Fig. 3;
+//! * [`scenarios::float_granularity`] — Fig. 4;
+//! * [`scenarios::accuracy_world`] — Figs. 5–6;
+//! * [`scenarios::rubis_world`] — Table 1, Figs. 7 and 9;
+//! * [`scenarios::ganglia_world`] — Fig. 8.
+//!
+//! Plus plain-text/CSV table rendering ([`report`]) and a multi-threaded
+//! parameter-sweep runner ([`sweep`]).
+
+pub mod builder;
+pub mod report;
+pub mod scenarios;
+pub mod summary;
+pub mod sweep;
+
+pub use builder::{Cluster, ClusterBuilder};
+pub use report::Table;
+pub use scenarios::{
+    accuracy_world, float_granularity, ganglia_world, micro_latency, rubis_world, AccuracyWorld,
+    FloatWorld, GangliaWorld, MicroWorld, RubisWorld, RubisWorldCfg, GT_PERIOD,
+};
+pub use summary::{node_summaries, pooled_responses, render_report, NodeSummary, ResponseSummary};
+pub use sweep::sweep_parallel;

@@ -1,0 +1,600 @@
+//! Experiment worlds: pre-wired clusters for every experiment in the
+//! paper's §5. Each constructor assembles the exact topology the paper
+//! describes; the bench harnesses sweep their parameters.
+
+use fgmon_balancer::{Dispatcher, DispatcherConfig, Policy, ReconfigPolicy, Reconfigurator};
+use fgmon_core::{make_backend, BackendConfig, BackendHandle, MonitorFrontendService};
+use fgmon_core::backend::SocketBackend;
+use fgmon_ganglia::{GmetricPublisher, Gmond};
+use fgmon_sim::{DetRng, SimDuration};
+use fgmon_types::{McastGroup, NetConfig, NodeId, OsConfig, RegionId, Scheme, ServiceSlot};
+use fgmon_workload::{
+    CommLoad, ComputeHogs, FloatApp, LoadRamp, RampStep, RubisClient, WorkerPoolServer,
+    ZipfCatalog, ZipfClient,
+};
+
+use crate::builder::{Cluster, ClusterBuilder};
+
+/// Ground-truth probe period used by the accuracy experiments.
+pub const GT_PERIOD: SimDuration = SimDuration(997_000); // ~1 ms, tick-unaligned
+
+/// Wire one monitoring pair (front-end slot ↔ back-end) for `scheme`.
+///
+/// Adds the backend service as the *first* service of `backend` (so its
+/// region, if any, is `RegionId(0)` — the builder convention the front-end
+/// handle relies on) and returns the handle the front-end needs.
+///
+/// `fe_slot` is the front-end service slot that will embed the client.
+fn wire_monitoring(
+    b: &mut ClusterBuilder,
+    scheme: Scheme,
+    mut cfg: BackendConfig,
+    frontend: NodeId,
+    fe_slot: ServiceSlot,
+    backend: NodeId,
+    expected_region: u32,
+) -> BackendHandle {
+    if scheme == Scheme::RdmaWritePush {
+        // The front-end monitor registers one writable buffer per backend
+        // in wiring order; tell this backend which one is its target.
+        // Callers pass the backend's ordinal via `expected_region`.
+        cfg.push_target = Some((frontend, RegionId(expected_region)));
+    }
+    let svc = make_backend(scheme, cfg);
+    let slot = b.add_service(backend, svc);
+    let conn = b.connect(frontend, fe_slot, backend, slot);
+    if let Some(sb) = b
+        .node_service_mut::<SocketBackend>(backend, slot)
+    {
+        sb.conns.push(conn);
+    }
+    if scheme == Scheme::McastPush {
+        b.join_mcast(McastGroup(0), frontend);
+        b.join_mcast(McastGroup(0), backend);
+    }
+    BackendHandle {
+        node: backend,
+        conn: Some(conn),
+        region: Some(RegionId(expected_region)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3 — monitoring latency vs. background load
+// ---------------------------------------------------------------------------
+
+/// World for the latency micro-benchmark.
+pub struct MicroWorld {
+    pub cluster: Cluster,
+    pub frontend: NodeId,
+    pub backend: NodeId,
+    /// Slot of the [`MonitorFrontendService`] on the front-end.
+    pub fe_mon: ServiceSlot,
+}
+
+/// One front-end polling one back-end running `bg_threads` compute threads
+/// plus communication chatter with a peer node (the paper's "background
+/// computation and communication operations").
+pub fn micro_latency(
+    scheme: Scheme,
+    bg_threads: u32,
+    comm: bool,
+    poll: SimDuration,
+    backend_os: OsConfig,
+    seed: u64,
+) -> MicroWorld {
+    let mut b = ClusterBuilder::new(seed, NetConfig::default());
+    let frontend = b.add_node(OsConfig::frontend());
+    let backend = b.add_node(backend_os);
+    let peer = b.add_node(OsConfig::default());
+
+    // Front-end monitor is slot 0 there; back-end monitor is slot 0 too.
+    let handle = wire_monitoring(
+        &mut b,
+        scheme,
+        BackendConfig {
+            calc_interval: poll,
+            via_kernel_module: false,
+            mcast_group: McastGroup(0),
+            push_target: None,
+        },
+        frontend,
+        ServiceSlot(0),
+        backend,
+        0,
+    );
+    let fe_mon = b.add_service(
+        frontend,
+        Box::new(MonitorFrontendService::new(
+            scheme,
+            scheme.uses_irq_signal(),
+            poll,
+            vec![handle],
+        )),
+    );
+
+    if bg_threads > 0 {
+        b.add_service(backend, Box::new(ComputeHogs::new(bg_threads)));
+    }
+    if comm {
+        // Chatter both directions: backend→peer and peer→backend.
+        let tx_slot = ServiceSlot(if bg_threads > 0 { 2 } else { 1 });
+        let peer_rx = ServiceSlot(0);
+        let conn_out = b.connect(backend, tx_slot, peer, peer_rx);
+        b.add_service(backend, Box::new(CommLoad::new(conn_out, SimDuration::from_micros(500))));
+        b.add_service(
+            peer,
+            Box::new(fgmon_workload::CommSink::new(conn_out, true)),
+        );
+    }
+    let cluster = b.finish(&[]);
+    MicroWorld {
+        cluster,
+        frontend,
+        backend,
+        fe_mon,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4 — application impact vs. monitoring granularity
+// ---------------------------------------------------------------------------
+
+/// World for the granularity micro-benchmark: the float app computes on
+/// the back-end while a scheme monitors at granularity `g`.
+pub struct FloatWorld {
+    pub cluster: Cluster,
+    pub frontend: NodeId,
+    pub backend: NodeId,
+    pub app_slot: ServiceSlot,
+}
+
+pub fn float_granularity(scheme: Scheme, g: SimDuration, seed: u64) -> FloatWorld {
+    let mut b = ClusterBuilder::new(seed, NetConfig::default());
+    let frontend = b.add_node(OsConfig::frontend());
+    let backend = b.add_node(OsConfig::default());
+    let handle = wire_monitoring(
+        &mut b,
+        scheme,
+        BackendConfig {
+            calc_interval: g,
+            via_kernel_module: false,
+            mcast_group: McastGroup(0),
+            push_target: None,
+        },
+        frontend,
+        ServiceSlot(0),
+        backend,
+        0,
+    );
+    b.add_service(
+        frontend,
+        Box::new(MonitorFrontendService::new(
+            scheme,
+            scheme.uses_irq_signal(),
+            g,
+            vec![handle],
+        )),
+    );
+    let app_slot = b.add_service(backend, Box::new(FloatApp::new(SimDuration::from_millis(10))));
+    let cluster = b.finish(&[]);
+    FloatWorld {
+        cluster,
+        frontend,
+        backend,
+        app_slot,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figs. 5 & 6 — accuracy and detailed system information
+// ---------------------------------------------------------------------------
+
+/// World where all four micro schemes watch the same back-end
+/// simultaneously (the paper's Fig. 5 methodology) while the load ramps.
+pub struct AccuracyWorld {
+    pub cluster: Cluster,
+    pub frontend: NodeId,
+    pub backend: NodeId,
+    /// Front-end monitor slots, in `Scheme::MICRO` order.
+    pub fe_slots: Vec<ServiceSlot>,
+}
+
+/// `rubis_sessions`: request traffic served by a worker-pool server on
+/// the back-end (the paper "fired client requests to be processed at the
+/// back-end server"), making thread count and CPU load fluctuate at
+/// request timescale. `irq_chatter`: heavy communication at the back-end
+/// so pending interrupts become visible (Fig. 6). `via_kernel_module`:
+/// exposes `irq_stat` to every scheme as in that experiment.
+pub fn accuracy_world(
+    poll: SimDuration,
+    ramp: Vec<RampStep>,
+    rubis_sessions: u32,
+    irq_chatter: bool,
+    via_kernel_module: bool,
+    seed: u64,
+) -> AccuracyWorld {
+    let mut b = ClusterBuilder::new(seed, NetConfig::default());
+    let frontend = b.add_node(OsConfig::frontend());
+    let backend = b.add_node(OsConfig::default());
+    let peer = b.add_node(OsConfig::frontend());
+
+    // Back-end: the four scheme backends first (deterministic region ids:
+    // RdmaAsync registers region 0, RdmaSync region 1).
+    let cfg = BackendConfig {
+        calc_interval: poll,
+        via_kernel_module,
+        mcast_group: McastGroup(0),
+        push_target: None,
+    };
+    let mut handles = Vec::new();
+    let mut region_counter = 0u32;
+    for (i, &scheme) in Scheme::MICRO.iter().enumerate() {
+        let expected_region = if scheme.is_one_sided() {
+            let r = region_counter;
+            region_counter += 1;
+            r
+        } else {
+            u32::MAX // unused
+        };
+        let svc = make_backend(scheme, cfg);
+        let slot = b.add_service(backend, svc);
+        let conn = b.connect(frontend, ServiceSlot(i as u16), backend, slot);
+        if let Some(sb) = b.node_service_mut::<SocketBackend>(backend, slot) {
+            sb.conns.push(conn);
+        }
+        handles.push(BackendHandle {
+            node: backend,
+            conn: Some(conn),
+            region: if expected_region == u32::MAX {
+                None
+            } else {
+                Some(RegionId(expected_region))
+            },
+        });
+    }
+
+    // Front-end: one poller per scheme, with series recording on.
+    let mut fe_slots = Vec::new();
+    for (i, &scheme) in Scheme::MICRO.iter().enumerate() {
+        let mut svc = MonitorFrontendService::new(
+            scheme,
+            via_kernel_module || scheme.uses_irq_signal(),
+            poll,
+            vec![handles[i]],
+        );
+        svc.client.record_series = true;
+        // Stagger the concurrent pollers so their request traffic is not
+        // phase-locked (independent processes would not align).
+        svc.start_offset = SimDuration::from_micros(1_300 * i as u64);
+        fe_slots.push(b.add_service(frontend, Box::new(svc)));
+    }
+
+    // Load: ramping compute threads (slot 4) and a request-driven web
+    // server (slot 5) fed by a client on the peer node.
+    b.add_service(backend, Box::new(LoadRamp::new(ramp)));
+    let client_conn = b.connect(peer, ServiceSlot(0), backend, ServiceSlot(5));
+    let mut server = WorkerPoolServer::new();
+    server.conns.push(client_conn);
+    b.add_service(backend, Box::new(server));
+    b.add_service(
+        peer,
+        Box::new(RubisClient::new(
+            client_conn,
+            rubis_sessions,
+            SimDuration::from_millis(100),
+        )),
+    );
+
+    if irq_chatter {
+        // Peer floods the back-end with frame trains (and gets echoes
+        // back): heavy, bursty interrupt pressure on the monitored node —
+        // the regime of the paper's Fig. 6, where the interrupt backlog
+        // persists long enough that only in-place kernel reads see it.
+        let conn = b.connect(peer, ServiceSlot(1), backend, ServiceSlot(6));
+        b.add_service(
+            peer,
+            Box::new(CommLoad::bursty(conn, SimDuration::from_micros(800), 10)),
+        );
+        b.add_service(backend, Box::new(fgmon_workload::CommSink::new(conn, true)));
+    }
+
+    let cluster = b.finish(&[(backend, GT_PERIOD)]);
+    AccuracyWorld {
+        cluster,
+        frontend,
+        backend,
+        fe_slots,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 1, Figs. 7 & 9 — the cluster-based server
+// ---------------------------------------------------------------------------
+
+/// Configuration of the application-level cluster.
+#[derive(Clone, Debug)]
+pub struct RubisWorldCfg {
+    pub scheme: Scheme,
+    pub backends: u16,
+    pub rubis_sessions: u32,
+    pub think_mean: SimDuration,
+    /// Co-hosted Zipf service: `(alpha, sessions)`.
+    pub zipf: Option<(f64, u32)>,
+    /// Monitoring granularity (poll + calc interval).
+    pub granularity: SimDuration,
+    pub policy: Policy,
+    pub admission_threshold: Option<f64>,
+    /// Co-tenant compute threads per back-end (the paper's premise is a
+    /// *shared* enterprise cluster; other applications occupy the nodes).
+    pub background_hogs: u32,
+    /// Partition the back-ends between the RUBiS and Zipf services
+    /// (half/half initially) and manage the partition with this
+    /// reconfiguration policy (paper §7 extension). Use an infinite
+    /// hysteresis for a *static* partition baseline. `None` leaves the
+    /// cluster unpartitioned (every node serves both services). Requires
+    /// `zipf` when set.
+    pub reconfig: Option<ReconfigPolicy>,
+    pub seed: u64,
+}
+
+impl Default for RubisWorldCfg {
+    fn default() -> Self {
+        RubisWorldCfg {
+            scheme: Scheme::RdmaSync,
+            backends: 8,
+            rubis_sessions: 64,
+            think_mean: SimDuration::from_millis(300),
+            zipf: None,
+            granularity: SimDuration::from_millis(50),
+            policy: Policy::WeightedLeastLoad,
+            admission_threshold: None,
+            background_hogs: 0,
+            reconfig: None,
+            seed: 42,
+        }
+    }
+}
+
+/// The assembled application-level world.
+pub struct RubisWorld {
+    pub cluster: Cluster,
+    pub frontend: NodeId,
+    pub client_node: NodeId,
+    pub backends: Vec<NodeId>,
+    pub dispatcher_slot: ServiceSlot,
+    pub rubis_client_slot: ServiceSlot,
+    pub zipf_client_slot: Option<ServiceSlot>,
+}
+
+pub fn rubis_world(cfg: &RubisWorldCfg) -> RubisWorld {
+    let mut b = ClusterBuilder::new(cfg.seed, NetConfig::default());
+    let frontend = b.add_node(OsConfig::frontend());
+    let client_node = b.add_node(OsConfig::frontend());
+    let backends: Vec<NodeId> = (0..cfg.backends)
+        .map(|_| b.add_node(OsConfig::default()))
+        .collect();
+
+    let bcfg = BackendConfig {
+        calc_interval: cfg.granularity,
+        via_kernel_module: false,
+        mcast_group: McastGroup(0),
+        push_target: None,
+    };
+
+    // Back-ends: slot 0 = monitor backend (region 0 by construction),
+    // slot 1 = web server.
+    let mut monitor_handles = Vec::new();
+    let mut work_conns = Vec::new();
+    for (i, &be) in backends.iter().enumerate() {
+        // For pull schemes the backend's own region is always its first
+        // registration (0); for the write-push extension the ordinal
+        // selects the front-end buffer it pushes into.
+        let region_hint = if cfg.scheme == Scheme::RdmaWritePush {
+            i as u32
+        } else {
+            0
+        };
+        let handle = wire_monitoring(
+            &mut b,
+            cfg.scheme,
+            bcfg,
+            frontend,
+            ServiceSlot(0),
+            be,
+            region_hint,
+        );
+        monitor_handles.push(handle);
+        let mut server = WorkerPoolServer::new();
+        // Conn from dispatcher (fe slot 0) to the server (slot 1).
+        let conn = b.connect(frontend, ServiceSlot(0), be, ServiceSlot(1));
+        server.conns.push(conn);
+        b.add_service(be, Box::new(server));
+        work_conns.push((be, conn));
+        if cfg.background_hogs > 0 {
+            b.add_service(be, Box::new(ComputeHogs::new(cfg.background_hogs)));
+        }
+    }
+
+    // Client connections to the dispatcher.
+    let rubis_conn = b.connect(client_node, ServiceSlot(0), frontend, ServiceSlot(0));
+    let zipf_conn = cfg
+        .zipf
+        .map(|_| b.connect(client_node, ServiceSlot(1), frontend, ServiceSlot(0)));
+
+    // Front-end: the dispatcher embedding the monitoring client.
+    let mut dcfg = DispatcherConfig::for_scheme(cfg.scheme, cfg.granularity);
+    dcfg.policy = cfg.policy;
+    dcfg.admission_threshold = cfg.admission_threshold;
+    let mut client_conns = vec![rubis_conn];
+    if let Some(c) = zipf_conn {
+        client_conns.push(c);
+    }
+    let mut dispatcher = Dispatcher::new(dcfg, work_conns, monitor_handles, client_conns);
+    if let Some(policy) = cfg.reconfig {
+        assert!(
+            cfg.zipf.is_some(),
+            "reconfiguration partitions nodes between RUBiS and Zipf; enable zipf"
+        );
+        dispatcher.reconfig = Some(Reconfigurator::new(
+            cfg.backends as usize,
+            cfg.backends as usize / 2,
+            policy,
+            dcfg.weights,
+            dcfg.capacity,
+        ));
+    }
+    let dispatcher_slot = b.add_service(frontend, Box::new(dispatcher));
+
+    // Clients.
+    let rubis_client_slot = b.add_service(
+        client_node,
+        Box::new(RubisClient::new(rubis_conn, cfg.rubis_sessions, cfg.think_mean)),
+    );
+    let zipf_client_slot = cfg.zipf.map(|(alpha, sessions)| {
+        let mut rng = DetRng::new(cfg.seed ^ 0x21bf);
+        let catalog = ZipfCatalog::new(1000, alpha, &mut rng);
+        b.add_service(
+            client_node,
+            Box::new(ZipfClient::new(
+                zipf_conn.expect("zipf conn"),
+                sessions,
+                cfg.think_mean,
+                catalog,
+            )),
+        )
+    });
+
+    let cluster = b.finish(&[]);
+    RubisWorld {
+        cluster,
+        frontend,
+        client_node,
+        backends,
+        dispatcher_slot,
+        rubis_client_slot,
+        zipf_client_slot,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 8 — RUBiS + Ganglia + gmetric
+// ---------------------------------------------------------------------------
+
+/// RUBiS world plus a Ganglia deployment with fine-grained gmetric
+/// injections captured through `gmetric_scheme` at `gmetric_granularity`.
+pub struct GangliaWorld {
+    pub rubis: RubisWorld,
+    pub publisher_slot: ServiceSlot,
+}
+
+pub fn ganglia_world(
+    base: &RubisWorldCfg,
+    gmetric_scheme: Scheme,
+    gmetric_granularity: SimDuration,
+) -> GangliaWorld {
+    // Build the RUBiS world manually so we can attach Ganglia services
+    // before boot.
+    let mut b = ClusterBuilder::new(base.seed, NetConfig::default());
+    let frontend = b.add_node(OsConfig::frontend());
+    let client_node = b.add_node(OsConfig::frontend());
+    let backends: Vec<NodeId> = (0..base.backends)
+        .map(|_| b.add_node(OsConfig::default()))
+        .collect();
+
+    // Back-ends: slot 0 = dispatcher's monitor backend (e-RDMA-Sync per
+    // the paper), slot 1 = web server, slot 2 = gmetric's scheme backend,
+    // slot 3 = gmond.
+    let dispatch_cfg = BackendConfig {
+        calc_interval: base.granularity,
+        via_kernel_module: false,
+        mcast_group: McastGroup(0),
+        push_target: None,
+    };
+    let gmetric_cfg = BackendConfig {
+        calc_interval: gmetric_granularity,
+        via_kernel_module: false,
+        mcast_group: McastGroup(0),
+        push_target: None,
+    };
+
+    let mut monitor_handles = Vec::new();
+    let mut gmetric_handles = Vec::new();
+    let mut work_conns = Vec::new();
+    for &be in &backends {
+        // Dispatcher monitoring (region 0 on each backend).
+        let h = wire_monitoring(&mut b, base.scheme, dispatch_cfg, frontend, ServiceSlot(0), be, 0);
+        monitor_handles.push(h);
+        let mut server = WorkerPoolServer::new();
+        let conn = b.connect(frontend, ServiceSlot(0), be, ServiceSlot(1));
+        server.conns.push(conn);
+        b.add_service(be, Box::new(server));
+        work_conns.push((be, conn));
+
+        // gmetric capture path: its RDMA region follows the dispatcher's
+        // (one-sided dispatcher schemes register region 0 first).
+        let expected_region = if gmetric_scheme.is_one_sided() {
+            if base.scheme.is_one_sided() {
+                1
+            } else {
+                0
+            }
+        } else {
+            u32::MAX
+        };
+        let svc = make_backend(gmetric_scheme, gmetric_cfg);
+        let slot = b.add_service(be, svc);
+        let gconn = b.connect(frontend, ServiceSlot(1), be, slot);
+        if let Some(sb) = b.node_service_mut::<SocketBackend>(be, slot) {
+            sb.conns.push(gconn);
+        }
+        gmetric_handles.push(BackendHandle {
+            node: be,
+            conn: Some(gconn),
+            region: if expected_region == u32::MAX {
+                None
+            } else {
+                Some(RegionId(expected_region))
+            },
+        });
+
+        // gmond daemon + ganglia channel membership.
+        b.add_service(be, Box::new(Gmond::new(SimDuration::from_secs(1))));
+        b.join_mcast(fgmon_ganglia::GANGLIA_GROUP, be);
+    }
+    b.join_mcast(fgmon_ganglia::GANGLIA_GROUP, frontend);
+
+    let rubis_conn = b.connect(client_node, ServiceSlot(0), frontend, ServiceSlot(0));
+
+    let mut dcfg = DispatcherConfig::for_scheme(base.scheme, base.granularity);
+    dcfg.policy = base.policy;
+    let dispatcher = Dispatcher::new(dcfg, work_conns, monitor_handles, vec![rubis_conn]);
+    let dispatcher_slot = b.add_service(frontend, Box::new(dispatcher));
+
+    // gmetric publisher on the front-end (slot 1).
+    let publisher = GmetricPublisher::new(gmetric_scheme, gmetric_granularity, gmetric_handles);
+    let publisher_slot = b.add_service(frontend, Box::new(publisher));
+
+    let rubis_client_slot = b.add_service(
+        client_node,
+        Box::new(RubisClient::new(
+            rubis_conn,
+            base.rubis_sessions,
+            base.think_mean,
+        )),
+    );
+
+    let cluster = b.finish(&[]);
+    GangliaWorld {
+        rubis: RubisWorld {
+            cluster,
+            frontend,
+            client_node,
+            backends,
+            dispatcher_slot,
+            rubis_client_slot,
+            zipf_client_slot: None,
+        },
+        publisher_slot,
+    }
+}

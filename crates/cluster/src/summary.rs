@@ -1,0 +1,159 @@
+//! Cluster-wide run summaries: pool the per-query histograms, monitoring
+//! quality, and per-node OS counters of a finished run into one report —
+//! what an operator would want on one screen.
+
+use fgmon_core::scheme_quality;
+use fgmon_sim::{Histogram, SimTime};
+use fgmon_types::{NodeId, QueryClass, Scheme};
+
+use crate::builder::Cluster;
+use crate::report::{fmt_f, Table};
+
+/// Pooled response-time statistics across every RUBiS query class.
+#[derive(Clone, Debug)]
+pub struct ResponseSummary {
+    pub count: u64,
+    pub mean_ms: f64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+}
+
+/// Per-node OS counters at the end of a run.
+#[derive(Clone, Debug)]
+pub struct NodeSummary {
+    pub node: NodeId,
+    pub cpu_busy_secs: f64,
+    pub live_threads: u32,
+    pub irq_total: u64,
+    pub net_bytes: u64,
+}
+
+/// Pool the response-time histograms under `prefix` (e.g. `"rubis"`).
+pub fn pooled_responses(cluster: &Cluster, prefix: &str) -> Option<ResponseSummary> {
+    let mut pooled = Histogram::new();
+    for class in QueryClass::ALL {
+        if let Some(h) = cluster
+            .recorder()
+            .get_histogram(&format!("{prefix}/resp/{}", class.label()))
+        {
+            pooled.merge(h);
+        }
+    }
+    // Static-content services record one flat histogram.
+    if let Some(h) = cluster.recorder().get_histogram(&format!("{prefix}/resp")) {
+        pooled.merge(h);
+    }
+    if pooled.is_empty() {
+        return None;
+    }
+    Some(ResponseSummary {
+        count: pooled.count(),
+        mean_ms: pooled.mean() / 1e6,
+        p50_ms: pooled.quantile(0.5) as f64 / 1e6,
+        p99_ms: pooled.quantile(0.99) as f64 / 1e6,
+        max_ms: pooled.max() as f64 / 1e6,
+    })
+}
+
+/// Collect end-of-run OS counters for every node.
+pub fn node_summaries(cluster: &mut Cluster) -> Vec<NodeSummary> {
+    let mut out = Vec::new();
+    for i in 0..cluster.node_count() {
+        let node_id = NodeId(i as u16);
+        let node = cluster.node_mut(node_id);
+        let core = node.core_mut();
+        let busy: u64 = core.cpu_acct.iter().map(|a| a.busy_total.nanos()).sum();
+        let irq_total: u64 = core.irq.iter().map(|c| c.total).sum();
+        out.push(NodeSummary {
+            node: node_id,
+            cpu_busy_secs: busy as f64 / 1e9,
+            live_threads: core.threads.live_count(),
+            irq_total,
+            net_bytes: core.stats.net.total_bytes,
+        });
+    }
+    out
+}
+
+/// Render a one-screen report of a finished run.
+pub fn render_report(cluster: &mut Cluster, scheme: Scheme, now: SimTime) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "run summary at {now} — scheme {}\n\n",
+        scheme.label()
+    ));
+
+    if let Some(resp) = pooled_responses(cluster, "rubis") {
+        out.push_str(&format!(
+            "rubis responses: n={} mean={:.1}ms p50={:.1}ms p99={:.1}ms max={:.1}ms\n",
+            resp.count, resp.mean_ms, resp.p50_ms, resp.p99_ms, resp.max_ms
+        ));
+    }
+    if let Some(resp) = pooled_responses(cluster, "zipf") {
+        out.push_str(&format!(
+            "zipf responses:  n={} mean={:.1}ms p50={:.1}ms p99={:.1}ms max={:.1}ms\n",
+            resp.count, resp.mean_ms, resp.p50_ms, resp.p99_ms, resp.max_ms
+        ));
+    }
+    if let Some(q) = scheme_quality(cluster.recorder(), scheme) {
+        out.push_str(&format!(
+            "monitoring:      latency mean {:.1}µs max {:.1}µs, staleness mean {:.2}ms\n",
+            q.latency_mean_us, q.latency_max_us, q.staleness_mean_ms
+        ));
+    }
+    out.push('\n');
+
+    let mut table = Table::new(vec!["node", "cpu busy (s)", "threads", "irqs", "net MiB"]);
+    for n in node_summaries(cluster) {
+        table.row(vec![
+            n.node.to_string(),
+            fmt_f(n.cpu_busy_secs),
+            n.live_threads.to_string(),
+            n.irq_total.to_string(),
+            fmt_f(n.net_bytes as f64 / (1024.0 * 1024.0)),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{rubis_world, RubisWorldCfg};
+    use fgmon_sim::SimDuration;
+
+    #[test]
+    fn report_covers_responses_monitoring_and_nodes() {
+        let cfg = RubisWorldCfg {
+            backends: 2,
+            rubis_sessions: 16,
+            think_mean: SimDuration::from_millis(150),
+            zipf: Some((0.5, 8)),
+            ..Default::default()
+        };
+        let mut w = rubis_world(&cfg);
+        w.cluster.run_for(SimDuration::from_secs(5));
+
+        let rubis = pooled_responses(&w.cluster, "rubis").expect("rubis data");
+        assert!(rubis.count > 100);
+        assert!(rubis.p50_ms <= rubis.p99_ms && rubis.p99_ms <= rubis.max_ms);
+        let zipf = pooled_responses(&w.cluster, "zipf").expect("zipf data");
+        assert!(zipf.count > 50);
+        assert!(pooled_responses(&w.cluster, "nothing").is_none());
+
+        let nodes = node_summaries(&mut w.cluster);
+        assert_eq!(nodes.len(), 4); // frontend + client + 2 backends
+        let backend = &nodes[2];
+        assert!(backend.cpu_busy_secs > 0.1);
+        assert!(backend.irq_total > 100);
+        assert!(backend.net_bytes > 10_000);
+
+        let now = w.cluster.eng.now();
+        let report = render_report(&mut w.cluster, cfg.scheme, now);
+        assert!(report.contains("rubis responses"));
+        assert!(report.contains("monitoring:"));
+        assert!(report.contains("node2"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Multi-threaded parameter sweeps.
+//!
+//! Each parameter point runs a fully independent engine, so sweeps
+//! parallelize perfectly: one OS thread per point (bounded by the machine
+//! width), no shared state, deterministic per-point seeds. Results return
+//! in input order regardless of completion order.
+
+/// Run `f` over every item of `points` in parallel and return the results
+/// in input order. `f` must be deterministic given its input.
+pub fn sweep_parallel<P, R, F>(points: Vec<P>, f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    let width = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(points.len().max(1));
+    let results: Vec<parking_lot::Mutex<Option<R>>> =
+        points.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..width {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= points.len() {
+                    break;
+                }
+                let r = f(&points[i]);
+                *results[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_covers_all() {
+        let points: Vec<u64> = (0..64).collect();
+        let out = sweep_parallel(points.clone(), |&p| p * 2);
+        assert_eq!(out, points.iter().map(|p| p * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_point() {
+        let out = sweep_parallel(vec![7u32], |&p| p + 1);
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn empty_sweep() {
+        let out: Vec<u32> = sweep_parallel(Vec::<u32>::new(), |_| 0);
+        assert!(out.is_empty());
+    }
+}

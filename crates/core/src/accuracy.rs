@@ -1,0 +1,86 @@
+//! Accuracy analysis: compare what a scheme *reported* against the
+//! ground-truth kernel series (the paper's Figure 5 methodology: a
+//! zero-cost kernel-module probe records the actual values at fine
+//! granularity; each scheme's reports are compared against it).
+
+use fgmon_sim::Recorder;
+use fgmon_types::{NodeId, Scheme};
+
+/// Metrics whose accuracy the experiments analyze.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccuracyMetric {
+    /// Number of threads running on the server (Fig. 5a).
+    NThreads,
+    /// Load on the CPU (Fig. 5b).
+    CpuUtil,
+    /// Instantaneous run-queue depth.
+    RunQueue,
+    /// Pending interrupts (Fig. 6).
+    PendingIrqs,
+}
+
+impl AccuracyMetric {
+    pub fn key(self) -> &'static str {
+        match self {
+            AccuracyMetric::NThreads => "nthreads",
+            AccuracyMetric::CpuUtil => "cpu_util",
+            AccuracyMetric::RunQueue => "run_queue",
+            AccuracyMetric::PendingIrqs => "pending_irqs",
+        }
+    }
+}
+
+/// Mean absolute deviation of `scheme`'s reported series for `metric` on
+/// `node`, against the ground-truth probe. Returns `None` when either
+/// series is missing (e.g. series recording disabled).
+pub fn mean_deviation(
+    recorder: &Recorder,
+    scheme: Scheme,
+    node: NodeId,
+    metric: AccuracyMetric,
+) -> Option<f64> {
+    let reported = recorder.get_series(&format!("mon/{}/{node}/{}", scheme.label(), metric.key()))?;
+    let truth = recorder.get_series(&format!("gt/{node}/{}", metric.key()))?;
+    if reported.is_empty() || truth.is_empty() {
+        return None;
+    }
+    Some(reported.mean_abs_deviation_from(truth))
+}
+
+/// Mean of a scheme's reported series (used for the Fig. 6 comparison,
+/// where what matters is *how many* interrupts each scheme sees at all).
+pub fn mean_reported(
+    recorder: &Recorder,
+    scheme: Scheme,
+    node: NodeId,
+    metric: AccuracyMetric,
+) -> Option<f64> {
+    let reported = recorder.get_series(&format!("mon/{}/{node}/{}", scheme.label(), metric.key()))?;
+    if reported.is_empty() {
+        return None;
+    }
+    Some(reported.mean())
+}
+
+/// Summary of one scheme's monitoring quality over a run.
+#[derive(Clone, Copy, Debug)]
+pub struct SchemeQuality {
+    pub scheme: Scheme,
+    pub latency_mean_us: f64,
+    pub latency_max_us: f64,
+    pub staleness_mean_ms: f64,
+    pub staleness_max_ms: f64,
+}
+
+/// Extract latency/staleness for a scheme from the recorder.
+pub fn scheme_quality(recorder: &Recorder, scheme: Scheme) -> Option<SchemeQuality> {
+    let lat = recorder.get_histogram(&format!("mon/latency/{}", scheme.label()))?;
+    let stale = recorder.get_histogram(&format!("mon/staleness/{}", scheme.label()))?;
+    Some(SchemeQuality {
+        scheme,
+        latency_mean_us: lat.mean() / 1e3,
+        latency_max_us: lat.max() as f64 / 1e3,
+        staleness_mean_ms: stale.mean() / 1e6,
+        staleness_max_ms: stale.max() as f64 / 1e6,
+    })
+}

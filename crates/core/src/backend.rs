@@ -1,0 +1,415 @@
+//! Back-end side of the five monitoring schemes (paper §3, Figs. 1–2).
+//!
+//! | Scheme        | Threads on the back-end | Export mechanism |
+//! |---------------|-------------------------|------------------|
+//! | Socket-Async  | calc thread + reporter thread | socket reply from shared buffer |
+//! | Socket-Sync   | reporter thread (computes per request) | socket reply |
+//! | RDMA-Async    | calc thread             | registered user buffer |
+//! | RDMA-Sync     | **none**                | registered kernel memory |
+//! | e-RDMA-Sync   | **none**                | registered kernel memory + `irq_stat` |
+//! | Mcast-Push    | calc thread             | hardware multicast status frames |
+
+use fgmon_os::{OsApi, Service};
+use fgmon_sim::{SimDuration, SimTime};
+use fgmon_types::{
+    ConnId, LoadSnapshot, McastGroup, MonitorConfig, NodeId, Payload, RdmaResult, RegionId,
+    Scheme, ThreadId,
+};
+
+/// Tokens used by backend threads.
+const TOK_CALC_DONE: u64 = 0xBAC0_0001;
+const TOK_CALC_WAKE: u64 = 0xBAC0_0002;
+const TOK_SYNC_DONE: u64 = 0xBAC0_0003;
+const TOK_PUSH_DONE: u64 = 0xBAC0_0004;
+const TOK_PUSH_WAKE: u64 = 0xBAC0_0005;
+
+/// Configuration shared by the backend services.
+#[derive(Clone, Copy, Debug)]
+pub struct BackendConfig {
+    /// Calc-thread refresh interval `T` (async schemes).
+    pub calc_interval: SimDuration,
+    /// Expose `irq_stat` to the user-space schemes through the helper
+    /// kernel module (the paper's Fig. 6 experiment setup).
+    pub via_kernel_module: bool,
+    /// Multicast group for the multicast-push extension.
+    pub mcast_group: McastGroup,
+    /// Target of the RDMA-write-push extension: the front-end node and
+    /// the buffer registered there for this back-end.
+    pub push_target: Option<(NodeId, RegionId)>,
+}
+
+impl Default for BackendConfig {
+    fn default() -> Self {
+        BackendConfig {
+            calc_interval: SimDuration::from_millis(50),
+            via_kernel_module: false,
+            mcast_group: McastGroup(0),
+            push_target: None,
+        }
+    }
+}
+
+impl BackendConfig {
+    pub fn from_monitor(cfg: &MonitorConfig) -> Self {
+        BackendConfig {
+            calc_interval: cfg.calc_interval,
+            via_kernel_module: cfg.want_detail,
+            ..BackendConfig::default()
+        }
+    }
+}
+
+/// Build the backend service for `scheme`. Returns `None` for the
+/// RDMA-Sync family *only if* kernel registration is handled elsewhere —
+/// it never is, so this always returns a service; the RDMA-Sync service
+/// merely registers memory at boot and then does nothing, which is the
+/// paper's whole point.
+pub fn make_backend(scheme: Scheme, cfg: BackendConfig) -> Box<dyn Service> {
+    match scheme {
+        Scheme::SocketAsync => Box::new(SocketBackend::new(cfg, false)),
+        Scheme::SocketSync => Box::new(SocketBackend::new(cfg, true)),
+        Scheme::RdmaAsync => Box::new(RdmaAsyncBackend::new(cfg)),
+        Scheme::RdmaSync => Box::new(RdmaSyncBackend::new(cfg.via_kernel_module)),
+        Scheme::ERdmaSync => Box::new(RdmaSyncBackend::new(true)),
+        Scheme::McastPush => Box::new(McastPushBackend::new(cfg)),
+        Scheme::RdmaWritePush => Box::new(RdmaWritePushBackend::new(cfg)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Sockets-based back-end (paper Fig. 1).
+///
+/// Asynchronous mode runs the *load-calculating thread* (Steps 1–4: read
+/// `/proc`, compute, copy to the known memory location, sleep `T`) plus the
+/// *load-reporting thread* (Steps a–c). Synchronous mode runs only the
+/// reporting thread, which reads `/proc` for every request (Steps 1–5 of
+/// Fig. 1b).
+pub struct SocketBackend {
+    cfg: BackendConfig,
+    sync: bool,
+    calc_tid: Option<ThreadId>,
+    report_tid: Option<ThreadId>,
+    /// The "known memory location" the async calc thread refreshes.
+    shared: Option<LoadSnapshot>,
+    /// Requests whose `/proc` scan is in flight (sync mode).
+    pending: std::collections::VecDeque<ConnId>,
+    /// Connections to listen on (set before boot by the cluster builder).
+    pub conns: Vec<ConnId>,
+    /// Statistics.
+    pub requests_served: u64,
+    pub calc_rounds: u64,
+}
+
+impl SocketBackend {
+    pub fn new(cfg: BackendConfig, sync: bool) -> Self {
+        SocketBackend {
+            cfg,
+            sync,
+            calc_tid: None,
+            report_tid: None,
+            shared: None,
+            pending: std::collections::VecDeque::new(),
+            conns: Vec::new(),
+            requests_served: 0,
+            calc_rounds: 0,
+        }
+    }
+
+    pub fn shared_snapshot(&self) -> Option<&LoadSnapshot> {
+        self.shared.as_ref()
+    }
+
+    fn start_calc_round(&mut self, tid: ThreadId, os: &mut OsApi<'_, '_>) {
+        let cost = os.proc_read_cost() + os.load_calc_cost();
+        os.burst(tid, cost, TOK_CALC_DONE);
+    }
+}
+
+impl Service for SocketBackend {
+    fn name(&self) -> &'static str {
+        if self.sync {
+            "socket-sync-backend"
+        } else {
+            "socket-async-backend"
+        }
+    }
+
+    fn on_start(&mut self, os: &mut OsApi<'_, '_>) {
+        let report = os.spawn_thread("mon-report");
+        self.report_tid = Some(report);
+        for &c in &self.conns {
+            os.listen_thread(c, report);
+        }
+        if !self.sync {
+            let calc = os.spawn_thread("mon-calc");
+            self.calc_tid = Some(calc);
+            self.start_calc_round(calc, os);
+        }
+    }
+
+    fn on_burst_done(&mut self, tid: ThreadId, token: u64, os: &mut OsApi<'_, '_>) {
+        match token {
+            TOK_CALC_DONE => {
+                // Steps 3–4 of Fig. 1a: values land in the shared location,
+                // then the calc thread sleeps for interval T.
+                self.shared = Some(os.proc_snapshot(self.cfg.via_kernel_module));
+                self.calc_rounds += 1;
+                os.sleep(tid, self.cfg.calc_interval, TOK_CALC_WAKE);
+            }
+            TOK_SYNC_DONE => {
+                // Step 5 of Fig. 1b: reply with the freshly computed load.
+                let snap = os.proc_snapshot(self.cfg.via_kernel_module);
+                if let Some(conn) = self.pending.pop_front() {
+                    self.requests_served += 1;
+                    os.send(tid, conn, Payload::MonitorReply { snap });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_wake(&mut self, tid: ThreadId, token: u64, os: &mut OsApi<'_, '_>) {
+        if token == TOK_CALC_WAKE {
+            self.start_calc_round(tid, os);
+        }
+    }
+
+    fn on_packet(
+        &mut self,
+        tid: Option<ThreadId>,
+        conn: ConnId,
+        _size: u32,
+        payload: Payload,
+        os: &mut OsApi<'_, '_>,
+    ) {
+        let Payload::MonitorRequest { .. } = payload else {
+            return;
+        };
+        let tid = tid.expect("backend listener is threaded");
+        if self.sync {
+            // Fig. 1b: compute the load now, reply when done.
+            self.pending.push_back(conn);
+            let cost = os.proc_read_cost() + os.load_calc_cost();
+            os.burst(tid, cost, TOK_SYNC_DONE);
+        } else {
+            // Fig. 1a Steps b–c: read the shared location and reply.
+            self.requests_served += 1;
+            let snap = self
+                .shared
+                .unwrap_or_else(|| LoadSnapshot {
+                    measured_at: SimTime::ZERO,
+                    ..LoadSnapshot::zero()
+                });
+            os.send(tid, conn, Payload::MonitorReply { snap });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// RDMA-Async back-end (paper Fig. 2a): a calc thread refreshes a
+/// registered user-space buffer every interval `T`; the front-end pulls it
+/// with one-sided reads.
+pub struct RdmaAsyncBackend {
+    cfg: BackendConfig,
+    calc_tid: Option<ThreadId>,
+    pub region: Option<RegionId>,
+    pub calc_rounds: u64,
+}
+
+impl RdmaAsyncBackend {
+    pub fn new(cfg: BackendConfig) -> Self {
+        RdmaAsyncBackend {
+            cfg,
+            calc_tid: None,
+            region: None,
+            calc_rounds: 0,
+        }
+    }
+}
+
+impl Service for RdmaAsyncBackend {
+    fn name(&self) -> &'static str {
+        "rdma-async-backend"
+    }
+
+    fn on_start(&mut self, os: &mut OsApi<'_, '_>) {
+        // Registered once; exported read-only to remote peers.
+        self.region = Some(os.register_user_region(false));
+        let calc = os.spawn_thread("mon-calc");
+        self.calc_tid = Some(calc);
+        let cost = os.proc_read_cost() + os.load_calc_cost();
+        os.burst(calc, cost, TOK_CALC_DONE);
+    }
+
+    fn on_burst_done(&mut self, tid: ThreadId, token: u64, os: &mut OsApi<'_, '_>) {
+        if token == TOK_CALC_DONE {
+            let snap = os.proc_snapshot(self.cfg.via_kernel_module);
+            if let Some(region) = self.region {
+                os.write_user_region(region, snap);
+            }
+            self.calc_rounds += 1;
+            os.sleep(tid, self.cfg.calc_interval, TOK_CALC_WAKE);
+        }
+    }
+
+    fn on_wake(&mut self, tid: ThreadId, token: u64, os: &mut OsApi<'_, '_>) {
+        if token == TOK_CALC_WAKE {
+            let cost = os.proc_read_cost() + os.load_calc_cost();
+            os.burst(tid, cost, TOK_CALC_DONE);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// RDMA-Sync / e-RDMA-Sync back-end (paper Fig. 2b): registers the kernel
+/// data structures holding resource usage and then **does nothing** — no
+/// thread, no CPU, ever. `detail` additionally registers `irq_stat`
+/// (e-RDMA-Sync).
+pub struct RdmaSyncBackend {
+    detail: bool,
+    pub region: Option<RegionId>,
+}
+
+impl RdmaSyncBackend {
+    pub fn new(detail: bool) -> Self {
+        RdmaSyncBackend {
+            detail,
+            region: None,
+        }
+    }
+}
+
+impl Service for RdmaSyncBackend {
+    fn name(&self) -> &'static str {
+        if self.detail {
+            "e-rdma-sync-backend"
+        } else {
+            "rdma-sync-backend"
+        }
+    }
+
+    fn on_start(&mut self, os: &mut OsApi<'_, '_>) {
+        self.region = Some(os.register_kernel_region(self.detail));
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Multicast-push extension (paper §6): the back-end periodically computes
+/// its load and pushes it to a hardware multicast group. Channel
+/// semantics, so the back-end CPU is involved again — the ablation shows
+/// what one-sidedness buys.
+pub struct McastPushBackend {
+    cfg: BackendConfig,
+    tid: Option<ThreadId>,
+    pub pushes: u64,
+}
+
+impl McastPushBackend {
+    pub fn new(cfg: BackendConfig) -> Self {
+        McastPushBackend {
+            cfg,
+            tid: None,
+            pushes: 0,
+        }
+    }
+}
+
+impl Service for McastPushBackend {
+    fn name(&self) -> &'static str {
+        "mcast-push-backend"
+    }
+
+    fn on_start(&mut self, os: &mut OsApi<'_, '_>) {
+        let tid = os.spawn_thread("mon-push");
+        self.tid = Some(tid);
+        let cost = os.proc_read_cost() + os.load_calc_cost();
+        os.burst(tid, cost, TOK_PUSH_DONE);
+    }
+
+    fn on_burst_done(&mut self, tid: ThreadId, token: u64, os: &mut OsApi<'_, '_>) {
+        if token == TOK_PUSH_DONE {
+            let snap = os.proc_snapshot(self.cfg.via_kernel_module);
+            let origin = os.node();
+            self.pushes += 1;
+            os.mcast_send(tid, self.cfg.mcast_group, Payload::StatusPush { origin, snap });
+            os.sleep(tid, self.cfg.calc_interval, TOK_PUSH_WAKE);
+        }
+    }
+
+    fn on_wake(&mut self, tid: ThreadId, token: u64, os: &mut OsApi<'_, '_>) {
+        if token == TOK_PUSH_WAKE {
+            let cost = os.proc_read_cost() + os.load_calc_cost();
+            os.burst(tid, cost, TOK_PUSH_DONE);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// RDMA-write-push extension (the authors' earlier RAIT'04 dissemination
+/// design): the back-end periodically computes its load and posts a
+/// one-sided RDMA **write** into a buffer registered on the front-end.
+/// The back-end pays calc + post CPU; the *front-end* side is entirely
+/// passive — it reads local memory.
+pub struct RdmaWritePushBackend {
+    cfg: BackendConfig,
+    tid: Option<ThreadId>,
+    pub pushes: u64,
+    pub write_acks: u64,
+    pub write_denied: u64,
+}
+
+impl RdmaWritePushBackend {
+    pub fn new(cfg: BackendConfig) -> Self {
+        RdmaWritePushBackend {
+            cfg,
+            tid: None,
+            pushes: 0,
+            write_acks: 0,
+            write_denied: 0,
+        }
+    }
+}
+
+impl Service for RdmaWritePushBackend {
+    fn name(&self) -> &'static str {
+        "rdma-write-push-backend"
+    }
+
+    fn on_start(&mut self, os: &mut OsApi<'_, '_>) {
+        let tid = os.spawn_thread("mon-wpush");
+        self.tid = Some(tid);
+        let cost = os.proc_read_cost() + os.load_calc_cost();
+        os.burst(tid, cost, TOK_PUSH_DONE);
+    }
+
+    fn on_burst_done(&mut self, tid: ThreadId, token: u64, os: &mut OsApi<'_, '_>) {
+        if token == TOK_PUSH_DONE {
+            let snap = os.proc_snapshot(self.cfg.via_kernel_module);
+            if let Some((fe, region)) = self.cfg.push_target {
+                self.pushes += 1;
+                os.rdma_write(fe, region, snap, TOK_PUSH_DONE);
+            }
+            os.sleep(tid, self.cfg.calc_interval, TOK_PUSH_WAKE);
+        }
+    }
+
+    fn on_wake(&mut self, tid: ThreadId, token: u64, os: &mut OsApi<'_, '_>) {
+        if token == TOK_PUSH_WAKE {
+            let cost = os.proc_read_cost() + os.load_calc_cost();
+            os.burst(tid, cost, TOK_PUSH_DONE);
+        }
+    }
+
+    fn on_rdma_complete(&mut self, _token: u64, result: RdmaResult, _os: &mut OsApi<'_, '_>) {
+        match result {
+            RdmaResult::WriteOk => self.write_acks += 1,
+            RdmaResult::AccessDenied => self.write_denied += 1,
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Front-end side: the monitoring client that pulls (or receives) load
+//! information from every back-end.
+//!
+//! [`MonitorClient`] is a *component*, not a service: the standalone
+//! micro-benchmark poller ([`crate::frontend::MonitorFrontendService`])
+//! and the load-balancing dispatcher both embed one and forward their OS
+//! callbacks to it. This mirrors the paper's architecture, where the
+//! front-end monitoring process feeds whatever policy consumes the load
+//! information.
+//!
+//! Polling is *pipelined*: the front-end fires a request every interval
+//! regardless of whether earlier ones have been answered (bounded by
+//! [`MonitorClient::max_outstanding`], the socket-buffer budget). An
+//! overloaded back-end therefore accumulates a backlog of monitoring work
+//! — the mechanism behind the paper's Figs. 3 and 8 degradations.
+//!
+//! Accuracy bookkeeping follows the paper's Fig. 5 semantics: a reply
+//! stands in for the load "when the front-end asked", so reported-value
+//! series are timestamped at *request* time. A slow capture path then
+//! shows up directly as deviation from the ground-truth series.
+
+use std::collections::{HashMap, VecDeque};
+
+use fgmon_os::OsApi;
+use fgmon_sim::SimTime;
+use fgmon_types::{
+    ConnId, LoadSnapshot, McastGroup, NodeId, Payload, RdmaResult, RegionData, RegionId, Scheme,
+};
+
+/// Token namespace for this component's RDMA work requests:
+/// `BASE | idx << 32 | seq`.
+pub const MON_TOKEN_BASE: u64 = 0x4D4F_4E00_0000_0000;
+const MON_TOKEN_MASK: u64 = 0xFFFF_FF00_0000_0000;
+
+/// How the front-end reaches one back-end.
+#[derive(Clone, Copy, Debug)]
+pub struct BackendHandle {
+    pub node: NodeId,
+    /// Socket connection (socket schemes).
+    pub conn: Option<ConnId>,
+    /// Registered region (RDMA schemes).
+    pub region: Option<RegionId>,
+}
+
+/// The front-end's current knowledge about one back-end.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BackendView {
+    pub latest: Option<LoadSnapshot>,
+    pub received_at: Option<SimTime>,
+    /// Requests currently in flight.
+    pub outstanding: u32,
+    pub polls: u64,
+    pub replies: u64,
+    /// Poll rounds skipped because the in-flight budget was exhausted.
+    pub skipped: u64,
+    pub denied: u64,
+}
+
+impl BackendView {
+    /// Age of the information at `now`, measured from when the *back-end*
+    /// produced it (staleness the dispatcher actually suffers).
+    pub fn info_age(&self, now: SimTime) -> Option<fgmon_sim::SimDuration> {
+        self.latest.map(|s| now.since(s.measured_at))
+    }
+}
+
+/// Per-backend in-flight tracking (socket replies are FIFO per
+/// connection; RDMA completions carry their sequence in the token).
+#[derive(Default)]
+struct Inflight {
+    socket_fifo: VecDeque<SimTime>,
+    rdma: HashMap<u32, SimTime>,
+    next_seq: u32,
+}
+
+impl Inflight {
+    fn count(&self) -> usize {
+        self.socket_fifo.len() + self.rdma.len()
+    }
+}
+
+/// Pull/receive load information from a set of back-ends using one scheme.
+pub struct MonitorClient {
+    scheme: Scheme,
+    want_detail: bool,
+    backends: Vec<BackendHandle>,
+    views: Vec<BackendView>,
+    inflight: Vec<Inflight>,
+    conn_to_idx: HashMap<ConnId, usize>,
+    node_to_idx: HashMap<NodeId, usize>,
+    mcast_group: McastGroup,
+    /// Local buffers the back-ends push into (RDMA-write-push scheme),
+    /// indexed by backend; registered in [`MonitorClient::start`].
+    local_regions: Vec<Option<RegionId>>,
+    /// In-flight request budget per back-end (socket-buffer model).
+    pub max_outstanding: usize,
+    /// Push per-backend reported-value series into the recorder (accuracy
+    /// experiments); off by default to keep large runs lean.
+    pub record_series: bool,
+}
+
+impl MonitorClient {
+    pub fn new(scheme: Scheme, want_detail: bool, backends: Vec<BackendHandle>) -> Self {
+        let views = vec![BackendView::default(); backends.len()];
+        let inflight = backends.iter().map(|_| Inflight::default()).collect();
+        let conn_to_idx = backends
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.conn.map(|c| (c, i)))
+            .collect();
+        let node_to_idx = backends
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b.node, i))
+            .collect();
+        MonitorClient {
+            scheme,
+            want_detail,
+            backends,
+            views,
+            inflight,
+            conn_to_idx,
+            node_to_idx,
+            mcast_group: McastGroup(0),
+            local_regions: Vec::new(),
+            max_outstanding: 16,
+            record_series: false,
+        }
+    }
+
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    pub fn backend_count(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// Node id of the i-th backend.
+    pub fn backend_node(&self, idx: usize) -> NodeId {
+        self.backends[idx].node
+    }
+
+    pub fn views(&self) -> &[BackendView] {
+        &self.views
+    }
+
+    pub fn view_of(&self, node: NodeId) -> Option<&BackendView> {
+        self.node_to_idx.get(&node).map(|&i| &self.views[i])
+    }
+
+    /// Wire up listening state. Call from the embedding service's
+    /// `on_start`.
+    ///
+    /// For the RDMA-write-push scheme this registers one writable local
+    /// buffer per back-end, in backend order — the builder convention the
+    /// back-ends' `push_target` configuration relies on.
+    pub fn start(&mut self, os: &mut OsApi<'_, '_>) {
+        for b in &self.backends {
+            if let Some(conn) = b.conn {
+                os.listen_direct(conn);
+            }
+        }
+        if self.scheme == Scheme::McastPush {
+            os.subscribe_mcast(self.mcast_group);
+        }
+        if self.scheme == Scheme::RdmaWritePush {
+            self.local_regions = (0..self.backends.len())
+                .map(|_| Some(os.register_user_region(true)))
+                .collect();
+        }
+    }
+
+    /// The local buffer registered for the i-th backend (push scheme).
+    pub fn local_region(&self, idx: usize) -> Option<RegionId> {
+        self.local_regions.get(idx).copied().flatten()
+    }
+
+    /// Issue one round of load requests (no-op for the push scheme).
+    ///
+    /// Requests pipeline: a new one is fired even while earlier ones are
+    /// outstanding, up to [`MonitorClient::max_outstanding`].
+    pub fn poll_all(&mut self, os: &mut OsApi<'_, '_>) {
+        if self.scheme == Scheme::McastPush {
+            return;
+        }
+        if self.scheme == Scheme::RdmaWritePush {
+            // The back-ends push into our local buffers; a poll round is a
+            // free local-memory read of each.
+            for idx in 0..self.backends.len() {
+                let Some(region) = self.local_region(idx) else {
+                    continue;
+                };
+                if let Some(snap) = os.read_local_region(region) {
+                    let fresh = self.views[idx]
+                        .latest
+                        .map(|old| old.measured_at != snap.measured_at)
+                        .unwrap_or(true);
+                    if fresh {
+                        self.accept(idx, snap, None, os);
+                    }
+                }
+            }
+            return;
+        }
+        let now = os.now();
+        for idx in 0..self.backends.len() {
+            if self.inflight[idx].count() >= self.max_outstanding {
+                self.views[idx].skipped += 1;
+                continue;
+            }
+            self.views[idx].polls += 1;
+            let b = self.backends[idx];
+            if self.scheme.is_one_sided() {
+                let region = b.region.expect("RDMA scheme needs a region");
+                let seq = self.inflight[idx].next_seq;
+                self.inflight[idx].next_seq = seq.wrapping_add(1);
+                self.inflight[idx].rdma.insert(seq, now);
+                let token = MON_TOKEN_BASE | ((idx as u64) << 32) | seq as u64;
+                os.rdma_read(b.node, region, token);
+            } else {
+                let conn = b.conn.expect("socket scheme needs a connection");
+                self.inflight[idx].socket_fifo.push_back(now);
+                os.send_direct(
+                    conn,
+                    Payload::MonitorRequest {
+                        scheme: self.scheme,
+                        want_detail: self.want_detail,
+                    },
+                );
+            }
+            self.views[idx].outstanding = self.inflight[idx].count() as u32;
+        }
+    }
+
+    fn accept(
+        &mut self,
+        idx: usize,
+        snap: LoadSnapshot,
+        sent: Option<SimTime>,
+        os: &mut OsApi<'_, '_>,
+    ) {
+        let now = os.now();
+        let label = self.scheme.label();
+        if let Some(sent) = sent {
+            os.recorder()
+                .histogram(&format!("mon/latency/{label}"))
+                .record(now.since(sent).nanos());
+        }
+        os.recorder()
+            .histogram(&format!("mon/staleness/{label}"))
+            .record(now.since(snap.measured_at).nanos());
+        if self.record_series {
+            // Fig. 5 semantics: the reply answers "what was the load when I
+            // asked" — timestamp reported values at request time.
+            let at = sent.unwrap_or(now);
+            let node = self.backends[idx].node;
+            let r = os.recorder();
+            r.series(&format!("mon/{label}/{node}/nthreads"))
+                .push(at, snap.nthreads as f64);
+            r.series(&format!("mon/{label}/{node}/cpu_util"))
+                .push(at, snap.cpu_util);
+            r.series(&format!("mon/{label}/{node}/run_queue"))
+                .push(at, snap.run_queue as f64);
+            r.series(&format!("mon/{label}/{node}/pending_irqs"))
+                .push(at, snap.pending_irqs_total() as f64);
+            for (cpu, &p) in snap.pending_irqs.iter().enumerate().take(2) {
+                r.series(&format!("mon/{label}/{node}/pending_irqs_cpu{cpu}"))
+                    .push(at, p as f64);
+            }
+            for (cpu, &t) in snap.irq_total.iter().enumerate().take(2) {
+                r.series(&format!("mon/{label}/{node}/irq_total_cpu{cpu}"))
+                    .push(at, t as f64);
+            }
+        }
+        self.views[idx].latest = Some(snap);
+        self.views[idx].received_at = Some(now);
+        self.views[idx].replies += 1;
+        self.views[idx].outstanding = self.inflight[idx].count() as u32;
+    }
+
+    /// Feed a packet; returns true when consumed.
+    pub fn on_packet(&mut self, conn: ConnId, payload: &Payload, os: &mut OsApi<'_, '_>) -> bool {
+        let Payload::MonitorReply { snap } = payload else {
+            return false;
+        };
+        let Some(&idx) = self.conn_to_idx.get(&conn) else {
+            return false;
+        };
+        let sent = self.inflight[idx].socket_fifo.pop_front();
+        self.accept(idx, *snap, sent, os);
+        true
+    }
+
+    /// Feed an RDMA completion; returns true when consumed.
+    pub fn on_rdma_complete(
+        &mut self,
+        token: u64,
+        result: &RdmaResult,
+        os: &mut OsApi<'_, '_>,
+    ) -> bool {
+        if token & MON_TOKEN_MASK != MON_TOKEN_BASE {
+            return false;
+        }
+        let idx = ((token >> 32) & 0xFF) as usize;
+        if idx >= self.backends.len() {
+            return false;
+        }
+        let seq = (token & 0xFFFF_FFFF) as u32;
+        let sent = self.inflight[idx].rdma.remove(&seq);
+        match result {
+            RdmaResult::ReadOk(RegionData::Snapshot(snap)) => {
+                self.accept(idx, *snap, sent, os);
+            }
+            RdmaResult::AccessDenied => {
+                self.views[idx].denied += 1;
+                self.views[idx].outstanding = self.inflight[idx].count() as u32;
+            }
+            _ => {
+                self.views[idx].outstanding = self.inflight[idx].count() as u32;
+            }
+        }
+        true
+    }
+
+    /// Feed a multicast status push; returns true when consumed.
+    pub fn on_mcast(&mut self, payload: &Payload, os: &mut OsApi<'_, '_>) -> bool {
+        let Payload::StatusPush { origin, snap } = payload else {
+            return false;
+        };
+        let Some(&idx) = self.node_to_idx.get(origin) else {
+            return false;
+        };
+        self.accept(idx, *snap, None, os);
+        true
+    }
+}

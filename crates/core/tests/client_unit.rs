@@ -1,0 +1,139 @@
+//! Focused tests of the `MonitorClient` front-end component: pipelining
+//! budget, denial handling, and view bookkeeping.
+
+use fgmon_core::{BackendHandle, MonitorFrontendService};
+use fgmon_net::Fabric;
+use fgmon_os::{NodeActor, OsApi, OsCore, Service};
+use fgmon_sim::{DetRng, Engine, SimDuration, SimTime};
+use fgmon_types::{
+    Msg, NetConfig, NodeId, NodeMsg, OsConfig, RegionId, Scheme, ServiceSlot, ThreadId,
+};
+
+/// Back-end that registers nothing (all reads denied) or occupies the CPU
+/// fully so socket replies stall.
+struct StubBackend {
+    register: bool,
+    hogs: u32,
+}
+
+impl Service for StubBackend {
+    fn name(&self) -> &'static str {
+        "stub"
+    }
+    fn on_start(&mut self, os: &mut OsApi<'_, '_>) {
+        if self.register {
+            os.register_kernel_region(false);
+        }
+        for _ in 0..self.hogs {
+            let tid = os.spawn_thread("hog");
+            os.burst(tid, SimDuration::from_secs(60), 1);
+        }
+    }
+    fn on_burst_done(&mut self, tid: ThreadId, _t: u64, os: &mut OsApi<'_, '_>) {
+        os.burst(tid, SimDuration::from_secs(60), 1);
+    }
+}
+
+fn mini_world(
+    scheme: Scheme,
+    register: bool,
+    hogs: u32,
+    poll: SimDuration,
+) -> (Engine<Msg>, fgmon_sim::ActorId) {
+    let mut eng: Engine<Msg> = Engine::new();
+    let fabric_id = eng.reserve_actor();
+    let fe = eng.reserve_actor();
+    let be = eng.reserve_actor();
+    let mut fabric = Fabric::new(NetConfig::default(), vec![fe, be]);
+    let conn = fabric.add_conn(NodeId(0), ServiceSlot(0), NodeId(1), ServiceSlot(0));
+    eng.install(fabric_id, Box::new(fabric));
+
+    let mut be_node = NodeActor::new(OsCore::new(
+        NodeId(1),
+        OsConfig::default(),
+        fabric_id,
+        be,
+        DetRng::new(1),
+    ));
+    be_node.add_service(Box::new(StubBackend { register, hogs }));
+    eng.install(be, Box::new(be_node));
+
+    let mut fe_node = NodeActor::new(OsCore::new(
+        NodeId(0),
+        OsConfig::frontend(),
+        fabric_id,
+        fe,
+        DetRng::new(2),
+    ));
+    fe_node.add_service(Box::new(MonitorFrontendService::new(
+        scheme,
+        false,
+        poll,
+        vec![BackendHandle {
+            node: NodeId(1),
+            conn: Some(conn),
+            region: Some(RegionId(0)),
+        }],
+    )));
+    eng.install(fe, Box::new(fe_node));
+    eng.schedule(SimTime::ZERO, fe, Msg::Node(NodeMsg::Boot));
+    eng.schedule(SimTime::ZERO, be, Msg::Node(NodeMsg::Boot));
+    (eng, fe)
+}
+
+#[test]
+fn denied_reads_are_counted_not_accepted() {
+    // The backend registers no region: every RDMA read is denied.
+    let (mut eng, fe) = mini_world(Scheme::RdmaSync, false, 0, SimDuration::from_millis(10));
+    eng.run_until(SimTime(SimDuration::from_secs(1).nanos()));
+    let actor = eng.actor::<NodeActor>(fe).unwrap();
+    let svc = actor
+        .service::<MonitorFrontendService>(ServiceSlot(0))
+        .unwrap();
+    let view = &svc.client.views()[0];
+    assert!(view.denied >= 90, "denied {}", view.denied);
+    assert_eq!(view.replies, 0);
+    assert!(view.latest.is_none());
+    // Denials release the in-flight budget: polls keep flowing.
+    assert!(view.polls >= 90, "polls {}", view.polls);
+}
+
+#[test]
+fn pipelining_respects_the_outstanding_budget() {
+    // Socket scheme against a CPU-saturated, listener-less backend: the
+    // stub never answers MonitorRequests, so requests pile up until the
+    // budget (16) is reached, then every round is a skip.
+    let (mut eng, fe) = mini_world(Scheme::SocketSync, false, 2, SimDuration::from_millis(5));
+    eng.run_until(SimTime(SimDuration::from_secs(2).nanos()));
+    let actor = eng.actor::<NodeActor>(fe).unwrap();
+    let svc = actor
+        .service::<MonitorFrontendService>(ServiceSlot(0))
+        .unwrap();
+    let view = &svc.client.views()[0];
+    assert_eq!(view.polls, 16, "exactly the budget gets posted");
+    assert_eq!(view.outstanding, 16);
+    assert!(view.skipped > 300, "skipped {}", view.skipped);
+    assert_eq!(view.replies, 0);
+}
+
+#[test]
+fn info_age_tracks_measurement_time() {
+    let (mut eng, fe) = mini_world(Scheme::RdmaSync, true, 0, SimDuration::from_millis(50));
+    eng.run_until(SimTime(SimDuration::from_secs(1).nanos()));
+    let actor = eng.actor::<NodeActor>(fe).unwrap();
+    let svc = actor
+        .service::<MonitorFrontendService>(ServiceSlot(0))
+        .unwrap();
+    let view = svc.client.view_of(NodeId(1)).expect("view exists");
+    let snap = view.latest.expect("snapshot");
+    // RDMA-Sync measures in place: measured_at == the read instant, so
+    // the age at receive time is just the NIC+wire tail of the RTT.
+    let at_receive = view.received_at.unwrap();
+    let age = at_receive.since(snap.measured_at);
+    assert!(age < SimDuration::from_micros(50), "age {age}");
+    // And ages out as time passes without polls.
+    let age_later = view.info_age(SimTime(SimDuration::from_secs(5).nanos())).unwrap();
+    assert!(age_later > SimDuration::from_secs(3));
+    assert_eq!(svc.client.backend_node(0), NodeId(1));
+    assert_eq!(svc.client.backend_count(), 1);
+}

@@ -1,0 +1,15 @@
+//! # fgmon-ganglia — Ganglia-like distributed cluster monitoring
+//!
+//! A simulation of the Ganglia monitoring system the paper evaluates with
+//! (§5.2.2): per-node [`Gmond`] daemons that periodically collect local
+//! metrics and multicast them to the cluster, plus the
+//! [`GmetricPublisher`] front-end driver that injects fine-grained load
+//! metrics captured through any of the five monitoring schemes.
+
+pub mod gmetad;
+pub mod gmond;
+pub mod publisher;
+
+pub use gmetad::{Gmetad, MetricAggregate};
+pub use gmond::{Gmond, MetricSample, GANGLIA_GROUP};
+pub use publisher::GmetricPublisher;

@@ -1,0 +1,314 @@
+//! The cluster fabric: a non-blocking switch connecting every node's HCA.
+//!
+//! Models the two transport families of the paper's §2:
+//!
+//! * **Channel semantics** (sockets over IPoIB): frames pay wire +
+//!   serialization latency, then hit the destination NIC and take the full
+//!   interrupt + protocol + scheduling path on the remote host.
+//! * **Memory semantics** (RDMA read/write): the initiator posts a work
+//!   request; the *target NIC* serves it against a registered region with
+//!   no target-CPU involvement; the completion travels back and is picked
+//!   up by the initiator's completion-queue poll.
+//!
+//! Hardware multicast (paper §6) replicates a frame to every subscriber
+//! with a small per-destination fan-out cost.
+
+use std::collections::HashMap;
+
+use fgmon_sim::{Actor, ActorId, Ctx, SimDuration, SimTime};
+use fgmon_types::{
+    ConnId, McastGroup, Msg, NetConfig, NetMsg, NodeId, NodeMsg, Payload, ServiceSlot,
+};
+
+/// One registered point-to-point connection.
+#[derive(Clone, Copy, Debug)]
+pub struct ConnEntry {
+    pub a: NodeId,
+    pub svc_a: ServiceSlot,
+    pub b: NodeId,
+    pub svc_b: ServiceSlot,
+}
+
+/// Fabric statistics (observable by harnesses).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FabricStats {
+    pub socket_frames: u64,
+    pub socket_bytes: u64,
+    pub rdma_reads: u64,
+    pub rdma_writes: u64,
+    pub mcast_frames: u64,
+    pub dropped: u64,
+}
+
+/// The switch + wires actor.
+pub struct Fabric {
+    cfg: NetConfig,
+    /// `node_actors[node.index()]` = engine id of that node's actor.
+    node_actors: Vec<ActorId>,
+    conns: Vec<ConnEntry>,
+    mcast: HashMap<McastGroup, Vec<NodeId>>,
+    pub stats: FabricStats,
+}
+
+impl Fabric {
+    pub fn new(cfg: NetConfig, node_actors: Vec<ActorId>) -> Self {
+        Fabric {
+            cfg,
+            node_actors,
+            conns: Vec::new(),
+            mcast: HashMap::new(),
+            stats: FabricStats::default(),
+        }
+    }
+
+    pub fn cfg(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Provide (or replace) the node-id → engine-actor table. Builders
+    /// call this once every node has been created.
+    pub fn set_node_actors(&mut self, node_actors: Vec<ActorId>) {
+        self.node_actors = node_actors;
+    }
+
+    /// Register a connection between two services; returns its id.
+    /// (Connection setup happens at cluster-build time, as the paper's
+    /// monitoring processes establish their connections once at startup.)
+    pub fn add_conn(&mut self, a: NodeId, svc_a: ServiceSlot, b: NodeId, svc_b: ServiceSlot) -> ConnId {
+        let id = ConnId(self.conns.len() as u64);
+        self.conns.push(ConnEntry { a, svc_a, b, svc_b });
+        id
+    }
+
+    pub fn conn(&self, id: ConnId) -> Option<&ConnEntry> {
+        self.conns.get(id.0 as usize)
+    }
+
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Subscribe a node to a hardware multicast group.
+    pub fn join_mcast(&mut self, group: McastGroup, node: NodeId) {
+        let members = self.mcast.entry(group).or_default();
+        if !members.contains(&node) {
+            members.push(node);
+        }
+    }
+
+    /// Wire + serialization latency for a frame of `size` bytes.
+    fn frame_latency(&self, size: u32) -> SimDuration {
+        self.cfg.wire_latency + SimDuration(self.cfg.per_kb.nanos() * (size as u64) / 1024)
+    }
+
+    fn actor_of(&self, node: NodeId) -> Option<ActorId> {
+        self.node_actors.get(node.index()).copied()
+    }
+
+    fn deliver_socket(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        src: NodeId,
+        conn: ConnId,
+        size: u32,
+        payload: Payload,
+    ) {
+        let Some(entry) = self.conn(conn).copied() else {
+            self.stats.dropped += 1;
+            return;
+        };
+        let (dst, dst_service) = if src == entry.a {
+            (entry.b, entry.svc_b)
+        } else {
+            (entry.a, entry.svc_a)
+        };
+        let Some(dst_actor) = self.actor_of(dst) else {
+            self.stats.dropped += 1;
+            return;
+        };
+        self.stats.socket_frames += 1;
+        self.stats.socket_bytes += size as u64;
+        let delay = self.frame_latency(size);
+        ctx.send_in(
+            delay,
+            dst_actor,
+            Msg::Node(NodeMsg::PacketArrive {
+                conn,
+                dst_service,
+                size,
+                payload,
+            }),
+        );
+    }
+}
+
+impl Actor<Msg> for Fabric {
+    fn handle(&mut self, _now: SimTime, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        let Msg::Net(msg) = msg else {
+            debug_assert!(false, "fabric received a node message");
+            return;
+        };
+        match msg {
+            NetMsg::SocketSend {
+                src,
+                conn,
+                size,
+                payload,
+            } => self.deliver_socket(ctx, src, conn, size, payload),
+
+            NetMsg::RdmaRead {
+                src,
+                dst,
+                region,
+                req_id,
+            } => {
+                let Some(dst_actor) = self.actor_of(dst) else {
+                    self.stats.dropped += 1;
+                    return;
+                };
+                self.stats.rdma_reads += 1;
+                // Initiator post overhead + request flight.
+                let delay = self.cfg.rdma_post + self.cfg.wire_latency;
+                ctx.send_in(
+                    delay,
+                    dst_actor,
+                    Msg::Node(NodeMsg::RdmaReadArrive {
+                        initiator: src,
+                        region,
+                        req_id,
+                    }),
+                );
+            }
+
+            NetMsg::RdmaWrite {
+                src,
+                dst,
+                region,
+                req_id,
+                data,
+            } => {
+                let Some(dst_actor) = self.actor_of(dst) else {
+                    self.stats.dropped += 1;
+                    return;
+                };
+                self.stats.rdma_writes += 1;
+                let delay = self.cfg.rdma_post + self.cfg.wire_latency;
+                ctx.send_in(
+                    delay,
+                    dst_actor,
+                    Msg::Node(NodeMsg::RdmaWriteArrive {
+                        initiator: src,
+                        region,
+                        req_id,
+                        data,
+                    }),
+                );
+            }
+
+            NetMsg::RdmaReadData {
+                initiator,
+                req_id,
+                result,
+            } => {
+                let Some(dst_actor) = self.actor_of(initiator) else {
+                    self.stats.dropped += 1;
+                    return;
+                };
+                // Target-NIC DMA read + reply flight + initiator CQ poll.
+                let delay = self.cfg.nic_read + self.cfg.wire_latency + self.cfg.completion_poll;
+                ctx.send_in(
+                    delay,
+                    dst_actor,
+                    Msg::Node(NodeMsg::RdmaCompletion { req_id, result }),
+                );
+            }
+
+            NetMsg::RdmaWriteAck {
+                initiator,
+                req_id,
+                result,
+            } => {
+                let Some(dst_actor) = self.actor_of(initiator) else {
+                    self.stats.dropped += 1;
+                    return;
+                };
+                let delay = self.cfg.nic_read + self.cfg.wire_latency + self.cfg.completion_poll;
+                ctx.send_in(
+                    delay,
+                    dst_actor,
+                    Msg::Node(NodeMsg::RdmaCompletion { req_id, result }),
+                );
+            }
+
+            NetMsg::McastSend {
+                src,
+                group,
+                size,
+                payload,
+            } => {
+                let members = self.mcast.get(&group).cloned().unwrap_or_default();
+                let mut rank = 0u64;
+                for node in members {
+                    if node == src {
+                        continue;
+                    }
+                    let Some(dst_actor) = self.actor_of(node) else {
+                        self.stats.dropped += 1;
+                        continue;
+                    };
+                    self.stats.mcast_frames += 1;
+                    // The switch replicates in hardware; replicas leave with
+                    // a tiny per-port stagger.
+                    let delay = self.frame_latency(size)
+                        + SimDuration(self.cfg.mcast_fanout.nanos() * rank);
+                    rank += 1;
+                    ctx.send_in(
+                        delay,
+                        dst_actor,
+                        Msg::Node(NodeMsg::McastDeliver {
+                            group,
+                            size,
+                            payload: payload.clone(),
+                        }),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conn_registry_roundtrip() {
+        let mut f = Fabric::new(NetConfig::default(), vec![ActorId(1), ActorId(2)]);
+        let c = f.add_conn(NodeId(0), ServiceSlot(0), NodeId(1), ServiceSlot(3));
+        assert_eq!(c, ConnId(0));
+        let e = f.conn(c).unwrap();
+        assert_eq!(e.b, NodeId(1));
+        assert_eq!(e.svc_b, ServiceSlot(3));
+        assert!(f.conn(ConnId(7)).is_none());
+        assert_eq!(f.conn_count(), 1);
+    }
+
+    #[test]
+    fn frame_latency_scales_with_size() {
+        let f = Fabric::new(NetConfig::default(), vec![]);
+        let zero = f.frame_latency(0);
+        let large = f.frame_latency(64 * 1024);
+        assert!(large > zero);
+        assert_eq!(zero, NetConfig::default().wire_latency);
+        // 64 KiB at 1 µs/KiB = 64 µs of serialization.
+        assert_eq!(large - zero, SimDuration::from_micros(64));
+    }
+
+    #[test]
+    fn mcast_membership_dedupes() {
+        let mut f = Fabric::new(NetConfig::default(), vec![ActorId(1)]);
+        f.join_mcast(McastGroup(1), NodeId(0));
+        f.join_mcast(McastGroup(1), NodeId(0));
+        assert_eq!(f.mcast[&McastGroup(1)].len(), 1);
+    }
+}

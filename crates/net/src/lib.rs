@@ -1,0 +1,11 @@
+//! # fgmon-net — simulated InfiniBand-like cluster fabric
+//!
+//! A non-blocking switch ([`Fabric`]) connecting every node's HCA, with
+//! both channel semantics (sockets over IPoIB — remote CPU involved) and
+//! memory semantics (one-sided RDMA — target NIC only), plus hardware
+//! multicast. Timing comes from [`fgmon_types::NetConfig`], calibrated to
+//! the paper's Mellanox InfiniHost 4x testbed.
+
+pub mod fabric;
+
+pub use fabric::{ConnEntry, Fabric, FabricStats};

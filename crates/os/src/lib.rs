@@ -1,0 +1,23 @@
+//! # fgmon-os — simulated node operating system
+//!
+//! Models, per node: multiple CPUs under a round-robin scheduler with a
+//! fixed quantum and interrupt preemption; threads driven by per-thread
+//! operation queues; sleep timers quantized to the OS tick; the `/proc`
+//! cost model; continuously maintained kernel statistics (utilization,
+//! `avenrun`, `irq_stat`); the NIC receive path (top half + bottom half +
+//! thread wake) and a one-sided RDMA target engine that serves registered
+//! regions with **zero host CPU** — the asymmetry the paper exploits.
+
+pub mod core_state;
+pub mod irq;
+pub mod node;
+pub mod service;
+pub mod stats;
+pub mod thread;
+
+pub use core_state::{CpuRt, ListenMode, OsCore, Region, RegionKind};
+pub use irq::{CpuIrq, PendingDelivery};
+pub use node::NodeActor;
+pub use service::{OsApi, Service};
+pub use stats::{CpuAccounting, Ewma, KernelStats, RateMeter};
+pub use thread::{ActiveBurst, BurstKind, Thread, ThreadOp, ThreadState, ThreadTable};

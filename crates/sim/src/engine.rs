@@ -1,0 +1,502 @@
+//! The discrete-event engine.
+//!
+//! The engine owns a set of [`Actor`]s (nodes, the network fabric, workload
+//! drivers, …) and a time-ordered event queue. Each event is a message `M`
+//! addressed to one actor. Handling an event may enqueue further events via
+//! the [`Ctx`] handed to the actor.
+//!
+//! Events at equal timestamps are delivered in insertion order (a strictly
+//! monotonic sequence number breaks ties), which makes runs fully
+//! deterministic for a given seed.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::metrics::Recorder;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies an actor registered with an [`Engine`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ActorId(pub u32);
+
+impl ActorId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A simulation participant.
+///
+/// Actors are single-threaded state machines: the engine calls
+/// [`Actor::handle`] with exclusive access, so no internal locking is ever
+/// needed. The `Any` supertrait lets experiment harnesses downcast actors
+/// back to their concrete types to extract results after a run.
+pub trait Actor<M>: Any {
+    /// Handle one event addressed to this actor at virtual time `now`.
+    fn handle(&mut self, now: SimTime, msg: M, ctx: &mut Ctx<'_, M>);
+}
+
+struct Entry<M> {
+    time: SimTime,
+    seq: u64,
+    dst: ActorId,
+    msg: M,
+}
+
+impl<M> PartialEq for Entry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Entry<M> {}
+impl<M> PartialOrd for Entry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Entry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Context handed to an actor while it handles an event.
+///
+/// Lets the actor schedule future events (to itself or any other actor) and
+/// record metrics. Scheduling is buffered and flushed into the event queue
+/// after the handler returns, so ordering stays deterministic.
+pub struct Ctx<'a, M> {
+    /// Current virtual time.
+    pub now: SimTime,
+    /// The actor currently being run.
+    pub self_id: ActorId,
+    out: &'a mut Vec<(SimTime, ActorId, M)>,
+    recorder: &'a mut Recorder,
+    stop_requested: &'a mut bool,
+}
+
+impl<M> Ctx<'_, M> {
+    /// Deliver `msg` to `dst` after `delay`.
+    #[inline]
+    pub fn send_in(&mut self, delay: SimDuration, dst: ActorId, msg: M) {
+        self.out.push((self.now + delay, dst, msg));
+    }
+
+    /// Deliver `msg` to `dst` immediately (same timestamp, after currently
+    /// queued same-time events).
+    #[inline]
+    pub fn send_now(&mut self, dst: ActorId, msg: M) {
+        self.send_in(SimDuration::ZERO, dst, msg);
+    }
+
+    /// Deliver `msg` to `dst` at absolute time `at` (clamped to `now`).
+    #[inline]
+    pub fn send_at(&mut self, at: SimTime, dst: ActorId, msg: M) {
+        let at = at.max(self.now);
+        self.out.push((at, dst, msg));
+    }
+
+    /// Schedule a message to this actor after `delay`.
+    #[inline]
+    pub fn send_self_in(&mut self, delay: SimDuration, msg: M) {
+        self.send_in(delay, self.self_id, msg);
+    }
+
+    /// Access the global metric recorder.
+    #[inline]
+    pub fn recorder(&mut self) -> &mut Recorder {
+        self.recorder
+    }
+
+    /// Ask the engine to stop after the current event is processed.
+    #[inline]
+    pub fn request_stop(&mut self) {
+        *self.stop_requested = true;
+    }
+}
+
+/// Outcome of an engine run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunOutcome {
+    /// The horizon passed to `run_until` was reached.
+    HorizonReached,
+    /// The event queue drained completely.
+    QueueDrained,
+    /// An actor called [`Ctx::request_stop`].
+    Stopped,
+    /// The configured event budget was exhausted (runaway-loop backstop).
+    EventBudgetExhausted,
+}
+
+/// The discrete-event simulation engine.
+pub struct Engine<M> {
+    actors: Vec<Option<Box<dyn Actor<M>>>>,
+    queue: BinaryHeap<Reverse<Entry<M>>>,
+    staging: Vec<(SimTime, ActorId, M)>,
+    now: SimTime,
+    seq: u64,
+    events_processed: u64,
+    event_budget: u64,
+    recorder: Recorder,
+    stop_requested: bool,
+}
+
+impl<M: 'static> Default for Engine<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: 'static> Engine<M> {
+    pub fn new() -> Self {
+        Engine {
+            actors: Vec::new(),
+            queue: BinaryHeap::new(),
+            staging: Vec::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            events_processed: 0,
+            event_budget: u64::MAX,
+            recorder: Recorder::new(),
+            stop_requested: false,
+        }
+    }
+
+    /// Cap the total number of events the engine will process (safety
+    /// backstop against event loops that never settle).
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = budget;
+    }
+
+    /// Register an actor and return its id.
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
+        let id = ActorId(self.actors.len() as u32);
+        self.actors.push(Some(actor));
+        id
+    }
+
+    /// Reserve an actor slot to be filled later with [`Engine::install`].
+    ///
+    /// Useful when actors need to know each other's ids at construction
+    /// time (e.g. nodes need the fabric id and vice versa).
+    pub fn reserve_actor(&mut self) -> ActorId {
+        let id = ActorId(self.actors.len() as u32);
+        self.actors.push(None);
+        id
+    }
+
+    /// Fill a slot previously created with [`Engine::reserve_actor`].
+    ///
+    /// # Panics
+    /// Panics if the slot is already occupied or the id is unknown.
+    pub fn install(&mut self, id: ActorId, actor: Box<dyn Actor<M>>) {
+        let slot = self
+            .actors
+            .get_mut(id.index())
+            .expect("install: unknown actor id");
+        assert!(slot.is_none(), "install: actor slot {id:?} already filled");
+        *slot = Some(actor);
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of registered actor slots.
+    #[inline]
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// The global metric recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    pub fn recorder_mut(&mut self) -> &mut Recorder {
+        &mut self.recorder
+    }
+
+    /// Schedule an event from outside any actor (experiment setup).
+    pub fn schedule(&mut self, at: SimTime, dst: ActorId, msg: M) {
+        let at = at.max(self.now);
+        let seq = self.next_seq();
+        self.queue.push(Reverse(Entry {
+            time: at,
+            seq,
+            dst,
+            msg,
+        }));
+    }
+
+    /// Schedule an event `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, dst: ActorId, msg: M) {
+        self.schedule(self.now + delay, dst, msg);
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Immutable access to a concrete actor (for result extraction).
+    pub fn actor<T: Actor<M>>(&self, id: ActorId) -> Option<&T> {
+        self.actors
+            .get(id.index())
+            .and_then(|s| s.as_deref())
+            .and_then(|a| (a as &dyn Any).downcast_ref::<T>())
+    }
+
+    /// Mutable access to a concrete actor (for mid-run reconfiguration).
+    pub fn actor_mut<T: Actor<M>>(&mut self, id: ActorId) -> Option<&mut T> {
+        self.actors
+            .get_mut(id.index())
+            .and_then(|s| s.as_deref_mut())
+            .and_then(|a| (a as &mut dyn Any).downcast_mut::<T>())
+    }
+
+    /// Run until `horizon` (inclusive), the queue drains, an actor requests
+    /// a stop, or the event budget is exhausted.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        loop {
+            if self.stop_requested {
+                self.stop_requested = false;
+                return RunOutcome::Stopped;
+            }
+            if self.events_processed >= self.event_budget {
+                return RunOutcome::EventBudgetExhausted;
+            }
+            let Some(Reverse(head)) = self.queue.peek() else {
+                return RunOutcome::QueueDrained;
+            };
+            if head.time > horizon {
+                self.now = horizon;
+                return RunOutcome::HorizonReached;
+            }
+            let Reverse(entry) = self.queue.pop().expect("peeked entry vanished");
+            debug_assert!(entry.time >= self.now, "time went backwards");
+            self.now = entry.time;
+            self.events_processed += 1;
+            self.dispatch(entry);
+        }
+    }
+
+    /// Run for `span` of virtual time from the current instant.
+    pub fn run_for(&mut self, span: SimDuration) -> RunOutcome {
+        let horizon = self.now + span;
+        self.run_until(horizon)
+    }
+
+    /// Process exactly one event if any is pending. Returns `true` if an
+    /// event was processed.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(entry)) = self.queue.pop() else {
+            return false;
+        };
+        self.now = entry.time;
+        self.events_processed += 1;
+        self.dispatch(entry);
+        true
+    }
+
+    fn dispatch(&mut self, entry: Entry<M>) {
+        let idx = entry.dst.index();
+        // Temporarily move the actor out so it can borrow the engine's
+        // staging buffer and recorder without aliasing.
+        let mut actor = match self.actors.get_mut(idx).and_then(Option::take) {
+            Some(a) => a,
+            // Messages to reserved-but-never-installed actors are dropped;
+            // this only happens in misconfigured test setups.
+            None => return,
+        };
+        {
+            let mut ctx = Ctx {
+                now: entry.time,
+                self_id: entry.dst,
+                out: &mut self.staging,
+                recorder: &mut self.recorder,
+                stop_requested: &mut self.stop_requested,
+            };
+            actor.handle(entry.time, entry.msg, &mut ctx);
+        }
+        self.actors[idx] = Some(actor);
+        // Flush staged sends into the queue in submission order.
+        let base_seq = self.seq;
+        self.seq += self.staging.len() as u64;
+        for (i, (time, dst, msg)) in self.staging.drain(..).enumerate() {
+            self.queue.push(Reverse(Entry {
+                time,
+                seq: base_seq + i as u64,
+                dst,
+                msg,
+            }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[derive(Debug, PartialEq, Clone)]
+    enum TestMsg {
+        Ping(u32),
+        Relay { hops_left: u32 },
+        StopNow,
+    }
+
+    #[derive(Default)]
+    struct Collector {
+        seen: Vec<(u64, TestMsg)>,
+        peer: Option<ActorId>,
+    }
+
+    impl Actor<TestMsg> for Collector {
+        fn handle(&mut self, now: SimTime, msg: TestMsg, ctx: &mut Ctx<'_, TestMsg>) {
+            match &msg {
+                TestMsg::Relay { hops_left } if *hops_left > 0 => {
+                    let dst = self.peer.unwrap_or(ctx.self_id);
+                    ctx.send_in(
+                        SimDuration::from_millis(1),
+                        dst,
+                        TestMsg::Relay {
+                            hops_left: hops_left - 1,
+                        },
+                    );
+                }
+                TestMsg::StopNow => ctx.request_stop(),
+                _ => {}
+            }
+            self.seen.push((now.nanos(), msg));
+        }
+    }
+
+    #[test]
+    fn events_delivered_in_time_then_insertion_order() {
+        let mut eng: Engine<TestMsg> = Engine::new();
+        let a = eng.add_actor(Box::new(Collector::default()));
+        eng.schedule(SimTime(200), a, TestMsg::Ping(2));
+        eng.schedule(SimTime(100), a, TestMsg::Ping(1));
+        eng.schedule(SimTime(200), a, TestMsg::Ping(3));
+        let outcome = eng.run_until(SimTime(1_000));
+        assert_eq!(outcome, RunOutcome::QueueDrained);
+        let col: &Collector = eng.actor(a).unwrap();
+        assert_eq!(
+            col.seen,
+            vec![
+                (100, TestMsg::Ping(1)),
+                (200, TestMsg::Ping(2)),
+                (200, TestMsg::Ping(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn relay_chain_advances_time() {
+        let mut eng: Engine<TestMsg> = Engine::new();
+        let a = eng.reserve_actor();
+        let b = eng.reserve_actor();
+        eng.install(
+            a,
+            Box::new(Collector {
+                peer: Some(b),
+                ..Default::default()
+            }),
+        );
+        eng.install(
+            b,
+            Box::new(Collector {
+                peer: Some(a),
+                ..Default::default()
+            }),
+        );
+        eng.schedule(SimTime::ZERO, a, TestMsg::Relay { hops_left: 4 });
+        assert_eq!(eng.run_until(SimTime::MAX), RunOutcome::QueueDrained);
+        // 5 handled events total (hops 4..0), alternating actors.
+        let ca: &Collector = eng.actor(a).unwrap();
+        let cb: &Collector = eng.actor(b).unwrap();
+        assert_eq!(ca.seen.len(), 3);
+        assert_eq!(cb.seen.len(), 2);
+        assert_eq!(eng.now().nanos(), 4_000_000);
+        assert_eq!(eng.events_processed(), 5);
+    }
+
+    #[test]
+    fn horizon_stops_before_future_events() {
+        let mut eng: Engine<TestMsg> = Engine::new();
+        let a = eng.add_actor(Box::new(Collector::default()));
+        eng.schedule(SimTime(5_000), a, TestMsg::Ping(9));
+        assert_eq!(eng.run_until(SimTime(1_000)), RunOutcome::HorizonReached);
+        assert_eq!(eng.now(), SimTime(1_000));
+        let col: &Collector = eng.actor(a).unwrap();
+        assert!(col.seen.is_empty());
+        // Resuming picks the event up.
+        assert_eq!(eng.run_until(SimTime(10_000)), RunOutcome::QueueDrained);
+        let col: &Collector = eng.actor(a).unwrap();
+        assert_eq!(col.seen.len(), 1);
+    }
+
+    #[test]
+    fn stop_request_halts_run() {
+        let mut eng: Engine<TestMsg> = Engine::new();
+        let a = eng.add_actor(Box::new(Collector::default()));
+        eng.schedule(SimTime(1), a, TestMsg::StopNow);
+        eng.schedule(SimTime(2), a, TestMsg::Ping(1));
+        assert_eq!(eng.run_until(SimTime::MAX), RunOutcome::Stopped);
+        let col: &Collector = eng.actor(a).unwrap();
+        assert_eq!(col.seen.len(), 1);
+        // Run can continue afterwards.
+        assert_eq!(eng.run_until(SimTime::MAX), RunOutcome::QueueDrained);
+    }
+
+    #[test]
+    fn event_budget_backstop() {
+        let mut eng: Engine<TestMsg> = Engine::new();
+        let a = eng.add_actor(Box::new(Collector::default()));
+        // Self-relay loops forever; budget must stop it.
+        eng.actor_mut::<Collector>(a).unwrap().peer = Some(a);
+        eng.schedule(SimTime::ZERO, a, TestMsg::Relay { hops_left: u32::MAX });
+        eng.set_event_budget(50);
+        assert_eq!(
+            eng.run_until(SimTime::MAX),
+            RunOutcome::EventBudgetExhausted
+        );
+        assert_eq!(eng.events_processed(), 50);
+    }
+
+    #[test]
+    fn schedule_in_past_clamps_to_now() {
+        let mut eng: Engine<TestMsg> = Engine::new();
+        let a = eng.add_actor(Box::new(Collector::default()));
+        eng.schedule(SimTime(100), a, TestMsg::Ping(1));
+        eng.run_until(SimTime(100));
+        eng.schedule(SimTime(50), a, TestMsg::Ping(2));
+        eng.run_until(SimTime::MAX);
+        let col: &Collector = eng.actor(a).unwrap();
+        assert_eq!(col.seen[1].0, 100);
+    }
+
+    #[test]
+    fn downcast_wrong_type_is_none() {
+        struct Other;
+        impl Actor<TestMsg> for Other {
+            fn handle(&mut self, _: SimTime, _: TestMsg, _: &mut Ctx<'_, TestMsg>) {}
+        }
+        let mut eng: Engine<TestMsg> = Engine::new();
+        let a = eng.add_actor(Box::new(Other));
+        assert!(eng.actor::<Collector>(a).is_none());
+        assert!(eng.actor::<Other>(a).is_some());
+    }
+}

@@ -1,0 +1,32 @@
+//! # fgmon-sim — deterministic discrete-event simulation engine
+//!
+//! The foundation of the `finegrain-monitor` reproduction of
+//! *"Exploiting RDMA operations for Providing Efficient Fine-Grained
+//! Resource Monitoring in Cluster-based Servers"* (CLUSTER 2006).
+//!
+//! Everything above this crate — the simulated node OS, the InfiniBand-like
+//! fabric, the monitoring schemes, the RUBiS workload — is expressed as
+//! [`Actor`]s exchanging timestamped messages through an [`Engine`].
+//!
+//! Design properties:
+//!
+//! * **Virtual time only.** [`SimTime`] is nanoseconds since simulation
+//!   start; wall-clock never enters simulation logic, so a (seed, config)
+//!   pair fully determines every output byte.
+//! * **Deterministic ordering.** Ties at equal timestamps are broken by a
+//!   monotone sequence number (insertion order).
+//! * **Single-threaded engine.** Actors need no synchronization; parameter
+//!   sweeps parallelize by running independent engines on separate threads.
+//! * **Self-contained metrics.** A log-bucketed [`metrics::Histogram`],
+//!   [`metrics::TimeSeries`] and counters live in a shared
+//!   [`metrics::Recorder`], avoiding external metric dependencies.
+
+pub mod engine;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+
+pub use engine::{Actor, ActorId, Ctx, Engine, RunOutcome};
+pub use metrics::{Counter, Histogram, Recorder, Summary, TimeSeries};
+pub use rng::{DetRng, ZipfSampler};
+pub use time::{SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};

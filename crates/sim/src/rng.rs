@@ -1,0 +1,330 @@
+//! Deterministic random numbers for simulations.
+//!
+//! All stochastic behaviour flows through [`DetRng`], a thin wrapper around
+//! `rand`'s `SmallRng` that adds the distributions the workload models need
+//! and supports hierarchical forking: `fork("label")` derives an independent
+//! stream whose seed depends only on the parent seed and the label, so
+//! adding a new consumer never perturbs existing streams.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic random number generator.
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    rng: SmallRng,
+    seed: u64,
+}
+
+/// FNV-1a, used to mix fork labels into seeds. Stable across platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl DetRng {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            rng: SmallRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent child stream from a string label.
+    pub fn fork(&self, label: &str) -> DetRng {
+        let child = self.seed ^ fnv1a(label.as_bytes()).rotate_left(17);
+        DetRng::new(child)
+    }
+
+    /// Derive an independent child stream from a numeric index.
+    pub fn fork_idx(&self, label: &str, idx: u64) -> DetRng {
+        let child = self
+            .seed
+            .wrapping_add(idx.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            ^ fnv1a(label.as_bytes());
+        DetRng::new(child)
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`; `lo` if the range is empty.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform usize in `[0, n)`; 0 if n == 0.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        self.rng.gen_range(0..n)
+    }
+
+    /// Bernoulli trial.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponential with the given mean (inverse-CDF method).
+    #[inline]
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let u = 1.0 - self.f64(); // avoid ln(0)
+        -mean * u.ln()
+    }
+
+    /// Bounded Pareto-ish heavy tail: exponential body with occasional
+    /// multiplicative spikes; used for service-time jitter.
+    #[inline]
+    pub fn heavy_tail(&mut self, mean: f64, spike_p: f64, spike_mult: f64) -> f64 {
+        let base = self.exp(mean);
+        if self.chance(spike_p) {
+            base * spike_mult
+        } else {
+            base
+        }
+    }
+
+    /// Approximate normal via the Irwin–Hall sum of 12 uniforms.
+    #[inline]
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let mut s = 0.0;
+        for _ in 0..12 {
+            s += self.f64();
+        }
+        mean + (s - 6.0) * std_dev
+    }
+
+    /// Normal clamped to be non-negative.
+    #[inline]
+    pub fn normal_pos(&mut self, mean: f64, std_dev: f64) -> f64 {
+        self.normal(mean, std_dev).max(0.0)
+    }
+
+    /// Shuffle a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Pre-computed Zipf sampler over ranks `1..=n` with exponent `alpha`.
+///
+/// The relative probability of rank `i` is `1 / i^alpha` (the law the paper
+/// uses for its co-hosted static-content trace). Sampling is `O(log n)` via
+/// binary search over the cumulative distribution.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    alpha: f64,
+}
+
+impl ZipfSampler {
+    /// Build a sampler for `n` items with exponent `alpha >= 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha` is not finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one item");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf, alpha }
+    }
+
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Sample a zero-based item index (0 = most popular).
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.f64();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of a zero-based item index.
+    pub fn pmf(&self, idx: usize) -> f64 {
+        let hi = self.cdf[idx];
+        let lo = if idx == 0 { 0.0 } else { self.cdf[idx - 1] };
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.range_u64(0, 1_000_000), b.range_u64(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_and_stable() {
+        let root = DetRng::new(7);
+        let mut f1 = root.fork("alpha");
+        let mut f2 = root.fork("beta");
+        let mut f1b = root.fork("alpha");
+        assert_eq!(f1.range_u64(0, 1 << 30), f1b.range_u64(0, 1 << 30));
+        // Overwhelmingly likely to differ.
+        let mut diff = false;
+        for _ in 0..16 {
+            if f1.range_u64(0, 1 << 30) != f2.range_u64(0, 1 << 30) {
+                diff = true;
+                break;
+            }
+        }
+        assert!(diff, "sibling forks produced identical streams");
+    }
+
+    #[test]
+    fn fork_idx_streams_differ() {
+        let root = DetRng::new(7);
+        let mut a = root.fork_idx("node", 0);
+        let mut b = root.fork_idx("node", 1);
+        let mut same = 0;
+        for _ in 0..32 {
+            if a.range_u64(0, 1 << 20) == b.range_u64(0, 1 << 20) {
+                same += 1;
+            }
+        }
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn exp_mean_is_roughly_right() {
+        let mut rng = DetRng::new(123);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exp(5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean was {mean}");
+        assert_eq!(rng.exp(0.0), 0.0);
+        assert_eq!(rng.exp(-3.0), 0.0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = DetRng::new(9);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+        assert!(rng.normal_pos(0.0, 1.0) >= 0.0);
+    }
+
+    #[test]
+    fn range_handles_empty() {
+        let mut rng = DetRng::new(1);
+        assert_eq!(rng.range_u64(5, 5), 5);
+        assert_eq!(rng.range_u64(7, 3), 7);
+        assert_eq!(rng.index(0), 0);
+    }
+
+    #[test]
+    fn zipf_skews_to_head() {
+        let mut rng = DetRng::new(77);
+        let z = ZipfSampler::new(1000, 0.9);
+        let mut head = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With alpha=0.9 the top-10 of 1000 docs should draw a large share.
+        assert!(head > n / 5, "head draws: {head}");
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let mut rng = DetRng::new(3);
+        let z = ZipfSampler::new(10, 0.0);
+        let mut counts = [0u32; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 2_000.0).abs() < 350.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = ZipfSampler::new(100, 0.75);
+        let total: f64 = (0..100).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.pmf(0) > z.pmf(50));
+        assert_eq!(z.len(), 100);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = DetRng::new(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn heavy_tail_spikes() {
+        let mut rng = DetRng::new(11);
+        let n = 10_000;
+        let vals: Vec<f64> = (0..n).map(|_| rng.heavy_tail(1.0, 0.01, 50.0)).collect();
+        let max = vals.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 20.0, "expected occasional spikes, max {max}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the simulation engine's data structures.
+
+use fgmon_sim::{DetRng, Histogram, SimDuration, SimTime, TimeSeries, ZipfSampler};
+use proptest::prelude::*;
+
+proptest! {
+    /// Histogram quantiles are bounded by min/max and monotone in q.
+    #[test]
+    fn histogram_quantile_bounds(values in prop::collection::vec(0u64..u64::MAX / 2, 1..500)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), min);
+        prop_assert_eq!(h.max(), max);
+        let mut prev = 0u64;
+        for i in 0..=10 {
+            let q = h.quantile(i as f64 / 10.0);
+            prop_assert!(q >= min, "q{} = {} < min {}", i, q, min);
+            prop_assert!(q <= max, "q{} = {} > max {}", i, q, max);
+            prop_assert!(q >= prev, "quantiles must be monotone");
+            prev = q;
+        }
+    }
+
+    /// Quantile relative error stays within the bucket design bound.
+    #[test]
+    fn histogram_median_accuracy(values in prop::collection::vec(16u64..1_000_000_000, 50..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact = sorted[(sorted.len() - 1) / 2] as f64;
+        let approx = h.quantile(0.5) as f64;
+        // One bucket of slack on either side (6.25% design bound + rounding).
+        prop_assert!(
+            (approx - exact).abs() / exact < 0.15,
+            "median approx {} vs exact {}",
+            approx,
+            exact
+        );
+    }
+
+    /// Merging histograms equals recording the concatenation.
+    #[test]
+    fn histogram_merge_equivalence(
+        a in prop::collection::vec(0u64..1_000_000, 0..100),
+        b in prop::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let mut ha = Histogram::new();
+        for &v in &a { ha.record(v); }
+        let mut hb = Histogram::new();
+        for &v in &b { hb.record(v); }
+        let mut merged = Histogram::new();
+        for &v in a.iter().chain(&b) { merged.record(v); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), merged.count());
+        prop_assert_eq!(ha.min(), merged.min());
+        prop_assert_eq!(ha.max(), merged.max());
+        prop_assert_eq!(ha.quantile(0.5), merged.quantile(0.5));
+        prop_assert_eq!(ha.quantile(0.99), merged.quantile(0.99));
+    }
+
+    /// round_up_to returns the smallest tick multiple >= t.
+    #[test]
+    fn round_up_properties(t in 0u64..u64::MAX / 4, tick in 1u64..1_000_000_000) {
+        let rounded = SimTime(t).round_up_to(SimDuration(tick));
+        prop_assert!(rounded.nanos() >= t);
+        prop_assert_eq!(rounded.nanos() % tick, 0);
+        prop_assert!(rounded.nanos() - t < tick);
+    }
+
+    /// Duration arithmetic saturates instead of wrapping.
+    #[test]
+    fn duration_saturation(a in 0u64.., b in 0u64..) {
+        let sum = SimDuration(a) + SimDuration(b);
+        prop_assert_eq!(sum.nanos(), a.saturating_add(b));
+        let diff = SimDuration(a) - SimDuration(b);
+        prop_assert_eq!(diff.nanos(), a.saturating_sub(b));
+    }
+
+    /// Same seed ⇒ identical stream; forks are stable.
+    #[test]
+    fn rng_determinism(seed in 0u64.., label in "[a-z]{1,12}") {
+        let mut a = DetRng::new(seed);
+        let mut b = DetRng::new(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.range_u64(0, 1 << 40), b.range_u64(0, 1 << 40));
+        }
+        let mut fa = DetRng::new(seed).fork(&label);
+        let mut fb = DetRng::new(seed).fork(&label);
+        prop_assert_eq!(fa.f64().to_bits(), fb.f64().to_bits());
+    }
+
+    /// Exponential draws are non-negative with the configured mean order.
+    #[test]
+    fn rng_exp_nonnegative(seed in 0u64.., mean in 0.001f64..1000.0) {
+        let mut rng = DetRng::new(seed);
+        for _ in 0..32 {
+            let x = rng.exp(mean);
+            prop_assert!(x >= 0.0 && x.is_finite());
+        }
+    }
+
+    /// Zipf samples stay in range and the pmf is non-increasing in rank.
+    #[test]
+    fn zipf_properties(n in 1usize..500, alpha in 0.0f64..2.0, seed in 0u64..) {
+        let z = ZipfSampler::new(n, alpha);
+        let mut rng = DetRng::new(seed);
+        for _ in 0..64 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+        for i in 1..n {
+            prop_assert!(
+                z.pmf(i - 1) >= z.pmf(i) - 1e-12,
+                "pmf must be non-increasing at rank {}",
+                i
+            );
+        }
+    }
+
+    /// TimeSeries::value_at returns the latest point at or before t.
+    #[test]
+    fn series_value_at(points in prop::collection::vec((0u64..1_000_000, -1e6f64..1e6), 1..100)) {
+        let mut sorted = points.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut s = TimeSeries::new();
+        for &(t, v) in &sorted {
+            s.push(SimTime(t), v);
+        }
+        // Query at every point's timestamp: must return a value from a
+        // point with time <= query.
+        for &(t, _) in &sorted {
+            let got = s.value_at(SimTime(t));
+            prop_assert!(got.is_some());
+        }
+        // Query before the first point: None.
+        let first = sorted[0].0;
+        if first > 0 {
+            prop_assert!(s.value_at(SimTime(first - 1)).is_none());
+        }
+    }
+}

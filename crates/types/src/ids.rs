@@ -1,0 +1,82 @@
+//! Identifier newtypes shared across the simulation.
+
+use std::fmt;
+
+/// A cluster node (front-end or back-end server).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A thread within one simulated node's OS.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A service slot within one node (mini "process" hosting threads).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ServiceSlot(pub u16);
+
+impl ServiceSlot {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A point-to-point connection registered with the fabric.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ConnId(pub u64);
+
+/// A registered RDMA memory region on some node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RegionId(pub u32);
+
+/// Correlates an RDMA work request with its completion.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ReqId(pub u64);
+
+/// A hardware multicast group.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct McastGroup(pub u32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(NodeId(3).to_string(), "node3");
+        assert_eq!(NodeId(3).index(), 3);
+        assert_eq!(ThreadId(9).index(), 9);
+        assert_eq!(ServiceSlot(2).index(), 2);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(ConnId(1));
+        s.insert(ConnId(2));
+        assert!(s.contains(&ConnId(1)));
+        assert!(ReqId(1) < ReqId(2));
+        assert!(RegionId(0) < RegionId(5));
+    }
+}

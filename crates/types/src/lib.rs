@@ -1,0 +1,19 @@
+//! # fgmon-types — shared vocabulary of the finegrain-monitor simulation
+//!
+//! Identifier newtypes, the closed actor message vocabulary ([`Msg`]),
+//! load-information structures, the monitoring [`Scheme`] enum, and the
+//! calibrated cost-model configuration used across every crate.
+
+pub mod config;
+pub mod ids;
+pub mod load;
+pub mod msg;
+pub mod payload;
+pub mod scheme;
+
+pub use config::{CostModel, MonitorConfig, NetConfig, OsConfig};
+pub use ids::{ConnId, McastGroup, NodeId, RegionId, ReqId, ServiceSlot, ThreadId};
+pub use load::{LoadSnapshot, LoadWeights, NodeCapacity, MAX_CPUS};
+pub use msg::{Msg, NetMsg, NodeMsg, RdmaResult, RegionData};
+pub use payload::{Payload, QueryClass, RequestKind};
+pub use scheme::Scheme;

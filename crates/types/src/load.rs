@@ -1,0 +1,234 @@
+//! Load information: what the monitoring schemes measure and report.
+
+use fgmon_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Maximum CPUs per simulated node (paper testbed: dual-Xeon → 2 used).
+pub const MAX_CPUS: usize = 4;
+
+/// A snapshot of one back-end node's resource usage.
+///
+/// This is what travels over the wire (socket reply, RDMA-read result) and
+/// what the dispatcher's load-balancing index consumes. The
+/// `pending_irqs` field is populated only by the kernel-registered RDMA
+/// schemes (or by user-space schemes helped by the irq kernel module in the
+/// Fig. 6 experiment).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LoadSnapshot {
+    /// Virtual time at which the values were *measured* on the back-end.
+    pub measured_at: SimTime,
+    /// Fraction of CPU busy over the recent window, `0.0..=1.0`.
+    pub cpu_util: f64,
+    /// Instantaneous runnable + running thread count.
+    pub run_queue: u32,
+    /// 1-second exponentially weighted run-queue average (`avenrun`-like).
+    pub loadavg1: f64,
+    /// Live thread count on the node.
+    pub nthreads: u32,
+    /// Memory in use, KiB.
+    pub mem_used_kb: u64,
+    /// Recent network throughput, KiB/s.
+    pub net_kbps: f64,
+    /// Open connections terminating at this node.
+    pub active_conns: u32,
+    /// Pending (unserviced) interrupts per CPU at measurement time.
+    pub pending_irqs: [u32; MAX_CPUS],
+    /// Cumulative serviced interrupts per CPU.
+    pub irq_total: [u64; MAX_CPUS],
+}
+
+impl LoadSnapshot {
+    /// An all-zero snapshot measured at time zero.
+    pub fn zero() -> Self {
+        LoadSnapshot {
+            measured_at: SimTime::ZERO,
+            cpu_util: 0.0,
+            run_queue: 0,
+            loadavg1: 0.0,
+            nthreads: 0,
+            mem_used_kb: 0,
+            net_kbps: 0.0,
+            active_conns: 0,
+            pending_irqs: [0; MAX_CPUS],
+            irq_total: [0; MAX_CPUS],
+        }
+    }
+
+    /// Total pending interrupts across CPUs.
+    pub fn pending_irqs_total(&self) -> u32 {
+        self.pending_irqs.iter().sum()
+    }
+
+    /// Strip kernel-only detail (what a plain user-space `/proc` reader
+    /// sees without the helper kernel module).
+    pub fn without_kernel_detail(mut self) -> Self {
+        self.pending_irqs = [0; MAX_CPUS];
+        self
+    }
+
+    /// Age of this snapshot at time `now`.
+    pub fn age(&self, now: SimTime) -> fgmon_sim::SimDuration {
+        now.since(self.measured_at)
+    }
+}
+
+/// Capacity normalizers used when folding a [`LoadSnapshot`] into a scalar
+/// index (the "appropriate weights" of the IBM WebSphere algorithm the
+/// paper adopts for its load balancer).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NodeCapacity {
+    pub mem_total_kb: u64,
+    pub net_capacity_kbps: f64,
+    pub conn_capacity: u32,
+}
+
+impl Default for NodeCapacity {
+    fn default() -> Self {
+        // 1 GB main memory, ~2 Gbit/s effective IPoIB, and an
+        // Apache-MaxClients-sized connection budget — the paper's testbed.
+        NodeCapacity {
+            mem_total_kb: 1024 * 1024,
+            net_capacity_kbps: 250_000.0,
+            conn_capacity: 128,
+        }
+    }
+}
+
+/// WebSphere-style weights over the load indices (paper §5.2.1: "IBM
+/// WebSphere utilizes load information such as CPU, memory, network and
+/// connection load, assigns appropriate weights to these load indices and
+/// calculates the average load of the server").
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LoadWeights {
+    pub cpu: f64,
+    pub mem: f64,
+    pub net: f64,
+    pub conn: f64,
+    /// Extra penalty per pending interrupt; zero for every scheme except
+    /// e-RDMA-Sync, which feeds the `irq_stat` signal into dispatch.
+    pub irq_penalty: f64,
+}
+
+impl Default for LoadWeights {
+    fn default() -> Self {
+        LoadWeights {
+            cpu: 0.5,
+            mem: 0.1,
+            net: 0.15,
+            conn: 0.25,
+            irq_penalty: 0.0,
+        }
+    }
+}
+
+impl LoadWeights {
+    /// Weights used by the e-RDMA-Sync dispatcher: same base weights plus
+    /// the pending-interrupt signal.
+    pub fn with_irq_signal() -> Self {
+        LoadWeights {
+            irq_penalty: 0.03,
+            ..Self::default()
+        }
+    }
+
+    /// Fold a snapshot into the scalar load index used for least-loaded
+    /// server selection. Larger = more loaded; every term is normalized to
+    /// roughly `[0, 1]` so the configured weights mean what they say. The
+    /// CPU term blends utilization with run-queue pressure so that a
+    /// saturated node with a deep queue ranks above a merely-busy one.
+    pub fn index(&self, snap: &LoadSnapshot, cap: &NodeCapacity) -> f64 {
+        // The queue term uses the smoothed `avenrun` average: routing whole
+        // monitoring intervals on instantaneous run-queue point samples
+        // would chase momentary spikes.
+        let queue_pressure = (snap.loadavg1 / 8.0).min(1.5);
+        let cpu_term = 0.6 * snap.cpu_util + 0.4 * queue_pressure;
+        let mem_term = snap.mem_used_kb as f64 / cap.mem_total_kb.max(1) as f64;
+        let net_term = (snap.net_kbps / cap.net_capacity_kbps.max(1.0)).min(1.5);
+        let conn_term = snap.active_conns as f64 / cap.conn_capacity.max(1) as f64;
+        self.cpu * cpu_term
+            + self.mem * mem_term
+            + self.net * net_term
+            + self.conn * conn_term
+            + self.irq_penalty * snap.pending_irqs_total() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgmon_sim::SimDuration;
+
+    fn busy_snapshot() -> LoadSnapshot {
+        LoadSnapshot {
+            measured_at: SimTime(5_000_000),
+            cpu_util: 0.9,
+            run_queue: 12,
+            loadavg1: 10.0,
+            nthreads: 40,
+            mem_used_kb: 512 * 1024,
+            net_kbps: 100_000.0,
+            active_conns: 256,
+            pending_irqs: [3, 7, 0, 0],
+            irq_total: [100, 200, 0, 0],
+        }
+    }
+
+    #[test]
+    fn zero_snapshot() {
+        let z = LoadSnapshot::zero();
+        assert_eq!(z.pending_irqs_total(), 0);
+        assert_eq!(z.cpu_util, 0.0);
+        assert_eq!(z.age(SimTime(100)), SimDuration(100));
+    }
+
+    #[test]
+    fn index_orders_by_load() {
+        let w = LoadWeights::default();
+        let cap = NodeCapacity::default();
+        let idle = LoadSnapshot::zero();
+        let busy = busy_snapshot();
+        assert!(w.index(&busy, &cap) > w.index(&idle, &cap));
+    }
+
+    #[test]
+    fn irq_signal_changes_ranking() {
+        let cap = NodeCapacity::default();
+        let mut a = busy_snapshot();
+        let mut b = busy_snapshot();
+        a.pending_irqs = [0; MAX_CPUS];
+        b.pending_irqs = [20, 20, 0, 0];
+        let plain = LoadWeights::default();
+        let enhanced = LoadWeights::with_irq_signal();
+        // Without the irq signal the two nodes tie.
+        assert!((plain.index(&a, &cap) - plain.index(&b, &cap)).abs() < 1e-12);
+        // With it, the interrupt-pressured node ranks as more loaded.
+        assert!(enhanced.index(&b, &cap) > enhanced.index(&a, &cap));
+    }
+
+    #[test]
+    fn without_kernel_detail_strips_pending() {
+        let s = busy_snapshot().without_kernel_detail();
+        assert_eq!(s.pending_irqs_total(), 0);
+        assert_eq!(s.nthreads, 40); // everything else survives
+        assert_eq!(s.irq_total[0], 100);
+    }
+
+    #[test]
+    fn age_saturates() {
+        let s = busy_snapshot();
+        assert_eq!(s.age(SimTime(4_000_000)), SimDuration::ZERO);
+        assert_eq!(s.age(SimTime(6_000_000)), SimDuration(1_000_000));
+    }
+
+    #[test]
+    fn capacity_guards_divide_by_zero() {
+        let w = LoadWeights::default();
+        let cap = NodeCapacity {
+            mem_total_kb: 0,
+            net_capacity_kbps: 0.0,
+            conn_capacity: 0,
+        };
+        let v = w.index(&busy_snapshot(), &cap);
+        assert!(v.is_finite());
+    }
+}

@@ -1,0 +1,174 @@
+//! The closed message vocabulary exchanged between simulation actors.
+//!
+//! Two actor families exist: *node* actors (one per cluster machine,
+//! implemented in `fgmon-os`) and the *fabric* actor (the switch plus every
+//! NIC wire, implemented in `fgmon-net`). [`Msg`] is the union type the
+//! engine is instantiated with.
+
+use crate::ids::{ConnId, McastGroup, NodeId, RegionId, ReqId, ServiceSlot, ThreadId};
+use crate::load::LoadSnapshot;
+use crate::payload::Payload;
+
+/// Union of all event kinds in the simulation.
+#[derive(Debug)]
+pub enum Msg {
+    /// An event destined for a node actor.
+    Node(NodeMsg),
+    /// An event destined for the fabric actor.
+    Net(NetMsg),
+}
+
+/// Contents of a registered RDMA memory region, as returned by a one-sided
+/// read. In the simulation, regions hold structured load data rather than
+/// raw bytes; this is equivalent to (and much more convenient than)
+/// modeling serialization.
+#[derive(Clone, Debug)]
+pub enum RegionData {
+    /// A load snapshot (user-space buffer or live kernel view).
+    Snapshot(LoadSnapshot),
+    /// Uninterpreted bytes of the given length.
+    Raw(u32),
+}
+
+/// Completion status of an RDMA work request, delivered to the initiator.
+#[derive(Clone, Debug)]
+pub enum RdmaResult {
+    ReadOk(RegionData),
+    WriteOk,
+    /// The target NIC refused the access (unknown region, or a write to a
+    /// read-only region — the paper's §6 security discussion).
+    AccessDenied,
+}
+
+/// Events handled by a node actor.
+#[derive(Debug)]
+pub enum NodeMsg {
+    /// Boot signal: services' `on_start` hooks run.
+    Boot,
+    /// A CPU's scheduling quantum expired (generation-guarded).
+    QuantumEnd { cpu: u8, gen: u64 },
+    /// A CPU finished servicing a batch of interrupts (generation-guarded).
+    IrqBatchDone { cpu: u8, gen: u64 },
+    /// A sleeping thread's timer fired (generation-guarded).
+    ThreadWake { thread: ThreadId, gen: u64 },
+    /// A service-level timer fired.
+    ServiceTimer { service: ServiceSlot, token: u64 },
+    /// A packet finished its wire flight and hits this node's NIC.
+    PacketArrive {
+        conn: ConnId,
+        dst_service: ServiceSlot,
+        size: u32,
+        payload: Payload,
+    },
+    /// An RDMA read request reached this node's NIC (no CPU involved).
+    RdmaReadArrive {
+        initiator: NodeId,
+        region: RegionId,
+        req_id: ReqId,
+    },
+    /// An RDMA write request reached this node's NIC (no CPU involved).
+    RdmaWriteArrive {
+        initiator: NodeId,
+        region: RegionId,
+        req_id: ReqId,
+        data: RegionData,
+    },
+    /// An RDMA work request this node posted has completed.
+    RdmaCompletion { req_id: ReqId, result: RdmaResult },
+    /// A hardware-multicast frame reached this node's NIC.
+    McastDeliver {
+        group: McastGroup,
+        size: u32,
+        payload: Payload,
+    },
+    /// Harness probe: record ground-truth load into the recorder and
+    /// re-arm. Costs zero simulated CPU (the DES equivalent of the paper's
+    /// fine-granularity kernel-module reporter).
+    GroundTruthTick { period_nanos: u64 },
+}
+
+/// Events handled by the fabric actor.
+#[derive(Debug)]
+pub enum NetMsg {
+    /// Two-sided send on an established connection.
+    SocketSend {
+        src: NodeId,
+        conn: ConnId,
+        size: u32,
+        payload: Payload,
+    },
+    /// One-sided read posted by `src` against a region on `dst`.
+    RdmaRead {
+        src: NodeId,
+        dst: NodeId,
+        region: RegionId,
+        req_id: ReqId,
+    },
+    /// One-sided write posted by `src` against a region on `dst`.
+    RdmaWrite {
+        src: NodeId,
+        dst: NodeId,
+        region: RegionId,
+        req_id: ReqId,
+        data: RegionData,
+    },
+    /// Target-NIC response carrying RDMA read data back to the initiator.
+    RdmaReadData {
+        initiator: NodeId,
+        req_id: ReqId,
+        result: RdmaResult,
+    },
+    /// Target-NIC ack for an RDMA write (or denial).
+    RdmaWriteAck {
+        initiator: NodeId,
+        req_id: ReqId,
+        result: RdmaResult,
+    },
+    /// Hardware multicast transmission to every subscriber of `group`.
+    McastSend {
+        src: NodeId,
+        group: McastGroup,
+        size: u32,
+        payload: Payload,
+    },
+}
+
+impl From<NodeMsg> for Msg {
+    fn from(m: NodeMsg) -> Msg {
+        Msg::Node(m)
+    }
+}
+
+impl From<NetMsg> for Msg {
+    fn from(m: NetMsg) -> Msg {
+        Msg::Net(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let m: Msg = NodeMsg::Boot.into();
+        assert!(matches!(m, Msg::Node(NodeMsg::Boot)));
+        let m: Msg = NetMsg::RdmaRead {
+            src: NodeId(0),
+            dst: NodeId(1),
+            region: RegionId(0),
+            req_id: ReqId(7),
+        }
+        .into();
+        assert!(matches!(m, Msg::Net(NetMsg::RdmaRead { .. })));
+    }
+
+    #[test]
+    fn region_data_carries_snapshot() {
+        let d = RegionData::Snapshot(LoadSnapshot::zero());
+        match d {
+            RegionData::Snapshot(s) => assert_eq!(s.nthreads, 0),
+            _ => panic!("wrong variant"),
+        }
+    }
+}

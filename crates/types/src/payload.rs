@@ -1,0 +1,142 @@
+//! Application-level message payloads carried by packets and RDMA results.
+
+use crate::ids::NodeId;
+use crate::load::LoadSnapshot;
+use crate::scheme::Scheme;
+use serde::{Deserialize, Serialize};
+
+/// The eight RUBiS query classes of the paper's Table 1.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum QueryClass {
+    Home,
+    Browse,
+    BrowseRegions,
+    BrowseCategoriesInRegion,
+    SearchItemsInRegion,
+    PutBidAuth,
+    Sell,
+    AboutMe,
+}
+
+impl QueryClass {
+    pub const ALL: [QueryClass; 8] = [
+        QueryClass::Home,
+        QueryClass::Browse,
+        QueryClass::BrowseRegions,
+        QueryClass::BrowseCategoriesInRegion,
+        QueryClass::SearchItemsInRegion,
+        QueryClass::PutBidAuth,
+        QueryClass::Sell,
+        QueryClass::AboutMe,
+    ];
+
+    /// Row label as printed in Table 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryClass::Home => "Home",
+            QueryClass::Browse => "Browse",
+            QueryClass::BrowseRegions => "BrowseRegions",
+            QueryClass::BrowseCategoriesInRegion => "BrowseCatgryReg",
+            QueryClass::SearchItemsInRegion => "SearchItemsReg",
+            QueryClass::PutBidAuth => "PutBidAuth",
+            QueryClass::Sell => "Sell",
+            QueryClass::AboutMe => "About Me (auth)",
+        }
+    }
+}
+
+impl std::fmt::Display for QueryClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What a forwarded request asks a back-end to do.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum RequestKind {
+    /// A RUBiS dynamic query of the given class.
+    Rubis(QueryClass),
+    /// A static document from the Zipf-distributed co-hosted service.
+    Zipf { doc: u32, size_kb: u32 },
+    /// A fixed batch of floating-point work (the Fig. 4 probe app).
+    Float { work_us: u64 },
+}
+
+/// Application payloads.
+#[derive(Clone, Debug)]
+pub enum Payload {
+    /// Front-end → back-end: "send me your load information".
+    MonitorRequest { scheme: Scheme, want_detail: bool },
+    /// Back-end → front-end socket reply with load info.
+    MonitorReply { snap: LoadSnapshot },
+    /// Client → front-end, or front-end → back-end work request.
+    HttpRequest { req_id: u64, kind: RequestKind },
+    /// Back-end → front-end, or front-end → client response.
+    HttpResponse { req_id: u64, bytes: u32 },
+    /// Ganglia gmond/gmetric metric announcement.
+    GangliaMetric {
+        origin: NodeId,
+        /// Metric key (e.g. "fgmon_load").
+        name: &'static str,
+        value: f64,
+    },
+    /// Back-end status pushed over hardware multicast (extension scheme).
+    StatusPush { origin: NodeId, snap: LoadSnapshot },
+    /// Uninterpreted padding traffic (background communication load).
+    Opaque { tag: u64 },
+}
+
+impl Payload {
+    /// Approximate on-wire size in bytes, used for bandwidth accounting.
+    pub fn wire_size(&self) -> u32 {
+        match self {
+            Payload::MonitorRequest { .. } => 64,
+            Payload::MonitorReply { .. } => 256,
+            Payload::HttpRequest { .. } => 512,
+            Payload::HttpResponse { bytes, .. } => 256 + bytes,
+            Payload::GangliaMetric { .. } => 128,
+            Payload::StatusPush { .. } => 256,
+            Payload::Opaque { .. } => 1024,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_row_labels() {
+        assert_eq!(QueryClass::ALL.len(), 8);
+        assert_eq!(QueryClass::Home.label(), "Home");
+        assert_eq!(
+            QueryClass::BrowseCategoriesInRegion.label(),
+            "BrowseCatgryReg"
+        );
+        assert_eq!(QueryClass::AboutMe.to_string(), "About Me (auth)");
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_content() {
+        let small = Payload::HttpResponse {
+            req_id: 1,
+            bytes: 100,
+        };
+        let big = Payload::HttpResponse {
+            req_id: 2,
+            bytes: 100_000,
+        };
+        assert!(big.wire_size() > small.wire_size());
+        assert!(
+            Payload::MonitorRequest {
+                scheme: Scheme::SocketSync,
+                want_detail: false
+            }
+            .wire_size()
+                < Payload::MonitorReply {
+                    snap: LoadSnapshot::zero()
+                }
+                .wire_size()
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! The monitoring schemes compared in the paper, plus one extension.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A resource-monitoring scheme (paper §3, plus the multicast extension the
+/// paper's §6 discussion sketches).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Two-sided sockets; a back-end *load-calculating thread* refreshes a
+    /// shared buffer every interval `T` and a *reporter thread* answers
+    /// front-end requests from that buffer (Fig. 1a).
+    SocketAsync,
+    /// Two-sided sockets; the back-end monitoring process reads `/proc` and
+    /// computes the load for every request (Fig. 1b).
+    SocketSync,
+    /// One-sided RDMA Read of a registered *user-space* buffer that a
+    /// back-end calc thread refreshes every interval `T` (Fig. 2a).
+    RdmaAsync,
+    /// One-sided RDMA Read of registered *kernel* data structures; no
+    /// back-end thread at all, always-fresh values (Fig. 2b).
+    RdmaSync,
+    /// RDMA-Sync plus the `irq_stat` pending-interrupt kernel structure,
+    /// used by the dispatcher as an extra load signal (paper §5.2.1).
+    ERdmaSync,
+    /// Extension (paper §6): back-ends push status over hardware multicast.
+    /// Channel semantics, so the back-end CPU is involved again.
+    McastPush,
+    /// Extension (the authors' earlier RAIT'04 design): the back-end
+    /// pushes its load with one-sided RDMA *writes* into a buffer
+    /// registered on the front-end; the front-end reads local memory.
+    RdmaWritePush,
+}
+
+impl Scheme {
+    /// The four schemes of the micro-benchmarks (Figs. 3–6).
+    pub const MICRO: [Scheme; 4] = [
+        Scheme::SocketAsync,
+        Scheme::SocketSync,
+        Scheme::RdmaAsync,
+        Scheme::RdmaSync,
+    ];
+
+    /// The five schemes of the application evaluation (Table 1, Fig. 7).
+    pub const ALL_PAPER: [Scheme; 5] = [
+        Scheme::SocketAsync,
+        Scheme::SocketSync,
+        Scheme::RdmaAsync,
+        Scheme::RdmaSync,
+        Scheme::ERdmaSync,
+    ];
+
+    /// Everything implemented, including the push extensions.
+    pub const ALL: [Scheme; 7] = [
+        Scheme::SocketAsync,
+        Scheme::SocketSync,
+        Scheme::RdmaAsync,
+        Scheme::RdmaSync,
+        Scheme::ERdmaSync,
+        Scheme::McastPush,
+        Scheme::RdmaWritePush,
+    ];
+
+    /// Does the front-end pull use one-sided RDMA (no back-end CPU)?
+    pub fn is_one_sided(self) -> bool {
+        matches!(
+            self,
+            Scheme::RdmaAsync | Scheme::RdmaSync | Scheme::ERdmaSync
+        )
+    }
+
+    /// Is the scheme push-based (the front-end never sends requests)?
+    pub fn is_push(self) -> bool {
+        matches!(self, Scheme::McastPush | Scheme::RdmaWritePush)
+    }
+
+    /// Does the back-end run a periodic load-calculating thread?
+    pub fn has_backend_calc_thread(self) -> bool {
+        matches!(
+            self,
+            Scheme::SocketAsync
+                | Scheme::RdmaAsync
+                | Scheme::McastPush
+                | Scheme::RdmaWritePush
+        )
+    }
+
+    /// Does the back-end run a reporter thread answering socket requests?
+    pub fn has_backend_reporter_thread(self) -> bool {
+        matches!(self, Scheme::SocketAsync | Scheme::SocketSync)
+    }
+
+    /// Can the scheme see kernel-space detail (pending interrupts) without a
+    /// helper kernel module? (Only the kernel-registered RDMA schemes.)
+    pub fn reads_kernel_memory(self) -> bool {
+        matches!(self, Scheme::RdmaSync | Scheme::ERdmaSync)
+    }
+
+    /// Does the dispatcher use the pending-interrupt signal?
+    pub fn uses_irq_signal(self) -> bool {
+        matches!(self, Scheme::ERdmaSync)
+    }
+
+    /// Short label, matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::SocketAsync => "Socket-Async",
+            Scheme::SocketSync => "Socket-Sync",
+            Scheme::RdmaAsync => "RDMA-Async",
+            Scheme::RdmaSync => "RDMA-Sync",
+            Scheme::ERdmaSync => "e-RDMA-Sync",
+            Scheme::McastPush => "Mcast-Push",
+            Scheme::RdmaWritePush => "RDMA-Write-Push",
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for Scheme {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm: String = s
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        match norm.as_str() {
+            "socketasync" => Ok(Scheme::SocketAsync),
+            "socketsync" => Ok(Scheme::SocketSync),
+            "rdmaasync" => Ok(Scheme::RdmaAsync),
+            "rdmasync" => Ok(Scheme::RdmaSync),
+            "erdmasync" => Ok(Scheme::ERdmaSync),
+            "mcastpush" => Ok(Scheme::McastPush),
+            "rdmawritepush" => Ok(Scheme::RdmaWritePush),
+            _ => Err(format!("unknown scheme: {s}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structural_properties_match_paper() {
+        // Table of §3/§4 claims.
+        assert!(!Scheme::SocketAsync.is_one_sided());
+        assert!(!Scheme::SocketSync.is_one_sided());
+        assert!(Scheme::RdmaSync.is_one_sided());
+        assert!(Scheme::ERdmaSync.is_one_sided());
+
+        // "No extra thread for remote resource monitoring: all monitoring
+        // schemes except RDMA-Sync require a separate thread."
+        for s in Scheme::ALL_PAPER {
+            let has_thread = s.has_backend_calc_thread() || s.has_backend_reporter_thread();
+            if matches!(s, Scheme::RdmaSync | Scheme::ERdmaSync) {
+                assert!(!has_thread, "{s} must not need a back-end thread");
+            } else {
+                assert!(has_thread, "{s} must need a back-end thread");
+            }
+        }
+
+        assert!(Scheme::RdmaSync.reads_kernel_memory());
+        assert!(!Scheme::RdmaAsync.reads_kernel_memory());
+        assert!(Scheme::ERdmaSync.uses_irq_signal());
+        assert!(!Scheme::RdmaSync.uses_irq_signal());
+    }
+
+    #[test]
+    fn parse_labels() {
+        for s in Scheme::ALL {
+            let parsed: Scheme = s.label().parse().unwrap();
+            assert_eq!(parsed, s);
+        }
+        assert!("bogus".parse::<Scheme>().is_err());
+        assert_eq!("rdma-sync".parse::<Scheme>().unwrap(), Scheme::RdmaSync);
+        assert_eq!("e-RDMA-Sync".parse::<Scheme>().unwrap(), Scheme::ERdmaSync);
+    }
+
+    #[test]
+    fn scheme_sets() {
+        assert_eq!(Scheme::MICRO.len(), 4);
+        assert_eq!(Scheme::ALL_PAPER.len(), 5);
+        assert_eq!(Scheme::ALL.len(), 7);
+        assert!(Scheme::McastPush.is_push());
+        assert!(Scheme::RdmaWritePush.is_push());
+        assert!(!Scheme::RdmaSync.is_push());
+        assert!(Scheme::ALL_PAPER.contains(&Scheme::ERdmaSync));
+        assert!(!Scheme::MICRO.contains(&Scheme::ERdmaSync));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for load snapshots and the WebSphere-style index.
+
+use fgmon_sim::SimTime;
+use fgmon_types::{LoadSnapshot, LoadWeights, NodeCapacity, Scheme, MAX_CPUS};
+use proptest::prelude::*;
+
+fn arb_snapshot() -> impl Strategy<Value = LoadSnapshot> {
+    (
+        0u64..1_000_000_000,
+        0.0f64..=1.0,
+        0u32..64,
+        0.0f64..32.0,
+        0u32..256,
+        0u64..2_000_000,
+        0.0f64..500_000.0,
+        0u32..512,
+        prop::array::uniform4(0u32..64),
+    )
+        .prop_map(
+            |(t, util, rq, avg, nth, mem, net, conns, irqs)| LoadSnapshot {
+                measured_at: SimTime(t),
+                cpu_util: util,
+                run_queue: rq,
+                loadavg1: avg,
+                nthreads: nth,
+                mem_used_kb: mem,
+                net_kbps: net,
+                active_conns: conns,
+                pending_irqs: irqs,
+                irq_total: [0; MAX_CPUS],
+            },
+        )
+}
+
+proptest! {
+    /// The index is finite and non-negative for any snapshot.
+    #[test]
+    fn index_is_finite_nonnegative(snap in arb_snapshot()) {
+        let w = LoadWeights::default();
+        let cap = NodeCapacity::default();
+        let v = w.index(&snap, &cap);
+        prop_assert!(v.is_finite());
+        prop_assert!(v >= 0.0);
+    }
+
+    /// The index is monotone in each load dimension.
+    #[test]
+    fn index_monotone(snap in arb_snapshot()) {
+        let w = LoadWeights::with_irq_signal();
+        let cap = NodeCapacity::default();
+        let base = w.index(&snap, &cap);
+
+        let mut s = snap;
+        s.cpu_util = (s.cpu_util + 0.2).min(1.0);
+        prop_assert!(w.index(&s, &cap) >= base - 1e-12, "cpu_util");
+
+        let mut s = snap;
+        s.loadavg1 += 1.0;
+        prop_assert!(w.index(&s, &cap) >= base - 1e-12, "loadavg");
+
+        let mut s = snap;
+        s.mem_used_kb += 100_000;
+        prop_assert!(w.index(&s, &cap) >= base - 1e-12, "mem");
+
+        let mut s = snap;
+        s.active_conns += 32;
+        prop_assert!(w.index(&s, &cap) >= base - 1e-12, "conns");
+
+        let mut s = snap;
+        s.pending_irqs[0] += 5;
+        prop_assert!(w.index(&s, &cap) >= base - 1e-12, "irqs");
+    }
+
+    /// Stripping kernel detail only clears the pending-interrupt view.
+    #[test]
+    fn strip_detail_preserves_rest(snap in arb_snapshot()) {
+        let stripped = snap.without_kernel_detail();
+        prop_assert_eq!(stripped.pending_irqs_total(), 0);
+        prop_assert_eq!(stripped.nthreads, snap.nthreads);
+        prop_assert_eq!(stripped.run_queue, snap.run_queue);
+        prop_assert_eq!(stripped.active_conns, snap.active_conns);
+        prop_assert!((stripped.cpu_util - snap.cpu_util).abs() < 1e-15);
+    }
+
+    /// Snapshot age never underflows.
+    #[test]
+    fn age_saturates(snap in arb_snapshot(), now in 0u64..2_000_000_000) {
+        let age = snap.age(SimTime(now));
+        prop_assert_eq!(
+            age.nanos(),
+            now.saturating_sub(snap.measured_at.nanos())
+        );
+    }
+}
+
+proptest! {
+    /// Scheme label round-trips through FromStr for arbitrary case/punct.
+    #[test]
+    fn scheme_label_roundtrip_fuzzed_case(idx in 0usize..6, upper in prop::collection::vec(any::<bool>(), 0..20)) {
+        let scheme = Scheme::ALL[idx];
+        let label = scheme.label();
+        let mangled: String = label
+            .chars()
+            .enumerate()
+            .map(|(i, c)| {
+                if upper.get(i).copied().unwrap_or(false) {
+                    c.to_ascii_uppercase()
+                } else {
+                    c.to_ascii_lowercase()
+                }
+            })
+            .collect();
+        let parsed: Scheme = mangled.parse().expect("parse mangled label");
+        prop_assert_eq!(parsed, scheme);
+    }
+}

@@ -1,0 +1,29 @@
+//! # fgmon-workload — workload models for the cluster-server experiments
+//!
+//! * [`rubis`] — RUBiS auction benchmark: the eight query classes of the
+//!   paper's Table 1 with calibrated service demands, and the session
+//!   transition matrix of the RUBiS client emulator.
+//! * [`zipf`] — Zipf-ranked static-content catalog (Fig. 7's co-hosted
+//!   trace, α ∈ \[0.25, 0.9\]).
+//! * [`webserver`] — Apache-prefork-style worker-pool back-end server.
+//! * [`clients`] — closed-loop session drivers.
+//! * [`background`] — CPU hogs, communication chatter, and time-varying
+//!   load ramps.
+//! * [`floatapp`] — the Fig. 4 floating-point probe application.
+
+pub mod background;
+pub mod clients;
+pub mod floatapp;
+pub mod rubis;
+pub mod webserver;
+pub mod zipf;
+
+#[cfg(test)]
+mod proptests;
+
+pub use background::{CommLoad, CommSink, ComputeHogs, LoadRamp, RampStep};
+pub use clients::{RubisClient, ZipfClient};
+pub use floatapp::FloatApp;
+pub use rubis::{QueryProfile, TransitionMatrix};
+pub use webserver::WorkerPoolServer;
+pub use zipf::ZipfCatalog;

@@ -1,0 +1,70 @@
+//! Property-based tests for the workload models.
+
+#![cfg(test)]
+
+use fgmon_sim::DetRng;
+use fgmon_types::QueryClass;
+use proptest::prelude::*;
+
+use crate::rubis::{QueryProfile, TransitionMatrix};
+use crate::zipf::ZipfCatalog;
+
+proptest! {
+    /// Service demands are positive, finite, and bounded by the spike
+    /// envelope.
+    #[test]
+    fn rubis_demand_bounded(seed in 0u64.., class_idx in 0usize..8) {
+        let class = QueryClass::ALL[class_idx];
+        let p = QueryProfile::of(class);
+        let mut rng = DetRng::new(seed);
+        for _ in 0..64 {
+            let d = p.sample_cpu(&mut rng);
+            prop_assert!(d.nanos() > 0, "demand must be positive");
+            // Envelope: worst case is a spiked draw with an extreme
+            // exponential tail; 100x mean x mult is astronomically
+            // conservative but catches unit errors (ms vs ns).
+            let cap = p.cpu_mean.nanos() as f64 * p.spike_mult * 100.0;
+            prop_assert!((d.nanos() as f64) < cap, "demand {} beyond envelope", d);
+        }
+    }
+
+    /// Session walks only ever visit valid query classes, from any start.
+    #[test]
+    fn transition_closed_over_classes(seed in 0u64.., start_idx in 0usize..8) {
+        let m = TransitionMatrix::default();
+        let mut rng = DetRng::new(seed);
+        let mut class = QueryClass::ALL[start_idx];
+        for _ in 0..256 {
+            class = m.next(class, &mut rng);
+            prop_assert!(QueryClass::ALL.contains(&class));
+        }
+    }
+
+    /// Catalog sizes are within bounds and sampling stays in range for
+    /// any (n, alpha).
+    #[test]
+    fn zipf_catalog_bounds(n in 1usize..2000, alpha in 0.0f64..1.5, seed in 0u64..) {
+        let mut rng = DetRng::new(seed);
+        let c = ZipfCatalog::new(n, alpha, &mut rng);
+        prop_assert_eq!(c.len(), n);
+        for _ in 0..32 {
+            let (doc, size) = c.sample(&mut rng);
+            prop_assert!((doc as usize) < n);
+            prop_assert!((1..=512).contains(&size));
+            prop_assert_eq!(c.size_of(doc), Some(size));
+        }
+        // Service cost is monotone in size.
+        prop_assert!(ZipfCatalog::service_cost(512) > ZipfCatalog::service_cost(1));
+    }
+
+    /// The estimated stationary mix is a probability distribution.
+    #[test]
+    fn transition_mix_is_distribution(seed in 0u64..) {
+        let m = TransitionMatrix::default();
+        let mut rng = DetRng::new(seed);
+        let mix = m.estimate_mix(&mut rng, 5_000);
+        let total: f64 = mix.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(mix.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+}

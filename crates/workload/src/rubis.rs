@@ -1,0 +1,242 @@
+//! RUBiS-like auction workload model.
+//!
+//! RUBiS (Rice University Bidding System) emulates an auction site:
+//! browsing, searching, bidding, selling. We model the eight query classes
+//! of the paper's Table 1 with calibrated service demands, and the client
+//! emulator as a session Markov chain over those classes with exponential
+//! think times — the structure of the real RUBiS client emulator.
+
+use fgmon_sim::{DetRng, SimDuration};
+use fgmon_types::QueryClass;
+
+/// Service demand profile of one query class on a 2006-era back-end.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryProfile {
+    /// Mean CPU demand (PHP execution + MySQL work on the same node).
+    pub cpu_mean: SimDuration,
+    /// Heavy-tail spike probability (cache miss / slow query plan).
+    pub spike_p: f64,
+    /// Spike multiplier.
+    pub spike_mult: f64,
+    /// Response body size in KiB.
+    pub resp_kb: u32,
+    /// Session memory footprint while the request is in service, KiB.
+    pub mem_kb: u32,
+}
+
+impl QueryProfile {
+    /// Profile for a query class, calibrated so unloaded mean response
+    /// times land near the paper's Table 1 "average response time" column
+    /// (values there are milliseconds).
+    pub fn of(class: QueryClass) -> QueryProfile {
+        // (cpu ms, spike_p, spike_mult, resp KiB, mem KiB)
+        // Spikes model slow PHP/MySQL paths (cache misses, lock waits,
+        // bad plans): rare but 10-25x — the transient hotspots whose
+        // detection separates the monitoring schemes in Table 1. Base
+        // values are set so the unloaded mean response matches the
+        // paper's "average response time" column.
+        let (ms, spike_p, spike_mult, resp_kb, mem_kb) = match class {
+            QueryClass::Home => (2.46, 0.02, 12.0, 4, 64),
+            QueryClass::Browse => (2.34, 0.02, 15.0, 8, 64),
+            QueryClass::BrowseRegions => (4.69, 0.02, 15.0, 12, 96),
+            QueryClass::BrowseCategoriesInRegion => (14.8, 0.03, 6.0, 16, 128),
+            QueryClass::SearchItemsInRegion => (3.13, 0.02, 15.0, 16, 128),
+            QueryClass::PutBidAuth => (2.58, 0.015, 12.0, 4, 64),
+            QueryClass::Sell => (3.28, 0.02, 12.0, 4, 64),
+            QueryClass::AboutMe => (2.46, 0.02, 12.0, 8, 96),
+        };
+        QueryProfile {
+            cpu_mean: SimDuration::from_secs_f64(ms / 1e3),
+            spike_p,
+            spike_mult,
+            resp_kb,
+            mem_kb,
+        }
+    }
+
+    /// Draw one service demand.
+    pub fn sample_cpu(&self, rng: &mut DetRng) -> SimDuration {
+        let mean_s = self.cpu_mean.as_secs_f64();
+        // Body: shifted-exponential around the mean (half deterministic,
+        // half exponential) — dynamic pages have a floor cost.
+        let base = mean_s * 0.5 + rng.exp(mean_s * 0.5);
+        let secs = if rng.chance(self.spike_p) {
+            base * self.spike_mult
+        } else {
+            base
+        };
+        SimDuration::from_secs_f64(secs)
+    }
+}
+
+/// Session state machine: which query a client issues next.
+///
+/// A compact version of the RUBiS browse/bid transition table: weights per
+/// (current, next) pair; rows normalize on use.
+#[derive(Clone, Debug)]
+pub struct TransitionMatrix {
+    rows: [[f64; 8]; 8],
+}
+
+impl Default for TransitionMatrix {
+    fn default() -> Self {
+        use QueryClass::*;
+        let idx = |c: QueryClass| c as usize;
+        let mut rows = [[0.0f64; 8]; 8];
+        let mut set = |from: QueryClass, tos: &[(QueryClass, f64)]| {
+            for &(to, w) in tos {
+                rows[idx(from)][idx(to)] = w;
+            }
+        };
+        // Browsing-heavy default mix (RUBiS "browsing" + some bidding).
+        set(Home, &[(Browse, 0.7), (SearchItemsInRegion, 0.2), (AboutMe, 0.1)]);
+        set(
+            Browse,
+            &[
+                (BrowseRegions, 0.35),
+                (BrowseCategoriesInRegion, 0.25),
+                (SearchItemsInRegion, 0.2),
+                (Home, 0.1),
+                (PutBidAuth, 0.1),
+            ],
+        );
+        set(
+            BrowseRegions,
+            &[
+                (BrowseCategoriesInRegion, 0.45),
+                (Browse, 0.25),
+                (SearchItemsInRegion, 0.2),
+                (Home, 0.1),
+            ],
+        );
+        set(
+            BrowseCategoriesInRegion,
+            &[
+                (SearchItemsInRegion, 0.45),
+                (Browse, 0.2),
+                (PutBidAuth, 0.2),
+                (Home, 0.15),
+            ],
+        );
+        set(
+            SearchItemsInRegion,
+            &[
+                (PutBidAuth, 0.3),
+                (Browse, 0.3),
+                (SearchItemsInRegion, 0.2),
+                (Home, 0.2),
+            ],
+        );
+        set(PutBidAuth, &[(Browse, 0.4), (Sell, 0.2), (AboutMe, 0.2), (Home, 0.2)]);
+        set(Sell, &[(Home, 0.4), (Browse, 0.3), (AboutMe, 0.3)]);
+        set(AboutMe, &[(Home, 0.5), (Browse, 0.5)]);
+        TransitionMatrix { rows }
+    }
+}
+
+impl TransitionMatrix {
+    /// Sample the next query class.
+    pub fn next(&self, current: QueryClass, rng: &mut DetRng) -> QueryClass {
+        let row = &self.rows[current as usize];
+        let total: f64 = row.iter().sum();
+        if total <= 0.0 {
+            return QueryClass::Home;
+        }
+        let mut u = rng.f64() * total;
+        for (i, &w) in row.iter().enumerate() {
+            u -= w;
+            if u <= 0.0 {
+                return QueryClass::ALL[i];
+            }
+        }
+        QueryClass::Home
+    }
+
+    /// Stationary visit mix, estimated by simulation (used in tests and to
+    /// report workload composition).
+    pub fn estimate_mix(&self, rng: &mut DetRng, steps: usize) -> [f64; 8] {
+        let mut counts = [0u64; 8];
+        let mut cur = QueryClass::Home;
+        for _ in 0..steps {
+            cur = self.next(cur, rng);
+            counts[cur as usize] += 1;
+        }
+        let total = steps.max(1) as f64;
+        let mut mix = [0.0; 8];
+        for i in 0..8 {
+            mix[i] = counts[i] as f64 / total;
+        }
+        mix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_track_table1_ordering() {
+        // BrowseCategoriesInRegion is by far the heaviest query in Table 1.
+        let heavy = QueryProfile::of(QueryClass::BrowseCategoriesInRegion);
+        for c in QueryClass::ALL {
+            if c != QueryClass::BrowseCategoriesInRegion {
+                assert!(
+                    heavy.cpu_mean > QueryProfile::of(c).cpu_mean,
+                    "{c} unexpectedly heavier"
+                );
+            }
+        }
+        // BrowseRegions is the second heaviest.
+        assert!(
+            QueryProfile::of(QueryClass::BrowseRegions).cpu_mean
+                > QueryProfile::of(QueryClass::Browse).cpu_mean
+        );
+    }
+
+    #[test]
+    fn sample_cpu_mean_is_close() {
+        let mut rng = DetRng::new(5);
+        let p = QueryProfile::of(QueryClass::Browse);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| p.sample_cpu(&mut rng).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        let expected = p.cpu_mean.as_secs_f64() * (1.0 + p.spike_p * (p.spike_mult - 1.0));
+        assert!(
+            (mean - expected).abs() / expected < 0.1,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn transitions_cover_all_classes() {
+        let m = TransitionMatrix::default();
+        let mut rng = DetRng::new(7);
+        let mix = m.estimate_mix(&mut rng, 100_000);
+        for (i, &share) in mix.iter().enumerate() {
+            assert!(
+                share > 0.01,
+                "class {:?} never visited (share {share})",
+                QueryClass::ALL[i]
+            );
+        }
+        // Browse should dominate a browsing mix.
+        assert!(mix[QueryClass::Browse as usize] > 0.15);
+        let total: f64 = mix.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transition_is_deterministic_per_seed() {
+        let m = TransitionMatrix::default();
+        let mut a = DetRng::new(9);
+        let mut b = DetRng::new(9);
+        for _ in 0..100 {
+            assert_eq!(
+                m.next(QueryClass::Browse, &mut a),
+                m.next(QueryClass::Browse, &mut b)
+            );
+        }
+    }
+}

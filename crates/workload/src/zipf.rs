@@ -1,0 +1,125 @@
+//! Zipf-distributed static-content workload (paper §5.2.1, Fig. 7).
+//!
+//! "According to Zipf law, the relative probability of a request for the
+//! i-th most popular document is proportional to 1/i^α" — higher α means
+//! higher temporal locality. The co-hosted trace serves documents of
+//! varying size, so requests have divergent resource demands, which is
+//! precisely what rewards fine-grained monitoring at low α.
+
+use fgmon_sim::{DetRng, SimDuration, ZipfSampler};
+
+/// A static-document catalog with Zipf-ranked popularity.
+#[derive(Clone, Debug)]
+pub struct ZipfCatalog {
+    sampler: ZipfSampler,
+    sizes_kb: Vec<u32>,
+}
+
+impl ZipfCatalog {
+    /// Build a catalog of `n` documents with exponent `alpha`.
+    ///
+    /// Sizes follow a heavy-tailed layout independent of rank (popular
+    /// documents are not systematically small — that independence is what
+    /// creates divergent per-request demand).
+    pub fn new(n: usize, alpha: f64, rng: &mut DetRng) -> Self {
+        let sampler = ZipfSampler::new(n, alpha);
+        let sizes_kb = (0..n)
+            .map(|_| {
+                // 1 KiB .. ~512 KiB, log-uniform-ish.
+                let exp = rng.f64() * 9.0; // 2^0 .. 2^9
+                (2f64.powf(exp)).round().clamp(1.0, 512.0) as u32
+            })
+            .collect();
+        ZipfCatalog { sampler, sizes_kb }
+    }
+
+    pub fn alpha(&self) -> f64 {
+        self.sampler.alpha()
+    }
+
+    pub fn len(&self) -> usize {
+        self.sizes_kb.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sizes_kb.is_empty()
+    }
+
+    /// Draw a document; returns `(doc_id, size_kb)`.
+    pub fn sample(&self, rng: &mut DetRng) -> (u32, u32) {
+        let doc = self.sampler.sample(rng);
+        (doc as u32, self.sizes_kb[doc])
+    }
+
+    pub fn size_of(&self, doc: u32) -> Option<u32> {
+        self.sizes_kb.get(doc as usize).copied()
+    }
+
+    /// CPU demand to serve `size_kb` from this catalog: syscall/copy floor
+    /// plus a per-KiB transfer cost (static file service is I/O-copy
+    /// bound).
+    pub fn service_cost(size_kb: u32) -> SimDuration {
+        SimDuration::from_micros(150) + SimDuration::from_micros(12 * size_kb as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_alpha_concentrates_on_head() {
+        let rng = DetRng::new(1);
+        let hot = ZipfCatalog::new(1000, 0.9, &mut rng.fork("a"));
+        let cold = ZipfCatalog::new(1000, 0.25, &mut rng.fork("b"));
+        let head_share = |c: &ZipfCatalog, rng: &mut DetRng| {
+            let n = 20_000;
+            let mut head = 0;
+            for _ in 0..n {
+                if c.sample(rng).0 < 20 {
+                    head += 1;
+                }
+            }
+            head as f64 / n as f64
+        };
+        let hot_share = head_share(&hot, &mut rng.fork("c"));
+        let cold_share = head_share(&cold, &mut rng.fork("d"));
+        assert!(
+            hot_share > cold_share + 0.15,
+            "hot {hot_share} vs cold {cold_share}"
+        );
+    }
+
+    #[test]
+    fn sizes_are_heavy_tailed_and_bounded() {
+        let mut rng = DetRng::new(2);
+        let c = ZipfCatalog::new(2000, 0.5, &mut rng);
+        let sizes: Vec<u32> = (0..2000).map(|i| c.size_of(i).unwrap()).collect();
+        assert!(sizes.iter().all(|&s| (1..=512).contains(&s)));
+        let small = sizes.iter().filter(|&&s| s <= 8).count();
+        let large = sizes.iter().filter(|&&s| s >= 128).count();
+        assert!(small > 100, "small docs {small}");
+        assert!(large > 100, "large docs {large}");
+        assert!(c.size_of(5000).is_none());
+    }
+
+    #[test]
+    fn service_cost_scales_with_size() {
+        let tiny = ZipfCatalog::service_cost(1);
+        let big = ZipfCatalog::service_cost(512);
+        assert!(big > tiny.mul_f64(10.0));
+        // A 512 KiB document costs ~6ms of copy work — divergent vs 162µs.
+        assert!(big > SimDuration::from_millis(5));
+        assert!(big < SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn deterministic_catalog() {
+        let mk = || {
+            let mut rng = DetRng::new(42);
+            let c = ZipfCatalog::new(100, 0.5, &mut rng);
+            (0..100).map(|i| c.size_of(i).unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,62 @@
+//! Admission control: the "number of requests the cluster-system can
+//! admit" metric behind the paper's headline 25%. Sweeps the admission
+//! threshold on an overloaded 2-back-end cluster and shows the
+//! completed/rejected trade-off, then compares schemes at a fixed
+//! threshold.
+//!
+//! ```text
+//! cargo run --release --example admission_control
+//! ```
+
+use fgmon_balancer::Dispatcher;
+use fgmon_cluster::{rubis_world, RubisWorldCfg};
+use fgmon_sim::SimDuration;
+use fgmon_types::Scheme;
+use fgmon_workload::RubisClient;
+
+fn run(scheme: Scheme, threshold: Option<f64>) -> (u64, u64, f64) {
+    let cfg = RubisWorldCfg {
+        scheme,
+        backends: 2,
+        rubis_sessions: 128,
+        think_mean: SimDuration::from_millis(40),
+        admission_threshold: threshold,
+        ..Default::default()
+    };
+    let mut w = rubis_world(&cfg);
+    w.cluster.run_for(SimDuration::from_secs(12));
+    let client: &RubisClient = w.cluster.service(w.client_node, w.rubis_client_slot);
+    let disp: &Dispatcher = w.cluster.service(w.frontend, w.dispatcher_slot);
+    let mut pooled = fgmon_sim::Histogram::new();
+    for class in fgmon_types::QueryClass::ALL {
+        if let Some(h) = w
+            .cluster
+            .recorder()
+            .get_histogram(&format!("rubis/resp/{}", class.label()))
+        {
+            pooled.merge(h);
+        }
+    }
+    (client.completed, disp.stats.rejected, pooled.quantile(0.99) as f64 / 1e6)
+}
+
+fn main() {
+    println!("Admission control on an overloaded 2-node cluster (RDMA-Sync)");
+    println!();
+    println!("{:>10} {:>10} {:>10} {:>12}", "threshold", "completed", "rejected", "p99 (ms)");
+    for t in [None, Some(0.8), Some(0.5), Some(0.35)] {
+        let (done, rejected, p99) = run(Scheme::RdmaSync, t);
+        let label = t.map(|v| format!("{v}")).unwrap_or_else(|| "off".into());
+        println!("{label:>10} {done:>10} {rejected:>10} {p99:>12.1}");
+    }
+    println!();
+    println!("Rejecting work when every server is past the threshold trades");
+    println!("admitted volume for bounded response times — and the accuracy");
+    println!("of the load information decides how good that trade is:");
+    println!();
+    println!("{:<14} {:>10} {:>10} {:>12}", "scheme", "completed", "rejected", "p99 (ms)");
+    for scheme in Scheme::ALL_PAPER {
+        let (done, rejected, p99) = run(scheme, Some(0.5));
+        println!("{:<14} {done:>10} {rejected:>10} {p99:>12.1}", scheme.label());
+    }
+}

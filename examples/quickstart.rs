@@ -1,0 +1,68 @@
+//! Quickstart: build a tiny cluster, monitor one loaded back-end with two
+//! schemes, and print what the paper's whole argument is about.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fgmon_cluster::micro_latency;
+use fgmon_core::scheme_quality;
+use fgmon_sim::SimDuration;
+use fgmon_types::{OsConfig, Scheme};
+
+fn main() {
+    println!("finegrain-monitor quickstart");
+    println!("============================");
+    println!();
+    println!("One front-end polls one back-end every 50 ms while the");
+    println!("back-end runs 24 compute threads plus network chatter.");
+    println!();
+    println!(
+        "{:<14} {:>14} {:>14} {:>14}",
+        "scheme", "latency mean", "latency max", "staleness mean"
+    );
+
+    for scheme in Scheme::ALL {
+        // Build a deterministic world: front-end, back-end, chatter peer.
+        let mut world = micro_latency(
+            scheme,
+            24,                             // background compute threads
+            true,                           // communication chatter
+            SimDuration::from_millis(50),   // polling interval T
+            OsConfig::default(),
+            42,                             // seed
+        );
+        world.cluster.run_for(SimDuration::from_secs(10));
+
+        if let Some(q) = scheme_quality(world.cluster.recorder(), scheme) {
+            println!(
+                "{:<14} {:>11.1} µs {:>11.1} µs {:>11.2} ms",
+                scheme.label(),
+                q.latency_mean_us,
+                q.latency_max_us,
+                q.staleness_mean_ms
+            );
+        } else {
+            // Push-based scheme: no request/reply latency, staleness only.
+            let stale = world
+                .cluster
+                .recorder()
+                .get_histogram(&format!("mon/staleness/{}", scheme.label()))
+                .map(|h| h.mean() / 1e6)
+                .unwrap_or(f64::NAN);
+            println!(
+                "{:<14} {:>14} {:>14} {:>11.2} ms",
+                scheme.label(),
+                "(push)",
+                "(push)",
+                stale
+            );
+        }
+    }
+
+    println!();
+    println!("The socket schemes' latency includes back-end scheduling");
+    println!("delays that grow with load; the one-sided RDMA reads never");
+    println!("touch the back-end CPU, so they stay flat — and RDMA-Sync");
+    println!("reads the live kernel counters, so its data is never stale.");
+}

@@ -1,0 +1,86 @@
+//! Run the paper's cluster-based auction server: 8 back-ends behind a
+//! WebSphere-style dispatcher, RUBiS clients, and a monitoring scheme of
+//! your choice.
+//!
+//! ```text
+//! cargo run --release --example rubis_cluster [scheme] [seconds]
+//! cargo run --release --example rubis_cluster e-RDMA-Sync 30
+//! ```
+
+use fgmon_balancer::Dispatcher;
+use fgmon_cluster::{rubis_world, RubisWorldCfg};
+use fgmon_sim::SimDuration;
+use fgmon_types::{QueryClass, Scheme};
+use fgmon_workload::RubisClient;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scheme: Scheme = args
+        .get(1)
+        .map(|s| s.parse().expect("unknown scheme"))
+        .unwrap_or(Scheme::RdmaSync);
+    let seconds: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20);
+
+    let cfg = RubisWorldCfg {
+        scheme,
+        backends: 8,
+        rubis_sessions: 288,
+        think_mean: SimDuration::from_millis(100),
+        granularity: SimDuration::from_millis(50),
+        ..Default::default()
+    };
+    println!(
+        "Simulating {} RUBiS sessions on {} back-ends with {} monitoring for {}s…",
+        cfg.rubis_sessions, cfg.backends, scheme, seconds
+    );
+
+    let mut w = rubis_world(&cfg);
+    w.cluster.run_for(SimDuration::from_secs(seconds));
+
+    let client: &RubisClient = w.cluster.service(w.client_node, w.rubis_client_slot);
+    let disp: &Dispatcher = w.cluster.service(w.frontend, w.dispatcher_slot);
+
+    println!();
+    println!(
+        "completed {} requests ({:.0}/s); dispatcher forwarded {}, rejected {}",
+        client.completed,
+        client.completed as f64 / seconds as f64,
+        disp.stats.forwarded,
+        disp.stats.rejected
+    );
+    println!();
+    println!("{:<18} {:>10} {:>10} {:>8}", "query", "avg (ms)", "max (ms)", "count");
+    for class in QueryClass::ALL {
+        if let Some(h) = w
+            .cluster
+            .recorder()
+            .get_histogram(&format!("rubis/resp/{}", class.label()))
+        {
+            println!(
+                "{:<18} {:>10.1} {:>10.0} {:>8}",
+                class.label(),
+                h.mean() / 1e6,
+                h.max() as f64 / 1e6,
+                h.count()
+            );
+        }
+    }
+    println!();
+    println!("routing shares per back-end: {:?}", disp.stats.per_backend);
+    let lat = w
+        .cluster
+        .recorder()
+        .get_histogram(&format!("mon/latency/{}", scheme.label()));
+    if let Some(h) = lat {
+        println!(
+            "monitoring latency: mean {:.1} µs, max {:.1} µs over {} polls",
+            h.mean() / 1e3,
+            h.max() as f64 / 1e3,
+            h.count()
+        );
+    }
+
+    println!();
+    let now = w.cluster.eng.now();
+    print!("{}", fgmon_cluster::render_report(&mut w.cluster, scheme, now));
+}

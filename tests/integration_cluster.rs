@@ -1,0 +1,241 @@
+//! Integration: the full application-level cluster (front-end dispatcher,
+//! back-ends, RUBiS + Zipf clients) serves traffic end to end.
+
+use fgmon_balancer::{Dispatcher, Policy};
+use fgmon_cluster::{rubis_world, RubisWorldCfg};
+use fgmon_sim::SimDuration;
+use fgmon_types::{QueryClass, Scheme};
+use fgmon_workload::{RubisClient, WorkerPoolServer, ZipfClient};
+
+fn base_cfg() -> RubisWorldCfg {
+    RubisWorldCfg {
+        backends: 4,
+        rubis_sessions: 32,
+        think_mean: SimDuration::from_millis(200),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn rubis_cluster_serves_requests() {
+    let mut w = rubis_world(&base_cfg());
+    w.cluster.run_for(SimDuration::from_secs(20));
+
+    let client: &RubisClient = w.cluster.service(w.client_node, w.rubis_client_slot);
+    assert!(
+        client.completed > 1_000,
+        "only {} requests completed in 20s",
+        client.completed
+    );
+
+    let disp: &Dispatcher = w.cluster.service(w.frontend, w.dispatcher_slot);
+    let outstanding = disp.stats.forwarded - disp.stats.completed;
+    assert!(outstanding < 40, "too many stuck requests: {outstanding}");
+    assert_eq!(disp.stats.rejected, 0);
+
+    // Every backend served a meaningful share.
+    let total: u64 = disp.stats.per_backend.iter().sum();
+    for (i, &n) in disp.stats.per_backend.iter().enumerate() {
+        assert!(
+            (n as f64) > total as f64 * 0.08,
+            "backend {i} starved: {n}/{total}"
+        );
+    }
+
+    // Back-end servers actually did the work.
+    let mut served = 0;
+    for &be in &w.backends {
+        let srv: &WorkerPoolServer = w.cluster.service(be, fgmon_types::ServiceSlot(1));
+        served += srv.served;
+    }
+    assert!(served >= disp.stats.completed);
+
+    // Response-time histograms exist for the classes of Table 1.
+    for class in QueryClass::ALL {
+        let key = format!("rubis/resp/{}", class.label());
+        let h = w.cluster.recorder().get_histogram(&key);
+        assert!(h.is_some_and(|h| h.count() > 10), "no data for {key}");
+    }
+}
+
+#[test]
+fn co_hosted_zipf_traffic_flows() {
+    let mut cfg = base_cfg();
+    cfg.zipf = Some((0.5, 24));
+    let mut w = rubis_world(&cfg);
+    w.cluster.run_for(SimDuration::from_secs(15));
+    let zipf: &ZipfClient = w
+        .cluster
+        .service(w.client_node, w.zipf_client_slot.expect("zipf on"));
+    assert!(zipf.completed > 500, "zipf completed {}", zipf.completed);
+    let rubis: &RubisClient = w.cluster.service(w.client_node, w.rubis_client_slot);
+    assert!(rubis.completed > 500);
+}
+
+#[test]
+fn all_schemes_drive_the_dispatcher() {
+    for scheme in Scheme::ALL {
+        let mut cfg = base_cfg();
+        cfg.scheme = scheme;
+        cfg.rubis_sessions = 16;
+        let mut w = rubis_world(&cfg);
+        w.cluster.run_for(SimDuration::from_secs(8));
+        let client: &RubisClient = w.cluster.service(w.client_node, w.rubis_client_slot);
+        assert!(
+            client.completed > 200,
+            "{scheme}: {} completed",
+            client.completed
+        );
+        let disp: &Dispatcher = w.cluster.service(w.frontend, w.dispatcher_slot);
+        // The dispatcher actually received load information for all 4
+        // backends.
+        let informed = disp
+            .monitor
+            .views()
+            .iter()
+            .filter(|v| v.latest.is_some())
+            .count();
+        assert_eq!(informed, 4, "{scheme}: views missing");
+    }
+}
+
+#[test]
+fn policies_differ_in_routing() {
+    let run = |policy: Policy| {
+        let mut cfg = base_cfg();
+        cfg.policy = policy;
+        let mut w = rubis_world(&cfg);
+        w.cluster.run_for(SimDuration::from_secs(10));
+        let disp: &Dispatcher = w.cluster.service(w.frontend, w.dispatcher_slot);
+        disp.stats.per_backend.clone()
+    };
+    let rr = run(Policy::RoundRobin);
+    // Round robin splits almost perfectly evenly.
+    let total: u64 = rr.iter().sum();
+    let expect = total / rr.len() as u64;
+    for &n in &rr {
+        assert!((n as i64 - expect as i64).unsigned_abs() <= 1 + total / 100);
+    }
+    let random = run(Policy::Random);
+    assert_ne!(rr, random);
+}
+
+#[test]
+fn admission_control_rejects_under_overload() {
+    let mut cfg = base_cfg();
+    cfg.backends = 2;
+    cfg.rubis_sessions = 128;
+    cfg.think_mean = SimDuration::from_millis(40);
+    cfg.admission_threshold = Some(0.4);
+    let mut w = rubis_world(&cfg);
+    w.cluster.run_for(SimDuration::from_secs(10));
+    let disp: &Dispatcher = w.cluster.service(w.frontend, w.dispatcher_slot);
+    assert!(
+        disp.stats.rejected > 0,
+        "expected rejections with 128 hot sessions on 2 backends"
+    );
+    assert!(disp.stats.completed > 0);
+}
+
+#[test]
+fn worker_pools_grow_under_load() {
+    let mut cfg = base_cfg();
+    cfg.rubis_sessions = 48;
+    cfg.think_mean = SimDuration::from_millis(60);
+    let mut w = rubis_world(&cfg);
+    w.cluster.run_for(SimDuration::from_secs(5));
+    let be = w.backends[0];
+    let live = w.cluster.node(be).core().threads.live_count();
+    assert!(live >= 3, "pool did not grow under load: {live}");
+}
+
+#[test]
+fn reconfiguration_adapts_partition_to_demand() {
+    use fgmon_balancer::{ReconfigPolicy, ServiceClass};
+
+    // Demand heavily skewed to RUBiS; the initial half/half partition is
+    // wrong and the monitoring-driven manager must fix it.
+    let run = |policy: Option<ReconfigPolicy>| {
+        let cfg = RubisWorldCfg {
+            backends: 6,
+            rubis_sessions: 120,
+            think_mean: SimDuration::from_millis(40),
+            zipf: Some((0.5, 12)),
+            reconfig: policy,
+            ..Default::default()
+        };
+        let mut w = rubis_world(&cfg);
+        w.cluster.run_for(SimDuration::from_secs(12));
+        let rubis: &RubisClient = w.cluster.service(w.client_node, w.rubis_client_slot);
+        let zipf: &ZipfClient = w
+            .cluster
+            .service(w.client_node, w.zipf_client_slot.expect("zipf"));
+        let disp: &Dispatcher = w.cluster.service(w.frontend, w.dispatcher_slot);
+        let dyn_nodes = disp
+            .reconfig
+            .as_ref()
+            .map(|r| r.count(ServiceClass::Dynamic));
+        (rubis.completed + zipf.completed, dyn_nodes)
+    };
+
+    let (static_split, static_dyn) = run(Some(ReconfigPolicy {
+        hysteresis: f64::INFINITY,
+        ..ReconfigPolicy::default()
+    }));
+    assert_eq!(static_dyn, Some(3), "static partition must not move");
+
+    let (reconfigured, final_dyn) = run(Some(ReconfigPolicy::default()));
+    let final_dyn = final_dyn.expect("reconfig enabled");
+    assert!(
+        final_dyn > 3,
+        "manager should shift nodes to the hot dynamic service, got {final_dyn}"
+    );
+    assert!(
+        reconfigured as f64 > static_split as f64 * 1.2,
+        "reconfiguration should recover throughput: {reconfigured} vs {static_split}"
+    );
+}
+
+#[test]
+fn argmin_routing_herds_on_stale_info_weighted_does_not() {
+    // The design choice DESIGN.md calls out: hard argmin on a stale load
+    // index pins whole monitoring intervals onto one machine. The herds
+    // rotate between windows (so end-of-run routing shares even out), but
+    // the within-window pile-ups cost real tail latency and throughput at
+    // coarse granularity.
+    let run = |policy: Policy| {
+        let cfg = RubisWorldCfg {
+            backends: 4,
+            rubis_sessions: 96,
+            think_mean: SimDuration::from_millis(40),
+            granularity: SimDuration::from_millis(2000),
+            policy,
+            ..Default::default()
+        };
+        let mut w = rubis_world(&cfg);
+        w.cluster.run_for(SimDuration::from_secs(12));
+        let mut pooled = fgmon_sim::Histogram::new();
+        for class in QueryClass::ALL {
+            if let Some(h) = w
+                .cluster
+                .recorder()
+                .get_histogram(&format!("rubis/resp/{}", class.label()))
+            {
+                pooled.merge(h);
+            }
+        }
+        let client: &RubisClient = w.cluster.service(w.client_node, w.rubis_client_slot);
+        (client.completed, pooled.quantile(0.99) as f64 / 1e6)
+    };
+    let (argmin_done, argmin_p99) = run(Policy::ArgminLeastLoad);
+    let (weighted_done, weighted_p99) = run(Policy::WeightedLeastLoad);
+    assert!(
+        argmin_p99 > weighted_p99 * 1.25,
+        "argmin herding should inflate p99: argmin {argmin_p99:.1}ms \
+         ({argmin_done} done) vs weighted {weighted_p99:.1}ms ({weighted_done} done)"
+    );
+    assert!(
+        weighted_done as f64 > argmin_done as f64 * 1.02,
+        "weighted routing should admit more: {weighted_done} vs {argmin_done}"
+    );
+}

@@ -1,0 +1,89 @@
+//! Integration: a (seed, config) pair fully determines every output.
+
+use fgmon_balancer::Dispatcher;
+use fgmon_cluster::{micro_latency, rubis_world, RubisWorldCfg};
+use fgmon_sim::SimDuration;
+use fgmon_types::{OsConfig, Scheme};
+use fgmon_workload::RubisClient;
+
+fn fingerprint(seed: u64) -> (u64, u64, Vec<u64>, u64) {
+    let cfg = RubisWorldCfg {
+        backends: 4,
+        rubis_sessions: 24,
+        think_mean: SimDuration::from_millis(150),
+        zipf: Some((0.5, 12)),
+        seed,
+        ..Default::default()
+    };
+    let mut w = rubis_world(&cfg);
+    w.cluster.run_for(SimDuration::from_secs(8));
+    let client: &RubisClient = w.cluster.service(w.client_node, w.rubis_client_slot);
+    let disp: &Dispatcher = w.cluster.service(w.frontend, w.dispatcher_slot);
+    (
+        client.completed,
+        disp.stats.forwarded,
+        disp.stats.per_backend.clone(),
+        w.cluster.eng.events_processed(),
+    )
+}
+
+#[test]
+fn same_seed_identical_runs() {
+    assert_eq!(fingerprint(101), fingerprint(101));
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = fingerprint(101);
+    let b = fingerprint(102);
+    // Event counts or routing shares will differ with overwhelming
+    // probability under different stochastic workloads.
+    assert_ne!(a, b);
+}
+
+#[test]
+fn micro_world_bitwise_deterministic() {
+    let run = || {
+        let mut w = micro_latency(
+            Scheme::SocketAsync,
+            16,
+            true,
+            SimDuration::from_millis(20),
+            OsConfig::default(),
+            77,
+        );
+        w.cluster.run_for(SimDuration::from_secs(4));
+        let h = w
+            .cluster
+            .recorder()
+            .get_histogram("mon/latency/Socket-Async")
+            .expect("hist");
+        (h.count(), h.mean().to_bits(), h.max(), w.cluster.eng.events_processed())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn recorder_keys_are_stable_ordered() {
+    let keys = |seed| {
+        let cfg = RubisWorldCfg {
+            backends: 2,
+            rubis_sessions: 8,
+            seed,
+            ..Default::default()
+        };
+        let mut w = rubis_world(&cfg);
+        w.cluster.run_for(SimDuration::from_secs(3));
+        w.cluster
+            .recorder()
+            .histogram_keys()
+            .map(String::from)
+            .collect::<Vec<_>>()
+    };
+    let a = keys(1);
+    let b = keys(1);
+    assert_eq!(a, b);
+    let mut sorted = a.clone();
+    sorted.sort();
+    assert_eq!(a, sorted, "BTreeMap keys must iterate sorted");
+}
