@@ -1,0 +1,174 @@
+//! In-tree stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment has no registry access, so this crate provides
+//! the subset of criterion's API the workspace benches use: `Criterion`,
+//! `benchmark_group`/`bench_function`/`bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! There is no statistical machinery: each benchmark runs its closure a
+//! small fixed number of iterations and prints the mean wall-clock time.
+//! That keeps `cargo bench` (and `cargo test --benches`) compiling and
+//! runnable while staying fast enough for CI smoke runs.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Iterations per benchmark. Kept tiny: this harness is a smoke runner,
+/// not a measurement tool.
+const ITERS: u32 = 3;
+
+/// Re-export matching criterion's `black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, |b| f(b));
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in has no config.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.0), |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.0), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier; only the display string is kept.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+pub struct Bencher {
+    total_nanos: u128,
+    runs: u32,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        std_black_box(routine());
+        self.total_nanos += start.elapsed().as_nanos();
+        self.runs += 1;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut b = Bencher {
+        total_nanos: 0,
+        runs: 0,
+    };
+    for _ in 0..ITERS {
+        f(&mut b);
+    }
+    let mean = if b.runs > 0 {
+        b.total_nanos / u128::from(b.runs)
+    } else {
+        0
+    };
+    println!("bench {name}: {mean} ns/iter ({} iters)", b.runs);
+}
+
+/// Collects benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running each group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        assert!(ran >= 1);
+    }
+}

@@ -1,0 +1,350 @@
+//! Value-generation strategies: ranges, tuples, collections, patterns.
+
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+use crate::test_runner::SampleRng;
+
+/// A source of sampled values. Unlike real proptest there is no value
+/// tree and no shrinking: `sample` draws one value directly.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut SampleRng) -> Self::Value;
+
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut SampleRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut SampleRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut SampleRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer and float ranges
+// ---------------------------------------------------------------------------
+
+macro_rules! uint_ranges {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut SampleRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.u64_inclusive(self.start as u64, self.end as u64 - 1) as $ty
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut SampleRng) -> $ty {
+                rng.u64_inclusive(*self.start() as u64, *self.end() as u64) as $ty
+            }
+        }
+        impl Strategy for RangeFrom<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut SampleRng) -> $ty {
+                rng.u64_inclusive(self.start as u64, <$ty>::MAX as u64) as $ty
+            }
+        }
+    )*};
+}
+uint_ranges!(u8, u16, u32, u64, usize);
+
+macro_rules! sint_ranges {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut SampleRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128 - 1) as u64;
+                (self.start as i128 + rng.u64_inclusive(0, span) as i128) as $ty
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut SampleRng) -> $ty {
+                let span = (*self.end() as i128 - *self.start() as i128) as u64;
+                (*self.start() as i128 + rng.u64_inclusive(0, span) as i128) as $ty
+            }
+        }
+    )*};
+}
+sint_ranges!(i8, i16, i32, i64, isize);
+
+macro_rules! float_ranges {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut SampleRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = rng.unit_f64() as $ty;
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut SampleRng) -> $ty {
+                // Map a draw over [0, 2^53] onto [start, end] so the upper
+                // endpoint is reachable.
+                let u = rng.u64_inclusive(0, 1 << 53) as f64 / (1u64 << 53) as f64;
+                self.start() + (u as $ty) * (self.end() - self.start())
+            }
+        }
+    )*};
+}
+float_ranges!(f32, f64);
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut SampleRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+/// Strategy for `Vec`s with a length drawn from `len` (exclusive upper
+/// bound, like `prop::collection::vec(elem, 1..8)`).
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut SampleRng) -> Vec<S::Value> {
+        let n = self.len.sample(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Strategy for `[T; 4]` arrays, mirroring `prop::array::uniform4`.
+#[derive(Debug, Clone)]
+pub struct Uniform4<S>(S);
+
+pub fn uniform4<S: Strategy>(element: S) -> Uniform4<S> {
+    Uniform4(element)
+}
+
+impl<S: Strategy> Strategy for Uniform4<S> {
+    type Value = [S::Value; 4];
+    fn sample(&self, rng: &mut SampleRng) -> [S::Value; 4] {
+        [
+            self.0.sample(rng),
+            self.0.sample(rng),
+            self.0.sample(rng),
+            self.0.sample(rng),
+        ]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `any::<T>()`
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut SampleRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SampleRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut SampleRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut SampleRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String patterns
+// ---------------------------------------------------------------------------
+
+/// `&str` strategies support the pattern subset the workspace uses:
+/// one character class of literal chars and `a-z` style ranges, followed
+/// by an optional `{n}` or `{m,n}` repetition (default: exactly 1).
+impl Strategy for str {
+    type Value = String;
+    fn sample(&self, rng: &mut SampleRng) -> String {
+        let (alphabet, min, max) = parse_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string pattern strategy: {self:?}"));
+        let n = rng.u64_inclusive(min as u64, max as u64) as usize;
+        (0..n)
+            .map(|_| alphabet[rng.u64_inclusive(0, alphabet.len() as u64 - 1) as usize])
+            .collect()
+    }
+}
+
+fn parse_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let mut chars = pat.chars().peekable();
+    let mut alphabet = Vec::new();
+    if chars.peek() == Some(&'[') {
+        chars.next();
+        let mut class: Vec<char> = Vec::new();
+        for c in chars.by_ref() {
+            if c == ']' {
+                break;
+            }
+            class.push(c);
+        }
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+                if lo > hi {
+                    return None;
+                }
+                alphabet.extend((lo..=hi).filter_map(char::from_u32));
+                i += 3;
+            } else {
+                alphabet.push(class[i]);
+                i += 1;
+            }
+        }
+    } else {
+        // A bare pattern with no class is treated as a literal string.
+        return Some((vec!['\0'], 0, 0)).filter(|_| pat.is_empty());
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+    let rest: String = chars.collect();
+    if rest.is_empty() {
+        return Some((alphabet, 1, 1));
+    }
+    let body = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match body.split_once(',') {
+        Some((m, n)) => (m.trim().parse().ok()?, n.trim().parse().ok()?),
+        None => {
+            let n: usize = body.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    (min <= max).then_some((alphabet, min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_strategies_stay_in_bounds() {
+        let mut rng = SampleRng::new(42);
+        for _ in 0..500 {
+            assert!((3u64..17).sample(&mut rng) < 17);
+            assert!((0.0f64..=1.0).sample(&mut rng) <= 1.0);
+            let x = (-5i64..5).sample(&mut rng);
+            assert!((-5..5).contains(&x));
+            let _always_valid: u64 = (0u64..).sample(&mut rng);
+        }
+    }
+
+    #[test]
+    fn composite_strategies() {
+        let mut rng = SampleRng::new(1);
+        let v = vec((1u64..5, 0u32..3), 2..6).sample(&mut rng);
+        assert!((2..6).contains(&v.len()));
+        let arr = uniform4(0u32..64).sample(&mut rng);
+        assert!(arr.iter().all(|&x| x < 64));
+        let mapped = (0u64..10).prop_map(|x| x * 2).sample(&mut rng);
+        assert!(mapped % 2 == 0 && mapped < 20);
+    }
+
+    #[test]
+    fn string_pattern_class_and_reps() {
+        let mut rng = SampleRng::new(9);
+        for _ in 0..200 {
+            let s = "[a-z]{1,12}".sample(&mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Deterministic sampling RNG and run configuration.
+
+/// Number of cases each `proptest!` test runs by default.
+const DEFAULT_CASES: u32 = 64;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many sampled cases each test body runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Splitmix64 generator used to sample strategies.
+///
+/// Each test case gets a seed derived from the test's module path and the
+/// case index, so runs are identical across processes and machines.
+#[derive(Debug, Clone)]
+pub struct SampleRng {
+    state: u64,
+}
+
+impl SampleRng {
+    pub fn new(seed: u64) -> Self {
+        // One warm-up step decorrelates small consecutive seeds.
+        let mut rng = Self { state: seed };
+        rng.next_u64();
+        rng
+    }
+
+    /// Seed for case `case` of the test identified by `path`.
+    pub fn for_case(path: &str, case: u32) -> Self {
+        // FNV-1a over the path, then mix in the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in path.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self::new(h ^ (u64::from(case)).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[lo, hi]` (inclusive on both ends).
+    pub fn u64_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        // Multiply-shift bounded draw; bias is negligible for test sampling.
+        let n = span + 1;
+        lo + (((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64)
+    }
+
+    /// Uniform draw from `[0.0, 1.0)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SampleRng::for_case("mod::test", 3);
+        let mut b = SampleRng::for_case("mod::test", 3);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn cases_differ() {
+        let mut a = SampleRng::for_case("mod::test", 0);
+        let mut b = SampleRng::for_case("mod::test", 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn bounded_draws_in_range() {
+        let mut rng = SampleRng::new(7);
+        for _ in 0..1000 {
+            let x = rng.u64_inclusive(10, 20);
+            assert!((10..=20).contains(&x));
+            let f = rng.unit_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

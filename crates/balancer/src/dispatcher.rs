@@ -13,9 +13,9 @@ use fgmon_core::{BackendHandle, MonitorClient};
 
 use crate::reconfig::{Reconfigurator, ServiceClass};
 use fgmon_os::{OsApi, Service};
-use fgmon_sim::SimDuration;
+use fgmon_sim::{SimDuration, SimTime};
 use fgmon_types::{
-    ConnId, LoadWeights, McastGroup, NodeCapacity, NodeId, Payload, RdmaResult,
+    ConnId, LoadWeights, McastGroup, NodeCapacity, NodeId, Payload, RdmaResult, RetryPolicy,
     Scheme, ThreadId,
 };
 
@@ -58,6 +58,15 @@ pub struct DispatcherConfig {
     /// dispatcher knows first-hand). Damps herd oscillations when the
     /// monitored information is stale.
     pub local_conn_weight: f64,
+    /// Exclude a back-end from routing while its monitored information is
+    /// older than this (None = route on arbitrarily stale views). A
+    /// back-end with no information yet is *not* excluded — retry
+    /// accounting, not staleness, handles the never-answered case.
+    pub max_info_age: Option<SimDuration>,
+    /// Timeout/retry policy for the embedded monitor. With a finite
+    /// policy, back-ends that stop answering are marked unreachable and
+    /// leave the routing rotation until a reply re-admits them.
+    pub retry: RetryPolicy,
 }
 
 impl DispatcherConfig {
@@ -75,6 +84,8 @@ impl DispatcherConfig {
             capacity: NodeCapacity::default(),
             admission_threshold: None,
             local_conn_weight: 0.0,
+            max_info_age: None,
+            retry: RetryPolicy::OFF,
         }
     }
 }
@@ -87,6 +98,9 @@ pub struct DispatcherStats {
     pub rejected: u64,
     /// Requests forwarded per back-end (routing shares).
     pub per_backend: Vec<u64>,
+    /// Back-end exclusions from routing decisions (stale information or
+    /// unreachable), summed over decisions.
+    pub degraded_exclusions: u64,
 }
 
 struct Pending {
@@ -125,8 +139,11 @@ impl Dispatcher {
         assert_eq!(backends.len(), monitor_handles.len());
         let n = backends.len();
         let backend_conn_set = backends.iter().map(|&(_, c)| c).collect();
+        let mut monitor =
+            MonitorClient::new(cfg.scheme, cfg.scheme.uses_irq_signal(), monitor_handles);
+        monitor.set_retry_policy(cfg.retry);
         Dispatcher {
-            monitor: MonitorClient::new(cfg.scheme, cfg.scheme.uses_irq_signal(), monitor_handles),
+            monitor,
             cfg,
             backends,
             backend_conn_set,
@@ -173,9 +190,32 @@ impl Dispatcher {
         }
     }
 
+    /// A back-end is routable while it is reachable and its monitored
+    /// information is fresh enough (see [`DispatcherConfig::max_info_age`]).
+    fn healthy(&self, idx: usize, now: SimTime) -> bool {
+        let v = &self.monitor.views()[idx];
+        if v.unreachable {
+            return false;
+        }
+        match (self.cfg.max_info_age, v.info_age(now)) {
+            (Some(limit), Some(age)) => age <= limit,
+            _ => true,
+        }
+    }
+
     /// Pick a back-end for the next request; `None` means reject.
     fn choose(&mut self, class: ServiceClass, os: &mut OsApi<'_, '_>) -> Option<usize> {
-        let cands = self.candidates(class);
+        let all = self.candidates(class);
+        let now = os.now();
+        let cands: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&i| self.healthy(i, now))
+            .collect();
+        self.stats.degraded_exclusions += (all.len() - cands.len()) as u64;
+        // Degraded mode: if *every* candidate looks dead or stale, route on
+        // whatever we have rather than rejecting the whole class.
+        let cands = if cands.is_empty() { all } else { cands };
         let n = cands.len();
         if n == 0 {
             return None;
@@ -273,13 +313,7 @@ impl Dispatcher {
                 // Overloaded cluster: bounce the request (zero-byte reply).
                 self.stats.rejected += 1;
                 os.recorder().counter("lb/rejected").inc();
-                os.send_direct(
-                    client_conn,
-                    Payload::HttpResponse {
-                        req_id,
-                        bytes: 0,
-                    },
-                );
+                os.send_direct(client_conn, Payload::HttpResponse { req_id, bytes: 0 });
             }
         }
     }
@@ -318,6 +352,7 @@ impl Service for Dispatcher {
 
     fn on_timer(&mut self, token: u64, os: &mut OsApi<'_, '_>) {
         if token == TOK_POLL {
+            self.monitor.check_timeouts(os);
             self.monitor.poll_all(os);
             if let Some(reconfig) = self.reconfig.as_mut() {
                 let views: Vec<_> = self.monitor.views().iter().map(|v| v.latest).collect();

@@ -154,5 +154,10 @@ fn ablation_multicast(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, ablation_quantum, ablation_wake_boost, ablation_multicast);
+criterion_group!(
+    benches,
+    ablation_quantum,
+    ablation_wake_boost,
+    ablation_multicast
+);
 criterion_main!(benches);

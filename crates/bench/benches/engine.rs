@@ -78,7 +78,9 @@ fn bench_multi_actor(c: &mut Criterion) {
 fn bench_histogram_record(c: &mut Criterion) {
     c.bench_function("metrics/histogram_record_10k", |b| {
         let mut rng = DetRng::new(3);
-        let values: Vec<u64> = (0..10_000).map(|_| rng.range_u64(100, 10_000_000)).collect();
+        let values: Vec<u64> = (0..10_000)
+            .map(|_| rng.range_u64(100, 10_000_000))
+            .collect();
         b.iter(|| {
             let mut h = Histogram::new();
             for &v in &values {

@@ -4,13 +4,16 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use fgmon_cluster::{rubis_world, RubisWorldCfg};
 use fgmon_sim::{DetRng, SimDuration};
-use fgmon_workload::{QueryProfile, TransitionMatrix, ZipfCatalog};
 use fgmon_types::QueryClass;
+use fgmon_workload::{QueryProfile, TransitionMatrix, ZipfCatalog};
 
 fn bench_rubis_sampling(c: &mut Criterion) {
     c.bench_function("workload/rubis_demand_10k", |b| {
         let mut rng = DetRng::new(4);
-        let profiles: Vec<QueryProfile> = QueryClass::ALL.iter().map(|&q| QueryProfile::of(q)).collect();
+        let profiles: Vec<QueryProfile> = QueryClass::ALL
+            .iter()
+            .map(|&q| QueryProfile::of(q))
+            .collect();
         b.iter(|| {
             let mut acc = 0u64;
             for i in 0..10_000 {

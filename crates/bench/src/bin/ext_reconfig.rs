@@ -73,10 +73,12 @@ fn main() {
         let (moves, dynamic_nodes) = disp
             .reconfig
             .as_ref()
-            .map(|r| (
-                r.events.len(),
-                r.count(fgmon_balancer::ServiceClass::Dynamic),
-            ))
+            .map(|r| {
+                (
+                    r.events.len(),
+                    r.count(fgmon_balancer::ServiceClass::Dynamic),
+                )
+            })
             .unwrap_or((0, 0));
         (
             scheme,

@@ -50,8 +50,8 @@ fn main() {
         for &scheme in &Scheme::MICRO {
             let th = mean_deviation(rec, scheme, w.backend, AccuracyMetric::NThreads)
                 .unwrap_or(f64::NAN);
-            let cpu = mean_deviation(rec, scheme, w.backend, AccuracyMetric::CpuUtil)
-                .unwrap_or(f64::NAN);
+            let cpu =
+                mean_deviation(rec, scheme, w.backend, AccuracyMetric::CpuUtil).unwrap_or(f64::NAN);
             let rq = mean_deviation(rec, scheme, w.backend, AccuracyMetric::RunQueue)
                 .unwrap_or(f64::NAN);
             rows.push((scheme, th, cpu, rq));

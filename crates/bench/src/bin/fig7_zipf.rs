@@ -83,10 +83,19 @@ fn main() {
         let base = tp(alpha, Scheme::SocketAsync);
         table.row(vec![
             format!("{alpha}"),
-            format!("{:+.1}", improvement_pct(tp(alpha, Scheme::SocketSync), base)),
-            format!("{:+.1}", improvement_pct(tp(alpha, Scheme::RdmaAsync), base)),
+            format!(
+                "{:+.1}",
+                improvement_pct(tp(alpha, Scheme::SocketSync), base)
+            ),
+            format!(
+                "{:+.1}",
+                improvement_pct(tp(alpha, Scheme::RdmaAsync), base)
+            ),
             format!("{:+.1}", improvement_pct(tp(alpha, Scheme::RdmaSync), base)),
-            format!("{:+.1}", improvement_pct(tp(alpha, Scheme::ERdmaSync), base)),
+            format!(
+                "{:+.1}",
+                improvement_pct(tp(alpha, Scheme::ERdmaSync), base)
+            ),
             format!("{base:.0}"),
         ]);
     }

@@ -33,7 +33,9 @@ fn main() {
             ..Default::default()
         };
         let mut w = ganglia_world(&base, scheme, SimDuration::from_millis(g));
-        w.rubis.cluster.run_for(SimDuration::from_secs(opts.seconds));
+        w.rubis
+            .cluster
+            .run_for(SimDuration::from_secs(opts.seconds));
         let rec = w.rubis.cluster.recorder();
         // Pool every query class for a stable tail statistic alongside
         // the paper's per-query maximum.
@@ -59,10 +61,19 @@ fn main() {
     });
 
     for (title, pick) in [
-        ("Figure 8a — max response time of SearchItemInCategories-like query (ms)", 2usize),
+        (
+            "Figure 8a — max response time of SearchItemInCategories-like query (ms)",
+            2usize,
+        ),
         ("Figure 8b — max response time of Browse query (ms)", 3usize),
-        ("Figure 8 (supplement) — p99 response time, all queries pooled (ms)", 4usize),
-        ("Figure 8 (supplement) — mean response time, all queries pooled (ms)", 5usize),
+        (
+            "Figure 8 (supplement) — p99 response time, all queries pooled (ms)",
+            4usize,
+        ),
+        (
+            "Figure 8 (supplement) — mean response time, all queries pooled (ms)",
+            5usize,
+        ),
     ] {
         let mut table = Table::new(vec![
             "gmetric threshold (ms)",

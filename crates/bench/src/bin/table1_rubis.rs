@@ -35,9 +35,7 @@ fn main() {
                 .recorder()
                 .get_histogram(&format!("rubis/resp/{}", class.label()));
             let (avg, max, n) = match h {
-                Some(h) if !h.is_empty() => {
-                    (h.mean() / 1e6, h.max() as f64 / 1e6, h.count())
-                }
+                Some(h) if !h.is_empty() => (h.mean() / 1e6, h.max() as f64 / 1e6, h.count()),
                 _ => (f64::NAN, f64::NAN, 0),
             };
             rows.push((class, avg, max, n));

@@ -4,7 +4,9 @@
 use fgmon_net::Fabric;
 use fgmon_os::{NodeActor, OsCore, Service};
 use fgmon_sim::{ActorId, DetRng, Engine, RunOutcome, SimDuration, SimTime};
-use fgmon_types::{ConnId, McastGroup, Msg, NetConfig, NodeId, NodeMsg, OsConfig, ServiceSlot};
+use fgmon_types::{
+    ConnId, FaultPlan, McastGroup, Msg, NetConfig, NodeId, NodeMsg, OsConfig, ServiceSlot,
+};
 
 /// Incrementally builds a simulated cluster.
 pub struct ClusterBuilder {
@@ -79,6 +81,12 @@ impl ClusterBuilder {
         self.fabric.join_mcast(group, node);
     }
 
+    /// Install a fault schedule on the fabric. Panics if the plan is
+    /// malformed (see [`FaultPlan::validate`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fabric.set_fault_plan(plan);
+    }
+
     /// Number of nodes added so far.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
@@ -91,7 +99,8 @@ impl ClusterBuilder {
         fabric.set_node_actors(self.nodes.clone());
         self.eng.install(self.fabric_slot, Box::new(fabric));
         for &actor in &self.nodes {
-            self.eng.schedule(SimTime::ZERO, actor, Msg::Node(NodeMsg::Boot));
+            self.eng
+                .schedule(SimTime::ZERO, actor, Msg::Node(NodeMsg::Boot));
         }
         for &(node, period) in ground_truth {
             let actor = self.nodes[node.index()];
@@ -138,9 +147,7 @@ impl Cluster {
 
     pub fn node_mut(&mut self, node: NodeId) -> &mut NodeActor {
         let actor = self.actor_of(node);
-        self.eng
-            .actor_mut::<NodeActor>(actor)
-            .expect("node actor")
+        self.eng.actor_mut::<NodeActor>(actor).expect("node actor")
     }
 
     /// Borrow a service hosted on a node.
@@ -158,6 +165,14 @@ impl Cluster {
 
     pub fn recorder(&self) -> &fgmon_sim::Recorder {
         self.eng.recorder()
+    }
+
+    /// Snapshot of the fabric's frame counters (including fault decisions).
+    pub fn fabric_stats(&self) -> fgmon_net::FabricStats {
+        self.eng
+            .actor::<Fabric>(self.fabric)
+            .expect("fabric actor")
+            .stats
     }
 
     pub fn node_count(&self) -> usize {

@@ -9,7 +9,10 @@
 //! * [`scenarios::float_granularity`] — Fig. 4;
 //! * [`scenarios::accuracy_world`] — Figs. 5–6;
 //! * [`scenarios::rubis_world`] — Table 1, Figs. 7 and 9;
-//! * [`scenarios::ganglia_world`] — Fig. 8.
+//! * [`scenarios::ganglia_world`] — Fig. 8;
+//! * [`scenarios::lossy_fabric`], [`scenarios::congested_switch`],
+//!   [`scenarios::crash_during_burst`] — fault-injected robustness
+//!   scenarios (no paper figure; the adversarial axis).
 //!
 //! Plus plain-text/CSV table rendering ([`report`]) and a multi-threaded
 //! parameter-sweep runner ([`sweep`]).
@@ -23,8 +26,9 @@ pub mod sweep;
 pub use builder::{Cluster, ClusterBuilder};
 pub use report::Table;
 pub use scenarios::{
-    accuracy_world, float_granularity, ganglia_world, micro_latency, rubis_world, AccuracyWorld,
-    FloatWorld, GangliaWorld, MicroWorld, RubisWorld, RubisWorldCfg, GT_PERIOD,
+    accuracy_world, congested_switch, crash_during_burst, fault_compare_world, float_granularity,
+    ganglia_world, lossy_fabric, micro_latency, rubis_world, AccuracyWorld, CrashWorld,
+    FaultCompareWorld, FloatWorld, GangliaWorld, MicroWorld, RubisWorld, RubisWorldCfg, GT_PERIOD,
 };
 pub use summary::{node_summaries, pooled_responses, render_report, NodeSummary, ResponseSummary};
 pub use sweep::sweep_parallel;

@@ -3,11 +3,14 @@
 //! describes; the bench harnesses sweep their parameters.
 
 use fgmon_balancer::{Dispatcher, DispatcherConfig, Policy, ReconfigPolicy, Reconfigurator};
-use fgmon_core::{make_backend, BackendConfig, BackendHandle, MonitorFrontendService};
 use fgmon_core::backend::SocketBackend;
+use fgmon_core::{make_backend, BackendConfig, BackendHandle, MonitorFrontendService};
 use fgmon_ganglia::{GmetricPublisher, Gmond};
-use fgmon_sim::{DetRng, SimDuration};
-use fgmon_types::{McastGroup, NetConfig, NodeId, OsConfig, RegionId, Scheme, ServiceSlot};
+use fgmon_sim::{DetRng, SimDuration, SimTime};
+use fgmon_types::{
+    FaultOp, FaultPlan, McastGroup, NetConfig, NodeId, OsConfig, RegionId, RetryPolicy, Scheme,
+    ServiceSlot,
+};
 use fgmon_workload::{
     CommLoad, ComputeHogs, FloatApp, LoadRamp, RampStep, RubisClient, WorkerPoolServer,
     ZipfCatalog, ZipfClient,
@@ -43,9 +46,7 @@ fn wire_monitoring(
     let svc = make_backend(scheme, cfg);
     let slot = b.add_service(backend, svc);
     let conn = b.connect(frontend, fe_slot, backend, slot);
-    if let Some(sb) = b
-        .node_service_mut::<SocketBackend>(backend, slot)
-    {
+    if let Some(sb) = b.node_service_mut::<SocketBackend>(backend, slot) {
         sb.conns.push(conn);
     }
     if scheme == Scheme::McastPush {
@@ -121,7 +122,10 @@ pub fn micro_latency(
         let tx_slot = ServiceSlot(if bg_threads > 0 { 2 } else { 1 });
         let peer_rx = ServiceSlot(0);
         let conn_out = b.connect(backend, tx_slot, peer, peer_rx);
-        b.add_service(backend, Box::new(CommLoad::new(conn_out, SimDuration::from_micros(500))));
+        b.add_service(
+            backend,
+            Box::new(CommLoad::new(conn_out, SimDuration::from_micros(500))),
+        );
         b.add_service(
             peer,
             Box::new(fgmon_workload::CommSink::new(conn_out, true)),
@@ -176,7 +180,10 @@ pub fn float_granularity(scheme: Scheme, g: SimDuration, seed: u64) -> FloatWorl
             vec![handle],
         )),
     );
-    let app_slot = b.add_service(backend, Box::new(FloatApp::new(SimDuration::from_millis(10))));
+    let app_slot = b.add_service(
+        backend,
+        Box::new(FloatApp::new(SimDuration::from_millis(10))),
+    );
     let cluster = b.finish(&[]);
     FloatWorld {
         cluster,
@@ -335,6 +342,12 @@ pub struct RubisWorldCfg {
     /// cluster unpartitioned (every node serves both services). Requires
     /// `zipf` when set.
     pub reconfig: Option<ReconfigPolicy>,
+    /// Fault schedule installed on the fabric (empty = pristine network).
+    pub faults: FaultPlan,
+    /// Timeout/retry policy for the dispatcher's monitor.
+    pub retry: RetryPolicy,
+    /// Staleness threshold for routing (see [`DispatcherConfig`]).
+    pub max_info_age: Option<SimDuration>,
     pub seed: u64,
 }
 
@@ -351,6 +364,9 @@ impl Default for RubisWorldCfg {
             admission_threshold: None,
             background_hogs: 0,
             reconfig: None,
+            faults: FaultPlan::default(),
+            retry: RetryPolicy::OFF,
+            max_info_age: None,
             seed: 42,
         }
     }
@@ -426,6 +442,8 @@ pub fn rubis_world(cfg: &RubisWorldCfg) -> RubisWorld {
     let mut dcfg = DispatcherConfig::for_scheme(cfg.scheme, cfg.granularity);
     dcfg.policy = cfg.policy;
     dcfg.admission_threshold = cfg.admission_threshold;
+    dcfg.retry = cfg.retry;
+    dcfg.max_info_age = cfg.max_info_age;
     let mut client_conns = vec![rubis_conn];
     if let Some(c) = zipf_conn {
         client_conns.push(c);
@@ -449,7 +467,11 @@ pub fn rubis_world(cfg: &RubisWorldCfg) -> RubisWorld {
     // Clients.
     let rubis_client_slot = b.add_service(
         client_node,
-        Box::new(RubisClient::new(rubis_conn, cfg.rubis_sessions, cfg.think_mean)),
+        Box::new(RubisClient::new(
+            rubis_conn,
+            cfg.rubis_sessions,
+            cfg.think_mean,
+        )),
     );
     let zipf_client_slot = cfg.zipf.map(|(alpha, sessions)| {
         let mut rng = DetRng::new(cfg.seed ^ 0x21bf);
@@ -465,6 +487,9 @@ pub fn rubis_world(cfg: &RubisWorldCfg) -> RubisWorld {
         )
     });
 
+    if !cfg.faults.is_empty() {
+        b.set_fault_plan(cfg.faults.clone());
+    }
     let cluster = b.finish(&[]);
     RubisWorld {
         cluster,
@@ -474,6 +499,145 @@ pub fn rubis_world(cfg: &RubisWorldCfg) -> RubisWorld {
         dispatcher_slot,
         rubis_client_slot,
         zipf_client_slot,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection scenarios — the robustness harness
+// ---------------------------------------------------------------------------
+
+/// Two pollers (Socket-Sync and RDMA-Sync) watching the same back-end
+/// through a faulty fabric: the adversarial counterpart of
+/// [`accuracy_world`]. Staleness/latency histograms land in the shared
+/// recorder under `mon/staleness/<label>` as usual.
+pub struct FaultCompareWorld {
+    pub cluster: Cluster,
+    pub frontend: NodeId,
+    pub backend: NodeId,
+    /// Slot of the Socket-Sync poller on the front-end.
+    pub fe_socket: ServiceSlot,
+    /// Slot of the RDMA-Sync poller on the front-end.
+    pub fe_rdma: ServiceSlot,
+}
+
+/// Build the comparison world with an arbitrary [`FaultPlan`].
+pub fn fault_compare_world(
+    plan: FaultPlan,
+    retry: RetryPolicy,
+    poll: SimDuration,
+    seed: u64,
+) -> FaultCompareWorld {
+    let mut b = ClusterBuilder::new(seed, NetConfig::default());
+    let frontend = b.add_node(OsConfig::frontend());
+    let backend = b.add_node(OsConfig::default());
+    let cfg = BackendConfig {
+        calc_interval: poll,
+        via_kernel_module: false,
+        mcast_group: McastGroup(0),
+        push_target: None,
+    };
+    // Back-end slot 0 = socket backend (registers no region), slot 1 =
+    // RDMA backend — its exported region is therefore RegionId(0).
+    let h_sock = wire_monitoring(
+        &mut b,
+        Scheme::SocketSync,
+        cfg,
+        frontend,
+        ServiceSlot(0),
+        backend,
+        0,
+    );
+    let h_rdma = wire_monitoring(
+        &mut b,
+        Scheme::RdmaSync,
+        cfg,
+        frontend,
+        ServiceSlot(1),
+        backend,
+        0,
+    );
+    let mut sock = MonitorFrontendService::new(Scheme::SocketSync, false, poll, vec![h_sock]);
+    sock.client.set_retry_policy(retry);
+    let fe_socket = b.add_service(frontend, Box::new(sock));
+    let mut rdma = MonitorFrontendService::new(Scheme::RdmaSync, false, poll, vec![h_rdma]);
+    rdma.client.set_retry_policy(retry);
+    let fe_rdma = b.add_service(frontend, Box::new(rdma));
+    // Light background compute so the monitored signal is not constant.
+    b.add_service(backend, Box::new(ComputeHogs::new(2)));
+    b.set_fault_plan(plan);
+    let cluster = b.finish(&[]);
+    FaultCompareWorld {
+        cluster,
+        frontend,
+        backend,
+        fe_socket,
+        fe_rdma,
+    }
+}
+
+/// Lossy-fabric sweep point: socket frames traverse the loaded kernel
+/// network path and are dropped with probability `loss_p`, while
+/// one-sided RDMA operations are NIC-offloaded with hardware delivery —
+/// the paper's overload asymmetry (Figs. 3/8) made mechanical. Sweep
+/// `loss_p` for the robustness curve.
+pub fn lossy_fabric(loss_p: f64, poll: SimDuration, seed: u64) -> FaultCompareWorld {
+    let plan = FaultPlan::new(seed ^ 0x1055).lossy_op(FaultOp::Socket, loss_p);
+    let retry = RetryPolicy::aggressive(poll.mul_f64(3.0));
+    fault_compare_world(plan, retry, poll, seed)
+}
+
+/// Congested-switch scenario: every frame's wire latency is multiplied by
+/// `latency_mult` inside `[from, until)`, and socket frames additionally
+/// suffer tail-drop loss (congested kernel queues drop; RDMA transports
+/// recover in hardware).
+pub fn congested_switch(
+    latency_mult: f64,
+    from: SimTime,
+    until: SimTime,
+    poll: SimDuration,
+    seed: u64,
+) -> FaultCompareWorld {
+    let plan = FaultPlan::new(seed ^ 0xC046)
+        .congested(from, until, latency_mult)
+        .lossy_op(FaultOp::Socket, 0.25);
+    let retry = RetryPolicy::aggressive(poll.mul_f64(3.0));
+    fault_compare_world(plan, retry, poll, seed)
+}
+
+/// Crash-during-burst scenario, ready for assertions about exclusion and
+/// re-admission.
+pub struct CrashWorld {
+    pub world: RubisWorld,
+    /// The back-end that goes dark.
+    pub victim: NodeId,
+    pub crash_from: SimTime,
+    pub crash_until: SimTime,
+}
+
+/// A RUBiS cluster under session load where one back-end goes dark for
+/// `[from, until)` mid-run. The dispatcher runs with an aggressive retry
+/// policy and a staleness threshold, so monitoring marks the victim
+/// unreachable, routing excludes it, and recovery re-admits it.
+pub fn crash_during_burst(scheme: Scheme, from: SimTime, until: SimTime, seed: u64) -> CrashWorld {
+    // Node ids by construction order: 0 = front-end, 1 = client node,
+    // back-ends from 2. Crash the first back-end.
+    let victim = NodeId(2);
+    let cfg = RubisWorldCfg {
+        scheme,
+        backends: 4,
+        rubis_sessions: 48,
+        granularity: SimDuration::from_millis(20),
+        faults: FaultPlan::new(seed ^ 0xFA17).crash(victim, from, until),
+        retry: RetryPolicy::aggressive(SimDuration::from_millis(60)),
+        max_info_age: Some(SimDuration::from_millis(250)),
+        seed,
+        ..Default::default()
+    };
+    CrashWorld {
+        world: rubis_world(&cfg),
+        victim,
+        crash_from: from,
+        crash_until: until,
     }
 }
 
@@ -523,7 +687,15 @@ pub fn ganglia_world(
     let mut work_conns = Vec::new();
     for &be in &backends {
         // Dispatcher monitoring (region 0 on each backend).
-        let h = wire_monitoring(&mut b, base.scheme, dispatch_cfg, frontend, ServiceSlot(0), be, 0);
+        let h = wire_monitoring(
+            &mut b,
+            base.scheme,
+            dispatch_cfg,
+            frontend,
+            ServiceSlot(0),
+            be,
+            0,
+        );
         monitor_handles.push(h);
         let mut server = WorkerPoolServer::new();
         let conn = b.connect(frontend, ServiceSlot(0), be, ServiceSlot(1));

@@ -17,27 +17,30 @@ where
         .map(|n| n.get())
         .unwrap_or(4)
         .min(points.len().max(1));
-    let results: Vec<parking_lot::Mutex<Option<R>>> =
-        points.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<std::sync::Mutex<Option<R>>> =
+        points.iter().map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..width {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= points.len() {
                     break;
                 }
                 let r = f(&points[i]);
-                *results[i].lock() = Some(r);
+                *results[i].lock().expect("result slot poisoned") = Some(r);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("worker filled every slot"))
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
         .collect()
 }
 

@@ -39,7 +39,8 @@ pub fn mean_deviation(
     node: NodeId,
     metric: AccuracyMetric,
 ) -> Option<f64> {
-    let reported = recorder.get_series(&format!("mon/{}/{node}/{}", scheme.label(), metric.key()))?;
+    let reported =
+        recorder.get_series(&format!("mon/{}/{node}/{}", scheme.label(), metric.key()))?;
     let truth = recorder.get_series(&format!("gt/{node}/{}", metric.key()))?;
     if reported.is_empty() || truth.is_empty() {
         return None;
@@ -55,7 +56,8 @@ pub fn mean_reported(
     node: NodeId,
     metric: AccuracyMetric,
 ) -> Option<f64> {
-    let reported = recorder.get_series(&format!("mon/{}/{node}/{}", scheme.label(), metric.key()))?;
+    let reported =
+        recorder.get_series(&format!("mon/{}/{node}/{}", scheme.label(), metric.key()))?;
     if reported.is_empty() {
         return None;
     }

@@ -12,8 +12,8 @@
 use fgmon_os::{OsApi, Service};
 use fgmon_sim::{SimDuration, SimTime};
 use fgmon_types::{
-    ConnId, LoadSnapshot, McastGroup, MonitorConfig, NodeId, Payload, RdmaResult, RegionId,
-    Scheme, ThreadId,
+    ConnId, LoadSnapshot, McastGroup, MonitorConfig, NodeId, Payload, RdmaResult, RegionId, Scheme,
+    ThreadId,
 };
 
 /// Tokens used by backend threads.
@@ -92,8 +92,9 @@ pub struct SocketBackend {
     report_tid: Option<ThreadId>,
     /// The "known memory location" the async calc thread refreshes.
     shared: Option<LoadSnapshot>,
-    /// Requests whose `/proc` scan is in flight (sync mode).
-    pending: std::collections::VecDeque<ConnId>,
+    /// Requests whose `/proc` scan is in flight (sync mode): the reply
+    /// connection plus the correlation id to echo.
+    pending: std::collections::VecDeque<(ConnId, u64)>,
     /// Connections to listen on (set before boot by the cluster builder).
     pub conns: Vec<ConnId>,
     /// Statistics.
@@ -160,9 +161,9 @@ impl Service for SocketBackend {
             TOK_SYNC_DONE => {
                 // Step 5 of Fig. 1b: reply with the freshly computed load.
                 let snap = os.proc_snapshot(self.cfg.via_kernel_module);
-                if let Some(conn) = self.pending.pop_front() {
+                if let Some((conn, req)) = self.pending.pop_front() {
                     self.requests_served += 1;
-                    os.send(tid, conn, Payload::MonitorReply { snap });
+                    os.send(tid, conn, Payload::MonitorReply { snap, req });
                 }
             }
             _ => {}
@@ -183,25 +184,23 @@ impl Service for SocketBackend {
         payload: Payload,
         os: &mut OsApi<'_, '_>,
     ) {
-        let Payload::MonitorRequest { .. } = payload else {
+        let Payload::MonitorRequest { req, .. } = payload else {
             return;
         };
         let tid = tid.expect("backend listener is threaded");
         if self.sync {
             // Fig. 1b: compute the load now, reply when done.
-            self.pending.push_back(conn);
+            self.pending.push_back((conn, req));
             let cost = os.proc_read_cost() + os.load_calc_cost();
             os.burst(tid, cost, TOK_SYNC_DONE);
         } else {
             // Fig. 1a Steps b–c: read the shared location and reply.
             self.requests_served += 1;
-            let snap = self
-                .shared
-                .unwrap_or_else(|| LoadSnapshot {
-                    measured_at: SimTime::ZERO,
-                    ..LoadSnapshot::zero()
-                });
-            os.send(tid, conn, Payload::MonitorReply { snap });
+            let snap = self.shared.unwrap_or_else(|| LoadSnapshot {
+                measured_at: SimTime::ZERO,
+                ..LoadSnapshot::zero()
+            });
+            os.send(tid, conn, Payload::MonitorReply { snap, req });
         }
     }
 }
@@ -335,7 +334,11 @@ impl Service for McastPushBackend {
             let snap = os.proc_snapshot(self.cfg.via_kernel_module);
             let origin = os.node();
             self.pushes += 1;
-            os.mcast_send(tid, self.cfg.mcast_group, Payload::StatusPush { origin, snap });
+            os.mcast_send(
+                tid,
+                self.cfg.mcast_group,
+                Payload::StatusPush { origin, snap },
+            );
             os.sleep(tid, self.cfg.calc_interval, TOK_PUSH_WAKE);
         }
     }

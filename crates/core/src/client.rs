@@ -19,12 +19,13 @@
 //! series are timestamped at *request* time. A slow capture path then
 //! shows up directly as deviation from the ground-truth series.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use fgmon_os::OsApi;
 use fgmon_sim::SimTime;
 use fgmon_types::{
-    ConnId, LoadSnapshot, McastGroup, NodeId, Payload, RdmaResult, RegionData, RegionId, Scheme,
+    ConnId, LoadSnapshot, McastGroup, NodeId, Payload, RdmaResult, RegionData, RegionId,
+    ReplyOutcome, RetryPolicy, RetryTracker, Scheme, TimeoutAction,
 };
 
 /// Token namespace for this component's RDMA work requests:
@@ -54,6 +55,18 @@ pub struct BackendView {
     /// Poll rounds skipped because the in-flight budget was exhausted.
     pub skipped: u64,
     pub denied: u64,
+    /// Polls that exceeded the retry policy's deadline.
+    pub timed_out: u64,
+    /// Retry attempts issued after timeouts.
+    pub retries: u64,
+    /// Poll cycles abandoned after exhausting the retry budget.
+    pub gave_up: u64,
+    /// Replies that arrived after their request had timed out (ignored,
+    /// never double-counted).
+    pub late_ignored: u64,
+    /// The back-end has exceeded the policy's consecutive-failure limit
+    /// and should not be routed to until a reply re-admits it.
+    pub unreachable: bool,
 }
 
 impl BackendView {
@@ -64,19 +77,36 @@ impl BackendView {
     }
 }
 
-/// Per-backend in-flight tracking (socket replies are FIFO per
-/// connection; RDMA completions carry their sequence in the token).
-#[derive(Default)]
+/// Per-backend in-flight tracking. Every request carries a correlation
+/// id (socket replies echo it in the payload; RDMA completions carry it
+/// in the token), so matching is exact even under loss and reordering.
 struct Inflight {
-    socket_fifo: VecDeque<SimTime>,
-    rdma: HashMap<u32, SimTime>,
+    tracker: RetryTracker,
+    /// Send timestamps by correlation id, for latency accounting.
+    sent: HashMap<u64, SimTime>,
     next_seq: u32,
 }
 
 impl Inflight {
-    fn count(&self) -> usize {
-        self.socket_fifo.len() + self.rdma.len()
+    fn new(policy: RetryPolicy) -> Self {
+        Inflight {
+            tracker: RetryTracker::new(policy),
+            sent: HashMap::new(),
+            next_seq: 0,
+        }
     }
+
+    fn count(&self) -> usize {
+        self.tracker.outstanding()
+    }
+}
+
+/// A retry waiting out its backoff before being re-issued.
+#[derive(Clone, Copy, Debug)]
+struct PendingRetry {
+    idx: usize,
+    attempt: u32,
+    not_before: SimTime,
 }
 
 /// Pull/receive load information from a set of back-ends using one scheme.
@@ -92,6 +122,14 @@ pub struct MonitorClient {
     /// Local buffers the back-ends push into (RDMA-write-push scheme),
     /// indexed by backend; registered in [`MonitorClient::start`].
     local_regions: Vec<Option<RegionId>>,
+    /// Timeout/retry policy applied to every poll ([`RetryPolicy::OFF`]
+    /// by default: legacy wait-forever behaviour).
+    policy: RetryPolicy,
+    /// Correlation-id counter for socket requests (0 is reserved for
+    /// "untracked", as used by foreign clients like gmetad).
+    next_req: u64,
+    /// Retries waiting out their backoff.
+    pending_retries: Vec<PendingRetry>,
     /// In-flight request budget per back-end (socket-buffer model).
     pub max_outstanding: usize,
     /// Push per-backend reported-value series into the recorder (accuracy
@@ -102,7 +140,10 @@ pub struct MonitorClient {
 impl MonitorClient {
     pub fn new(scheme: Scheme, want_detail: bool, backends: Vec<BackendHandle>) -> Self {
         let views = vec![BackendView::default(); backends.len()];
-        let inflight = backends.iter().map(|_| Inflight::default()).collect();
+        let inflight = backends
+            .iter()
+            .map(|_| Inflight::new(RetryPolicy::OFF))
+            .collect();
         let conn_to_idx = backends
             .iter()
             .enumerate()
@@ -123,6 +164,9 @@ impl MonitorClient {
             node_to_idx,
             mcast_group: McastGroup(0),
             local_regions: Vec::new(),
+            policy: RetryPolicy::OFF,
+            next_req: 0,
+            pending_retries: Vec::new(),
             max_outstanding: 16,
             record_series: false,
         }
@@ -130,6 +174,20 @@ impl MonitorClient {
 
     pub fn scheme(&self) -> Scheme {
         self.scheme
+    }
+
+    /// Install a timeout/retry policy. Resets per-backend retry state;
+    /// call before the first poll.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+        for fl in &mut self.inflight {
+            *fl = Inflight::new(policy);
+        }
+        self.pending_retries.clear();
+    }
+
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.policy
     }
 
     pub fn backend_count(&self) -> usize {
@@ -203,34 +261,105 @@ impl MonitorClient {
             }
             return;
         }
-        let now = os.now();
         for idx in 0..self.backends.len() {
             if self.inflight[idx].count() >= self.max_outstanding {
                 self.views[idx].skipped += 1;
                 continue;
             }
             self.views[idx].polls += 1;
-            let b = self.backends[idx];
-            if self.scheme.is_one_sided() {
-                let region = b.region.expect("RDMA scheme needs a region");
-                let seq = self.inflight[idx].next_seq;
-                self.inflight[idx].next_seq = seq.wrapping_add(1);
-                self.inflight[idx].rdma.insert(seq, now);
-                let token = MON_TOKEN_BASE | ((idx as u64) << 32) | seq as u64;
-                os.rdma_read(b.node, region, token);
-            } else {
-                let conn = b.conn.expect("socket scheme needs a connection");
-                self.inflight[idx].socket_fifo.push_back(now);
-                os.send_direct(
-                    conn,
-                    Payload::MonitorRequest {
-                        scheme: self.scheme,
-                        want_detail: self.want_detail,
-                    },
-                );
-            }
-            self.views[idx].outstanding = self.inflight[idx].count() as u32;
+            self.issue_poll(idx, 0, os);
         }
+    }
+
+    /// Send one poll request to backend `idx`; `attempt > 0` marks a retry
+    /// promised by a [`TimeoutAction::Retry`].
+    fn issue_poll(&mut self, idx: usize, attempt: u32, os: &mut OsApi<'_, '_>) {
+        let now = os.now();
+        let b = self.backends[idx];
+        let req = if self.scheme.is_one_sided() {
+            let region = b.region.expect("RDMA scheme needs a region");
+            let seq = self.inflight[idx].next_seq;
+            self.inflight[idx].next_seq = seq.wrapping_add(1);
+            let token = MON_TOKEN_BASE | ((idx as u64) << 32) | seq as u64;
+            os.rdma_read(b.node, region, token);
+            token
+        } else {
+            let conn = b.conn.expect("socket scheme needs a connection");
+            self.next_req += 1;
+            let req = self.next_req;
+            os.send_direct(
+                conn,
+                Payload::MonitorRequest {
+                    scheme: self.scheme,
+                    want_detail: self.want_detail,
+                    req,
+                },
+            );
+            req
+        };
+        if attempt == 0 {
+            self.inflight[idx].tracker.begin(req, now);
+        } else {
+            self.inflight[idx].tracker.begin_retry(req, attempt, now);
+        }
+        self.inflight[idx].sent.insert(req, now);
+        self.sync_view(idx);
+    }
+
+    /// Expire overdue polls and issue any retries whose backoff has
+    /// elapsed. Embedding services call this from their poll timer, so
+    /// timeout resolution is the poll interval. No-op with
+    /// [`RetryPolicy::OFF`].
+    pub fn check_timeouts(&mut self, os: &mut OsApi<'_, '_>) {
+        if !self.policy.enabled() || self.scheme == Scheme::McastPush {
+            return;
+        }
+        let now = os.now();
+        for idx in 0..self.backends.len() {
+            for action in self.inflight[idx].tracker.poll_timeouts(now) {
+                match action {
+                    TimeoutAction::Retry {
+                        req,
+                        attempt,
+                        backoff,
+                    } => {
+                        self.inflight[idx].sent.remove(&req);
+                        self.pending_retries.push(PendingRetry {
+                            idx,
+                            attempt,
+                            not_before: now + backoff,
+                        });
+                    }
+                    TimeoutAction::GiveUp { req } => {
+                        self.inflight[idx].sent.remove(&req);
+                    }
+                }
+            }
+            self.sync_view(idx);
+        }
+        let due: Vec<PendingRetry> = {
+            let (due, later): (Vec<_>, Vec<_>) = self
+                .pending_retries
+                .drain(..)
+                .partition(|p| p.not_before <= now);
+            self.pending_retries = later;
+            due
+        };
+        for p in due {
+            self.issue_poll(p.idx, p.attempt, os);
+        }
+    }
+
+    /// Mirror the tracker's counters into the public view.
+    fn sync_view(&mut self, idx: usize) {
+        let t = &self.inflight[idx].tracker;
+        let v = &mut self.views[idx];
+        v.outstanding = t.outstanding() as u32;
+        v.timed_out = t.timed_out;
+        v.retries = t.retries;
+        v.gave_up = t.gave_up;
+        v.late_ignored = t.late_ignored;
+        v.unreachable = t.is_unreachable();
     }
 
     fn accept(
@@ -281,14 +410,20 @@ impl MonitorClient {
 
     /// Feed a packet; returns true when consumed.
     pub fn on_packet(&mut self, conn: ConnId, payload: &Payload, os: &mut OsApi<'_, '_>) -> bool {
-        let Payload::MonitorReply { snap } = payload else {
+        let Payload::MonitorReply { snap, req } = payload else {
             return false;
         };
         let Some(&idx) = self.conn_to_idx.get(&conn) else {
             return false;
         };
-        let sent = self.inflight[idx].socket_fifo.pop_front();
-        self.accept(idx, *snap, sent, os);
+        let sent = self.inflight[idx].sent.remove(req);
+        match self.inflight[idx].tracker.on_reply(*req) {
+            ReplyOutcome::Accepted => self.accept(idx, *snap, sent, os),
+            // Late or unknown replies are counted by the tracker and
+            // dropped — never double-counted into the view.
+            ReplyOutcome::LateIgnored | ReplyOutcome::Unknown => {}
+        }
+        self.sync_view(idx);
         true
     }
 
@@ -306,20 +441,22 @@ impl MonitorClient {
         if idx >= self.backends.len() {
             return false;
         }
-        let seq = (token & 0xFFFF_FFFF) as u32;
-        let sent = self.inflight[idx].rdma.remove(&seq);
-        match result {
-            RdmaResult::ReadOk(RegionData::Snapshot(snap)) => {
-                self.accept(idx, *snap, sent, os);
-            }
-            RdmaResult::AccessDenied => {
-                self.views[idx].denied += 1;
-                self.views[idx].outstanding = self.inflight[idx].count() as u32;
-            }
-            _ => {
-                self.views[idx].outstanding = self.inflight[idx].count() as u32;
-            }
+        let sent = self.inflight[idx].sent.remove(&token);
+        match self.inflight[idx].tracker.on_reply(token) {
+            ReplyOutcome::Accepted => match result {
+                RdmaResult::ReadOk(RegionData::Snapshot(snap)) => {
+                    self.accept(idx, *snap, sent, os);
+                }
+                RdmaResult::AccessDenied => {
+                    self.views[idx].denied += 1;
+                }
+                _ => {}
+            },
+            // A completion for a request we already timed out: ignore the
+            // data so it can't be counted twice.
+            ReplyOutcome::LateIgnored | ReplyOutcome::Unknown => {}
         }
+        self.sync_view(idx);
         true
     }
 

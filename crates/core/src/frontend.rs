@@ -59,6 +59,9 @@ impl Service for MonitorFrontendService {
         if token != TOK_POLL {
             return;
         }
+        // Resolve expirations before issuing the next round, so a retry
+        // budget freed by a timeout is available to this round's polls.
+        self.client.check_timeouts(os);
         self.client.poll_all(os);
         self.rounds += 1;
         if self.max_rounds == 0 || self.rounds < self.max_rounds {

@@ -132,7 +132,9 @@ fn info_age_tracks_measurement_time() {
     let age = at_receive.since(snap.measured_at);
     assert!(age < SimDuration::from_micros(50), "age {age}");
     // And ages out as time passes without polls.
-    let age_later = view.info_age(SimTime(SimDuration::from_secs(5).nanos())).unwrap();
+    let age_later = view
+        .info_age(SimTime(SimDuration::from_secs(5).nanos()))
+        .unwrap();
     assert!(age_later > SimDuration::from_secs(3));
     assert_eq!(svc.client.backend_node(0), NodeId(1));
     assert_eq!(svc.client.backend_count(), 1);

@@ -77,8 +77,7 @@ fn build(scheme: Scheme, hogs: u32, poll: SimDuration) -> World {
     };
     let mut backend = make_backend(scheme, bcfg);
     // Socket backends need their listening connections configured.
-    if let Some(sb) = (backend.as_mut() as &mut dyn std::any::Any).downcast_mut::<SocketBackend>()
-    {
+    if let Some(sb) = (backend.as_mut() as &mut dyn std::any::Any).downcast_mut::<SocketBackend>() {
         sb.conns.push(conn);
     }
     be_node.add_service(backend);

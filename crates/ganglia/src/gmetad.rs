@@ -124,6 +124,8 @@ impl Service for Gmetad {
                 Payload::MonitorRequest {
                     scheme: fgmon_types::Scheme::SocketSync,
                     want_detail: false,
+                    // gmetad does not track individual requests.
+                    req: 0,
                 },
             );
         }

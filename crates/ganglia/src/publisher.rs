@@ -35,11 +35,7 @@ pub struct GmetricPublisher {
 }
 
 impl GmetricPublisher {
-    pub fn new(
-        scheme: Scheme,
-        granularity: SimDuration,
-        backends: Vec<BackendHandle>,
-    ) -> Self {
+    pub fn new(scheme: Scheme, granularity: SimDuration, backends: Vec<BackendHandle>) -> Self {
         GmetricPublisher {
             client: MonitorClient::new(scheme, scheme.uses_irq_signal(), backends),
             granularity,

@@ -6,7 +6,9 @@ use fgmon_ganglia::{GmetricPublisher, Gmond, GANGLIA_GROUP};
 use fgmon_net::Fabric;
 use fgmon_os::{NodeActor, OsCore};
 use fgmon_sim::{ActorId, DetRng, Engine, SimDuration, SimTime};
-use fgmon_types::{McastGroup, Msg, NetConfig, NodeId, NodeMsg, OsConfig, RegionId, Scheme, ServiceSlot};
+use fgmon_types::{
+    McastGroup, Msg, NetConfig, NodeId, NodeMsg, OsConfig, RegionId, Scheme, ServiceSlot,
+};
 
 fn gmond_world(n_nodes: usize) -> (Engine<Msg>, Vec<ActorId>) {
     let mut eng: Engine<Msg> = Engine::new();
@@ -50,7 +52,11 @@ fn every_gmond_learns_the_whole_cluster() {
             );
         }
         assert!(gmond.announces_sent >= 5, "gmond {i} announced too rarely");
-        assert!(gmond.samples_heard >= 4 * 5, "gmond {i} heard {}", gmond.samples_heard);
+        assert!(
+            gmond.samples_heard >= 4 * 5,
+            "gmond {i} heard {}",
+            gmond.samples_heard
+        );
     }
 }
 
@@ -124,10 +130,16 @@ fn gmetric_publisher_feeds_gmonds_with_captured_metric() {
     eng.run_until(SimTime(SimDuration::from_secs(5).nanos()));
 
     let fe_actor = eng.actor::<NodeActor>(fe).unwrap();
-    let publisher = fe_actor.service::<GmetricPublisher>(ServiceSlot(0)).unwrap();
+    let publisher = fe_actor
+        .service::<GmetricPublisher>(ServiceSlot(0))
+        .unwrap();
     // ~150 captures at 32 ms over 5 s, ~4 publish rounds at 1 Hz.
     assert!(publisher.client.views()[0].replies > 100);
-    assert!((4..=6).contains(&publisher.published), "{}", publisher.published);
+    assert!(
+        (4..=6).contains(&publisher.published),
+        "{}",
+        publisher.published
+    );
 
     let be_actor = eng.actor::<NodeActor>(be).unwrap();
     let gmond = be_actor.service::<Gmond>(ServiceSlot(1)).unwrap();
@@ -189,7 +201,11 @@ fn gmetad_federates_the_cluster_view() {
     let meta = eng.actor::<NodeActor>(nodes[3]).unwrap();
     let gmetad = meta.service::<Gmetad>(ServiceSlot(0)).unwrap();
     assert!(gmetad.polls >= 6, "polls {}", gmetad.polls);
-    assert!(gmetad.frames_received > 10, "frames {}", gmetad.frames_received);
+    assert!(
+        gmetad.frames_received > 10,
+        "frames {}",
+        gmetad.frames_received
+    );
     // Through a single gmond, gmetad learned about all three cluster
     // nodes (the gmond's multicast-federated view).
     for n in 0..3u16 {

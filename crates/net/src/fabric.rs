@@ -15,9 +15,10 @@
 
 use std::collections::HashMap;
 
-use fgmon_sim::{Actor, ActorId, Ctx, SimDuration, SimTime};
+use fgmon_sim::{Actor, ActorId, Ctx, DetRng, SimDuration, SimTime};
 use fgmon_types::{
-    ConnId, McastGroup, Msg, NetConfig, NetMsg, NodeId, NodeMsg, Payload, ServiceSlot,
+    ConnId, FaultOp, FaultPlan, McastGroup, Msg, NetConfig, NetMsg, NodeId, NodeMsg, Payload,
+    ServiceSlot,
 };
 
 /// One registered point-to-point connection.
@@ -30,7 +31,7 @@ pub struct ConnEntry {
 }
 
 /// Fabric statistics (observable by harnesses).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FabricStats {
     pub socket_frames: u64,
     pub socket_bytes: u64,
@@ -38,6 +39,14 @@ pub struct FabricStats {
     pub rdma_writes: u64,
     pub mcast_frames: u64,
     pub dropped: u64,
+    /// Frames evaluated against an active [`FaultPlan`].
+    pub fault_checks: u64,
+    /// Frames dropped by a loss rule.
+    pub fault_dropped: u64,
+    /// Frames dropped because an endpoint was fail-stopped.
+    pub fault_crash_dropped: u64,
+    /// Frames whose latency was inflated by congestion or a NIC stall.
+    pub fault_delayed: u64,
 }
 
 /// The switch + wires actor.
@@ -47,6 +56,11 @@ pub struct Fabric {
     node_actors: Vec<ActorId>,
     conns: Vec<ConnEntry>,
     mcast: HashMap<McastGroup, Vec<NodeId>>,
+    /// Fault schedule; `fault_rng` is `Some` iff the plan has rules, so
+    /// fault-free runs draw zero random numbers and stay bit-identical
+    /// to builds that predate fault injection.
+    plan: FaultPlan,
+    fault_rng: Option<DetRng>,
     pub stats: FabricStats,
 }
 
@@ -57,12 +71,79 @@ impl Fabric {
             node_actors,
             conns: Vec::new(),
             mcast: HashMap::new(),
+            plan: FaultPlan::default(),
+            fault_rng: None,
             stats: FabricStats::default(),
         }
     }
 
     pub fn cfg(&self) -> &NetConfig {
         &self.cfg
+    }
+
+    /// Install a fault schedule. The fault RNG is forked from the plan's
+    /// own seed, so identical (seed, plan) pairs replay identical fates
+    /// regardless of what the rest of the simulation draws.
+    ///
+    /// # Panics
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        if let Err(e) = plan.validate() {
+            panic!("invalid fault plan: {e}");
+        }
+        self.fault_rng = if plan.is_empty() {
+            None
+        } else {
+            Some(DetRng::new(plan.seed).fork("fabric-faults"))
+        };
+        self.plan = plan;
+    }
+
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decide one frame's fate under the active plan: `None` means the
+    /// frame is lost, otherwise the (possibly inflated) flight latency.
+    ///
+    /// Completion legs (read-data, write-ack) only carry the initiator,
+    /// so the unknown endpoint is passed as `None` and matches wildcard
+    /// rules only. Exactly one RNG draw happens per checked frame, which
+    /// keeps fault fates independent of how many rules match.
+    fn apply_faults(
+        &mut self,
+        now: SimTime,
+        src: Option<NodeId>,
+        dst: Option<NodeId>,
+        op: FaultOp,
+        base: SimDuration,
+    ) -> Option<SimDuration> {
+        let Some(rng) = self.fault_rng.as_mut() else {
+            return Some(base);
+        };
+        self.stats.fault_checks += 1;
+        let u = rng.f64();
+        if src.is_some_and(|n| self.plan.crashed(n, now))
+            || dst.is_some_and(|n| self.plan.crashed(n, now))
+        {
+            self.stats.fault_crash_dropped += 1;
+            return None;
+        }
+        if u < self.plan.loss_probability(src, dst, op) {
+            self.stats.fault_dropped += 1;
+            return None;
+        }
+        let mut delay = base.mul_f64(self.plan.latency_mult(now));
+        if let Some(n) = src {
+            delay += self.plan.stall_extra(n, now);
+        }
+        if let Some(n) = dst {
+            delay += self.plan.stall_extra(n, now);
+        }
+        if delay != base {
+            self.stats.fault_delayed += 1;
+        }
+        Some(delay)
     }
 
     /// Provide (or replace) the node-id → engine-actor table. Builders
@@ -74,7 +155,13 @@ impl Fabric {
     /// Register a connection between two services; returns its id.
     /// (Connection setup happens at cluster-build time, as the paper's
     /// monitoring processes establish their connections once at startup.)
-    pub fn add_conn(&mut self, a: NodeId, svc_a: ServiceSlot, b: NodeId, svc_b: ServiceSlot) -> ConnId {
+    pub fn add_conn(
+        &mut self,
+        a: NodeId,
+        svc_a: ServiceSlot,
+        b: NodeId,
+        svc_b: ServiceSlot,
+    ) -> ConnId {
         let id = ConnId(self.conns.len() as u64);
         self.conns.push(ConnEntry { a, svc_a, b, svc_b });
         id
@@ -108,6 +195,7 @@ impl Fabric {
     fn deliver_socket(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
+        now: SimTime,
         src: NodeId,
         conn: ConnId,
         size: u32,
@@ -128,7 +216,11 @@ impl Fabric {
         };
         self.stats.socket_frames += 1;
         self.stats.socket_bytes += size as u64;
-        let delay = self.frame_latency(size);
+        let base = self.frame_latency(size);
+        let Some(delay) = self.apply_faults(now, Some(src), Some(dst), FaultOp::Socket, base)
+        else {
+            return;
+        };
         ctx.send_in(
             delay,
             dst_actor,
@@ -143,7 +235,7 @@ impl Fabric {
 }
 
 impl Actor<Msg> for Fabric {
-    fn handle(&mut self, _now: SimTime, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+    fn handle(&mut self, now: SimTime, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
         let Msg::Net(msg) = msg else {
             debug_assert!(false, "fabric received a node message");
             return;
@@ -154,7 +246,7 @@ impl Actor<Msg> for Fabric {
                 conn,
                 size,
                 payload,
-            } => self.deliver_socket(ctx, src, conn, size, payload),
+            } => self.deliver_socket(ctx, now, src, conn, size, payload),
 
             NetMsg::RdmaRead {
                 src,
@@ -168,7 +260,12 @@ impl Actor<Msg> for Fabric {
                 };
                 self.stats.rdma_reads += 1;
                 // Initiator post overhead + request flight.
-                let delay = self.cfg.rdma_post + self.cfg.wire_latency;
+                let base = self.cfg.rdma_post + self.cfg.wire_latency;
+                let Some(delay) =
+                    self.apply_faults(now, Some(src), Some(dst), FaultOp::RdmaRead, base)
+                else {
+                    return;
+                };
                 ctx.send_in(
                     delay,
                     dst_actor,
@@ -192,7 +289,12 @@ impl Actor<Msg> for Fabric {
                     return;
                 };
                 self.stats.rdma_writes += 1;
-                let delay = self.cfg.rdma_post + self.cfg.wire_latency;
+                let base = self.cfg.rdma_post + self.cfg.wire_latency;
+                let Some(delay) =
+                    self.apply_faults(now, Some(src), Some(dst), FaultOp::RdmaWrite, base)
+                else {
+                    return;
+                };
                 ctx.send_in(
                     delay,
                     dst_actor,
@@ -215,7 +317,12 @@ impl Actor<Msg> for Fabric {
                     return;
                 };
                 // Target-NIC DMA read + reply flight + initiator CQ poll.
-                let delay = self.cfg.nic_read + self.cfg.wire_latency + self.cfg.completion_poll;
+                let base = self.cfg.nic_read + self.cfg.wire_latency + self.cfg.completion_poll;
+                let Some(delay) =
+                    self.apply_faults(now, None, Some(initiator), FaultOp::RdmaRead, base)
+                else {
+                    return;
+                };
                 ctx.send_in(
                     delay,
                     dst_actor,
@@ -232,7 +339,12 @@ impl Actor<Msg> for Fabric {
                     self.stats.dropped += 1;
                     return;
                 };
-                let delay = self.cfg.nic_read + self.cfg.wire_latency + self.cfg.completion_poll;
+                let base = self.cfg.nic_read + self.cfg.wire_latency + self.cfg.completion_poll;
+                let Some(delay) =
+                    self.apply_faults(now, None, Some(initiator), FaultOp::RdmaWrite, base)
+                else {
+                    return;
+                };
                 ctx.send_in(
                     delay,
                     dst_actor,
@@ -258,10 +370,16 @@ impl Actor<Msg> for Fabric {
                     };
                     self.stats.mcast_frames += 1;
                     // The switch replicates in hardware; replicas leave with
-                    // a tiny per-port stagger.
-                    let delay = self.frame_latency(size)
+                    // a tiny per-port stagger. Fault fates are drawn per
+                    // member in membership order, keeping them deterministic.
+                    let base = self.frame_latency(size)
                         + SimDuration(self.cfg.mcast_fanout.nanos() * rank);
                     rank += 1;
+                    let Some(delay) =
+                        self.apply_faults(now, Some(src), Some(node), FaultOp::Mcast, base)
+                    else {
+                        continue;
+                    };
                     ctx.send_in(
                         delay,
                         dst_actor,
@@ -310,5 +428,115 @@ mod tests {
         f.join_mcast(McastGroup(1), NodeId(0));
         f.join_mcast(McastGroup(1), NodeId(0));
         assert_eq!(f.mcast[&McastGroup(1)].len(), 1);
+    }
+
+    #[test]
+    fn empty_plan_takes_fast_path() {
+        let mut f = Fabric::new(NetConfig::default(), vec![]);
+        assert!(f.fault_plan().is_empty());
+        let base = SimDuration(100);
+        let d = f.apply_faults(
+            SimTime(0),
+            Some(NodeId(0)),
+            Some(NodeId(1)),
+            FaultOp::Socket,
+            base,
+        );
+        assert_eq!(d, Some(base));
+        assert_eq!(f.stats.fault_checks, 0);
+    }
+
+    #[test]
+    fn crash_window_blackholes_frames() {
+        let mut f = Fabric::new(NetConfig::default(), vec![]);
+        f.set_fault_plan(FaultPlan::new(7).crash(NodeId(1), SimTime(0), SimTime(100)));
+        let base = SimDuration(10);
+        let during = f.apply_faults(
+            SimTime(50),
+            Some(NodeId(0)),
+            Some(NodeId(1)),
+            FaultOp::Socket,
+            base,
+        );
+        assert_eq!(during, None);
+        let after = f.apply_faults(
+            SimTime(150),
+            Some(NodeId(0)),
+            Some(NodeId(1)),
+            FaultOp::Socket,
+            base,
+        );
+        assert_eq!(after, Some(base));
+        // Frames *from* the crashed node vanish too.
+        let from = f.apply_faults(
+            SimTime(50),
+            Some(NodeId(1)),
+            Some(NodeId(2)),
+            FaultOp::Socket,
+            base,
+        );
+        assert_eq!(from, None);
+        assert_eq!(f.stats.fault_crash_dropped, 2);
+        assert_eq!(f.stats.fault_checks, 3);
+    }
+
+    #[test]
+    fn loss_fates_replay_per_seed() {
+        let run = |seed: u64| {
+            let mut f = Fabric::new(NetConfig::default(), vec![]);
+            f.set_fault_plan(FaultPlan::new(seed).lossy_all(0.5));
+            let fates: Vec<bool> = (0..64)
+                .map(|i| {
+                    f.apply_faults(
+                        SimTime(i),
+                        Some(NodeId(0)),
+                        Some(NodeId(1)),
+                        FaultOp::Socket,
+                        SimDuration(10),
+                    )
+                    .is_some()
+                })
+                .collect();
+            (fates, f.stats.fault_dropped)
+        };
+        let (fates_a, dropped_a) = run(11);
+        let (fates_b, dropped_b) = run(11);
+        assert_eq!(fates_a, fates_b);
+        assert_eq!(dropped_a, dropped_b);
+        assert!(dropped_a > 0 && dropped_a < 64, "p=0.5 should drop some");
+        let (fates_c, _) = run(12);
+        assert_ne!(fates_a, fates_c, "different seed should change fates");
+    }
+
+    #[test]
+    fn congestion_and_stall_inflate_latency() {
+        let mut f = Fabric::new(NetConfig::default(), vec![]);
+        f.set_fault_plan(
+            FaultPlan::new(0)
+                .congested(SimTime(0), SimTime(100), 4.0)
+                .nic_stall(NodeId(1), SimTime(0), SimTime(100), SimDuration(7)),
+        );
+        let base = SimDuration(10);
+        let d = f
+            .apply_faults(
+                SimTime(10),
+                Some(NodeId(0)),
+                Some(NodeId(1)),
+                FaultOp::RdmaRead,
+                base,
+            )
+            .unwrap();
+        assert_eq!(d, SimDuration(47));
+        let d = f
+            .apply_faults(
+                SimTime(200),
+                Some(NodeId(0)),
+                Some(NodeId(1)),
+                FaultOp::RdmaRead,
+                base,
+            )
+            .unwrap();
+        assert_eq!(d, base);
+        assert_eq!(f.stats.fault_delayed, 1);
     }
 }

@@ -146,7 +146,10 @@ fn socket_frames_arrive_in_order_with_wire_latency() {
     assert_eq!(sniffer.packets.len(), 50);
     // FIFO: tags strictly increasing.
     let tags: Vec<u64> = sniffer.packets.iter().map(|p| p.2).collect();
-    assert!(tags.windows(2).all(|w| w[0] < w[1]), "out of order: {tags:?}");
+    assert!(
+        tags.windows(2).all(|w| w[0] < w[1]),
+        "out of order: {tags:?}"
+    );
     // First frame sent at t=100µs: arrival = send + wire (4µs) + irq
     // service (hw 4µs + softirq 22µs). All in under a millisecond.
     let first = sniffer.packets[0].0;
@@ -172,7 +175,8 @@ fn unknown_conn_is_dropped_and_counted() {
             sent: 0,
         }));
     boot(&mut w);
-    w.eng.run_until(SimTime(SimDuration::from_millis(10).nanos()));
+    w.eng
+        .run_until(SimTime(SimDuration::from_millis(10).nanos()));
     let fabric = w.eng.actor::<Fabric>(w.fabric).unwrap();
     assert_eq!(fabric.stats.dropped, 3);
     assert_eq!(fabric.stats.socket_frames, 0);
@@ -218,7 +222,11 @@ fn multicast_reaches_all_subscribers_except_sender() {
     for (i, &n) in w.nodes.iter().enumerate() {
         let node = w.eng.actor::<NodeActor>(n).unwrap();
         // The sender hosts the sniffer at slot 1, receivers at slot 0.
-        let slot = if i == 0 { ServiceSlot(1) } else { ServiceSlot(0) };
+        let slot = if i == 0 {
+            ServiceSlot(1)
+        } else {
+            ServiceSlot(0)
+        };
         let sniffer = node.service::<Sniffer>(slot).unwrap();
         if i == 0 {
             assert_eq!(sniffer.mcasts.len(), 0, "sender heard itself");
@@ -320,12 +328,17 @@ fn rdma_read_roundtrip_matches_config_rtt() {
         .unwrap()
         .add_service(Box::new(Exporter));
     boot(&mut w);
-    w.eng.run_until(SimTime(SimDuration::from_millis(5).nanos()));
+    w.eng
+        .run_until(SimTime(SimDuration::from_millis(5).nanos()));
     let reader = w.eng.actor::<NodeActor>(w.nodes[0]).unwrap();
     let svc = reader.service::<Reader>(ServiceSlot(0)).unwrap();
     let done = svc.done_at.expect("read completed");
     let expected = NetConfig::default().rdma_read_rtt();
-    assert_eq!(done, SimTime::ZERO + expected, "rtt should be exactly {expected}");
+    assert_eq!(
+        done,
+        SimTime::ZERO + expected,
+        "rtt should be exactly {expected}"
+    );
     let fabric = w.eng.actor::<Fabric>(w.fabric).unwrap();
     assert_eq!(fabric.stats.rdma_reads, 1);
 }

@@ -149,7 +149,15 @@ impl OsCore {
         let preempted = self
             .cpus
             .iter()
-            .filter(|c| matches!(c, CpuRt::Irq { resume: Some(_), .. }))
+            .filter(|c| {
+                matches!(
+                    c,
+                    CpuRt::Irq {
+                        resume: Some(_),
+                        ..
+                    }
+                )
+            })
             .count() as u32;
         self.run_queue.len() as u32 + running + preempted
     }

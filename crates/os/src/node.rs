@@ -20,8 +20,8 @@ use std::any::Any;
 
 use fgmon_sim::{Actor, ActorId, Ctx, SimDuration, SimTime};
 use fgmon_types::{
-    ConnId, Msg, NetMsg, NodeId, NodeMsg, RdmaResult, RegionData, RegionId,
-    ReqId, ServiceSlot, ThreadId,
+    ConnId, Msg, NetMsg, NodeId, NodeMsg, RdmaResult, RegionData, RegionId, ReqId, ServiceSlot,
+    ThreadId,
 };
 
 use crate::core_state::{CpuRt, ListenMode, OsCore, RegionKind};
@@ -190,7 +190,11 @@ impl NodeActor {
                         t.bump_gen()
                     };
                     let me = self.core.self_actor;
-                    ctx.send_at(wake_at, me, Msg::Node(NodeMsg::ThreadWake { thread: tid, gen }));
+                    ctx.send_at(
+                        wake_at,
+                        me,
+                        Msg::Node(NodeMsg::ThreadWake { thread: tid, gen }),
+                    );
                     return Ensure::Slept;
                 }
                 Some(ThreadOp::Send { conn, payload }) => {
@@ -289,7 +293,13 @@ impl NodeActor {
         };
 
         if burst_done {
-            let burst = self.core.threads.get_mut(tid).burst.take().expect("checked");
+            let burst = self
+                .core
+                .threads
+                .get_mut(tid)
+                .burst
+                .take()
+                .expect("checked");
             self.complete_burst(now, ctx, tid, burst.kind);
             // The completion callback may have killed the thread.
             if self.core.threads.get(tid).is_alive() {
@@ -610,12 +620,7 @@ impl NodeActor {
         );
     }
 
-    fn on_rdma_completion(
-        &mut self,
-        ctx: &mut Ctx<'_, Msg>,
-        req_id: ReqId,
-        result: RdmaResult,
-    ) {
+    fn on_rdma_completion(&mut self, ctx: &mut Ctx<'_, Msg>, req_id: ReqId, result: RdmaResult) {
         if let Some((slot, token)) = self.core.rdma_pending.remove(&req_id.0) {
             self.call_service(ctx, slot, |svc, os| svc.on_rdma_complete(token, result, os));
         }
@@ -736,5 +741,7 @@ impl Actor<Msg> for NodeActor {
 
 /// Convenience: engine id pair used when wiring nodes to the fabric.
 pub fn node_actor_ids(first_node: ActorId, count: usize) -> Vec<ActorId> {
-    (0..count as u32).map(|i| ActorId(first_node.0 + i)).collect()
+    (0..count as u32)
+        .map(|i| ActorId(first_node.0 + i))
+        .collect()
 }

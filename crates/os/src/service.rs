@@ -322,7 +322,8 @@ impl OsApi<'_, '_> {
 
     /// Register a user-space buffer for one-sided access.
     pub fn register_user_region(&mut self, writable: bool) -> RegionId {
-        self.core.register_region(RegionKind::UserSnapshot, writable)
+        self.core
+            .register_region(RegionKind::UserSnapshot, writable)
     }
 
     /// Register the live kernel statistics for one-sided access

@@ -31,10 +31,7 @@ pub enum ThreadOp {
     Send { conn: ConnId, payload: Payload },
     /// Consume the kernel send-path CPU cost, then emit a hardware
     /// multicast frame.
-    McastSend {
-        group: McastGroup,
-        payload: Payload,
-    },
+    McastSend { group: McastGroup, payload: Payload },
 }
 
 /// Why the CPU is currently executing a burst for this thread.
@@ -48,10 +45,7 @@ pub enum BurstKind {
     /// Kernel send path; on completion the packet leaves the node.
     Send { conn: ConnId, payload: Payload },
     /// Kernel send path for a multicast frame.
-    McastSend {
-        group: McastGroup,
-        payload: Payload,
-    },
+    McastSend { group: McastGroup, payload: Payload },
 }
 
 /// The in-progress burst of a running (or preempted) thread.

@@ -40,7 +40,11 @@ impl ScriptRunner {
             let tid = self.tids[idx];
             os.burst(tid, SimDuration::from_micros(burst_us.max(1)), idx as u64);
             if sleep_us > 0 {
-                os.sleep(tid, SimDuration::from_micros(sleep_us), (idx as u64) | (1 << 32));
+                os.sleep(
+                    tid,
+                    SimDuration::from_micros(sleep_us),
+                    (idx as u64) | (1 << 32),
+                );
             }
         }
     }
@@ -79,8 +83,7 @@ impl Service for ScriptRunner {
 }
 
 fn arb_script() -> impl Strategy<Value = Script> {
-    prop::collection::vec((1u64..5_000, 0u64..20_000), 1..8)
-        .prop_map(|steps| Script { steps })
+    prop::collection::vec((1u64..5_000, 0u64..20_000), 1..8).prop_map(|steps| Script { steps })
 }
 
 proptest! {

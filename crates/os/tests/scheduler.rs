@@ -480,12 +480,7 @@ fn rdma_write_to_readonly_kernel_region_is_denied() {
             "writer"
         }
         fn on_start(&mut self, os: &mut OsApi<'_, '_>) {
-            os.rdma_write(
-                NodeId(1),
-                RegionId(0),
-                fgmon_types::LoadSnapshot::zero(),
-                3,
-            );
+            os.rdma_write(NodeId(1), RegionId(0), fgmon_types::LoadSnapshot::zero(), 3);
         }
         fn on_rdma_complete(&mut self, _token: u64, result: RdmaResult, _os: &mut OsApi<'_, '_>) {
             self.result = Some(result);

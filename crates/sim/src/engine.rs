@@ -300,7 +300,20 @@ impl<M: 'static> Engine<M> {
 
     /// Process exactly one event if any is pending. Returns `true` if an
     /// event was processed.
+    ///
+    /// Honors the same termination conditions as [`run_until`]: a pending
+    /// stop request is consumed (returning `false` without processing) and
+    /// an exhausted event budget refuses further work.
+    ///
+    /// [`run_until`]: Engine::run_until
     pub fn step(&mut self) -> bool {
+        if self.stop_requested {
+            self.stop_requested = false;
+            return false;
+        }
+        if self.events_processed >= self.event_budget {
+            return false;
+        }
         let Some(Reverse(entry)) = self.queue.pop() else {
             return false;
         };
@@ -467,13 +480,51 @@ mod tests {
         let a = eng.add_actor(Box::new(Collector::default()));
         // Self-relay loops forever; budget must stop it.
         eng.actor_mut::<Collector>(a).unwrap().peer = Some(a);
-        eng.schedule(SimTime::ZERO, a, TestMsg::Relay { hops_left: u32::MAX });
+        eng.schedule(
+            SimTime::ZERO,
+            a,
+            TestMsg::Relay {
+                hops_left: u32::MAX,
+            },
+        );
         eng.set_event_budget(50);
         assert_eq!(
             eng.run_until(SimTime::MAX),
             RunOutcome::EventBudgetExhausted
         );
         assert_eq!(eng.events_processed(), 50);
+    }
+
+    #[test]
+    fn step_honors_budget_and_stop_request() {
+        let mut eng: Engine<TestMsg> = Engine::new();
+        let a = eng.add_actor(Box::new(Collector::default()));
+
+        // Budget: after two processed events, step refuses further work
+        // even though the queue is non-empty.
+        eng.schedule(SimTime(1), a, TestMsg::Ping(1));
+        eng.schedule(SimTime(2), a, TestMsg::Ping(2));
+        eng.schedule(SimTime(3), a, TestMsg::Ping(3));
+        eng.set_event_budget(2);
+        assert!(eng.step());
+        assert!(eng.step());
+        assert!(!eng.step());
+        assert_eq!(eng.events_processed(), 2);
+        let col: &Collector = eng.actor(a).unwrap();
+        assert_eq!(col.seen.len(), 2);
+
+        // Stop request: the step that handles StopNow succeeds, the next
+        // step consumes the request without touching the queue, and the
+        // one after that resumes normally — mirroring run_until.
+        eng.set_event_budget(u64::MAX);
+        assert!(eng.step());
+        eng.schedule(SimTime(10), a, TestMsg::StopNow);
+        eng.schedule(SimTime(11), a, TestMsg::Ping(4));
+        assert!(eng.step());
+        assert!(!eng.step());
+        assert!(eng.step());
+        let col: &Collector = eng.actor(a).unwrap();
+        assert_eq!(col.seen.last().unwrap().1, TestMsg::Ping(4));
     }
 
     #[test]

@@ -418,7 +418,10 @@ mod tests {
                 let rep = Histogram::bucket_value(idx);
                 let rel = (rep as f64 - v as f64).abs() / v as f64;
                 assert!(rel < 0.07, "v={v} rep={rep} rel={rel}");
-                assert!(rep >= v, "bucket value must be an upper edge: v={v} rep={rep}");
+                assert!(
+                    rep >= v,
+                    "bucket value must be an upper edge: v={v} rep={rep}"
+                );
             }
         }
     }

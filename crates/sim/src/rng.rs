@@ -1,18 +1,57 @@
 //! Deterministic random numbers for simulations.
 //!
-//! All stochastic behaviour flows through [`DetRng`], a thin wrapper around
-//! `rand`'s `SmallRng` that adds the distributions the workload models need
+//! All stochastic behaviour flows through [`DetRng`], a self-contained
+//! xoshiro256++ generator (seeded via splitmix64, so any u64 seed gives a
+//! well-mixed state) that adds the distributions the workload models need
 //! and supports hierarchical forking: `fork("label")` derives an independent
 //! stream whose seed depends only on the parent seed and the label, so
-//! adding a new consumer never perturbs existing streams.
+//! adding a new consumer never perturbs existing streams. The generator is
+//! implemented in-tree so simulation runs are bit-identical across
+//! platforms and independent of any external crate's algorithm choices.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+/// xoshiro256++ core state.
+#[derive(Clone, Debug)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Expand a u64 seed into the 256-bit state with splitmix64.
+    fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Xoshiro256pp {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
 
 /// Deterministic random number generator.
 #[derive(Clone, Debug)]
 pub struct DetRng {
-    rng: SmallRng,
+    rng: Xoshiro256pp,
     seed: u64,
 }
 
@@ -30,7 +69,7 @@ impl DetRng {
     /// Create a generator from a seed.
     pub fn new(seed: u64) -> Self {
         DetRng {
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Xoshiro256pp::from_seed(seed),
             seed,
         }
     }
@@ -58,7 +97,13 @@ impl DetRng {
     /// Uniform in `[0, 1)`.
     #[inline]
     pub fn f64(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        (self.rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)` for `n >= 1` (multiply-shift bound).
+    #[inline]
+    fn below(&mut self, n: u64) -> u64 {
+        ((u128::from(self.rng.next_u64()) * u128::from(n)) >> 64) as u64
     }
 
     /// Uniform integer in `[lo, hi)`; `lo` if the range is empty.
@@ -67,7 +112,7 @@ impl DetRng {
         if hi <= lo {
             return lo;
         }
-        self.rng.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// Uniform usize in `[0, n)`; 0 if n == 0.
@@ -76,7 +121,7 @@ impl DetRng {
         if n == 0 {
             return 0;
         }
-        self.rng.gen_range(0..n)
+        self.below(n as u64) as usize
     }
 
     /// Bernoulli trial.
@@ -126,7 +171,7 @@ impl DetRng {
     /// Shuffle a slice in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.rng.gen_range(0..=i);
+            let j = self.below(i as u64 + 1) as usize;
             slice.swap(i, j);
         }
     }
@@ -150,7 +195,10 @@ impl ZipfSampler {
     /// Panics if `n == 0` or `alpha` is not finite.
     pub fn new(n: usize, alpha: f64) -> Self {
         assert!(n > 0, "ZipfSampler needs at least one item");
-        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be finite and >= 0");
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "alpha must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for i in 1..=n {

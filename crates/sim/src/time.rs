@@ -4,16 +4,15 @@
 //! start. Wall-clock time never enters the simulation, which is what makes
 //! runs deterministic and reproducible.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in virtual time, in nanoseconds since simulation start.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 /// A span of virtual time, in nanoseconds.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(pub u64);
 
 pub const NANOS_PER_MICRO: u64 = 1_000;
@@ -71,6 +70,10 @@ impl SimTime {
 
 impl SimDuration {
     pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Effectively infinite: with saturating arithmetic, a deadline of
+    /// `now + SimDuration::MAX` can never be reached.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
 
     #[inline]
     pub const fn from_nanos(n: u64) -> SimDuration {
@@ -254,10 +257,7 @@ mod tests {
     fn round_up_to_tick() {
         let tick = SimDuration::from_millis(10);
         assert_eq!(SimTime(0).round_up_to(tick), SimTime(0));
-        assert_eq!(
-            SimTime(1).round_up_to(tick),
-            SimTime(10 * NANOS_PER_MILLI)
-        );
+        assert_eq!(SimTime(1).round_up_to(tick), SimTime(10 * NANOS_PER_MILLI));
         assert_eq!(
             SimTime(10 * NANOS_PER_MILLI).round_up_to(tick),
             SimTime(10 * NANOS_PER_MILLI)

@@ -7,12 +7,11 @@
 //! tens of microseconds once both CPUs are involved).
 
 use fgmon_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 use crate::scheme::Scheme;
 
 /// Per-operation CPU costs and scheduler parameters for one node's OS.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CostModel {
     /// Round-robin scheduling quantum.
     pub quantum: SimDuration,
@@ -57,7 +56,7 @@ impl Default for CostModel {
 }
 
 /// Configuration of one simulated node's OS.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct OsConfig {
     /// Number of CPUs (the paper's servers are dual-processor).
     pub cpus: u8,
@@ -99,7 +98,7 @@ impl OsConfig {
 }
 
 /// Fabric timing parameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct NetConfig {
     /// One-way wire + switch latency for any frame.
     pub wire_latency: SimDuration,
@@ -140,7 +139,7 @@ impl NetConfig {
 }
 
 /// Front-end monitoring configuration.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct MonitorConfig {
     /// Which scheme the front-end and back-ends run.
     pub scheme: Scheme,
@@ -214,10 +213,9 @@ mod tests {
     }
 
     #[test]
-    fn configs_serialize_roundtrip() {
+    fn configs_clone_copy_semantics() {
         let os = OsConfig::default();
-        let json = serde_json::to_string(&os).unwrap();
-        let back: OsConfig = serde_json::from_str(&json).unwrap();
+        let back = os;
         assert_eq!(back.cpus, os.cpus);
         assert_eq!(back.costs.quantum, os.costs.quantum);
     }

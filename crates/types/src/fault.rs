@@ -1,0 +1,654 @@
+//! Fault model: deterministic, seedable descriptions of network and node
+//! misbehaviour, plus the retry/backoff state machine used to survive it.
+//!
+//! The paper's argument is about monitoring *under duress*: overloaded
+//! back-ends delay socket replies while RDMA-Sync stays fresh (Figs. 3, 8).
+//! A [`FaultPlan`] makes that duress an explicit, reproducible input: the
+//! fabric consults it for every frame, drawing from an RNG forked from
+//! `plan.seed` so two runs with the same seed and plan are bit-identical.
+//!
+//! The plan is pure data — it never draws random numbers itself. The
+//! fabric owns the dice; the plan answers "what is the loss probability /
+//! latency multiplier / crash state for this frame at this instant?".
+
+use std::collections::VecDeque;
+
+use fgmon_sim::{SimDuration, SimTime};
+
+use crate::ids::NodeId;
+
+/// Which fabric operation a fault rule applies to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FaultOp {
+    /// Two-sided socket frames (request or reply legs).
+    Socket,
+    /// One-sided RDMA read requests and their data-return legs.
+    RdmaRead,
+    /// One-sided RDMA write requests and their ack legs.
+    RdmaWrite,
+    /// Hardware multicast frames (applied per member delivery).
+    Mcast,
+}
+
+/// Per-link frame-loss rule. `None` fields are wildcards.
+#[derive(Clone, Copy, Debug)]
+pub struct LossRule {
+    /// Sending node, or any if `None`.
+    pub src: Option<NodeId>,
+    /// Receiving node, or any if `None`.
+    pub dst: Option<NodeId>,
+    /// Operation kind, or any if `None`.
+    pub op: Option<FaultOp>,
+    /// Independent drop probability in `[0, 1]` per matching frame.
+    pub probability: f64,
+}
+
+/// Time window during which every wire/NIC latency is multiplied — the
+/// congested-switch model (shared-NIC contention, noisy neighbours).
+#[derive(Clone, Copy, Debug)]
+pub struct CongestionWindow {
+    pub from: SimTime,
+    pub until: SimTime,
+    /// Latency multiplier, `>= 1.0` for congestion (values in `(0, 1)`
+    /// would model an implausibly *faster* network and are rejected).
+    pub latency_mult: f64,
+}
+
+/// Fail-stop crash window: frames to or from the node are dropped while
+/// it is down. `until = SimTime::MAX` means the node never recovers.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashWindow {
+    pub node: NodeId,
+    pub from: SimTime,
+    pub until: SimTime,
+}
+
+/// NIC stall: a fixed extra delay added to every frame touching the node
+/// during the window (firmware hiccup, DMA-ring exhaustion).
+#[derive(Clone, Copy, Debug)]
+pub struct NicStall {
+    pub node: NodeId,
+    pub from: SimTime,
+    pub until: SimTime,
+    pub extra: SimDuration,
+}
+
+/// Complete fault schedule for one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed for the fabric's fault RNG (forked, so the plan never
+    /// perturbs non-fault random streams).
+    pub seed: u64,
+    pub loss: Vec<LossRule>,
+    pub congestion: Vec<CongestionWindow>,
+    pub crashes: Vec<CrashWindow>,
+    pub stalls: Vec<NicStall>,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// No rules at all: the fabric takes its zero-overhead fast path and
+    /// draws no random numbers.
+    pub fn is_empty(&self) -> bool {
+        self.loss.is_empty()
+            && self.congestion.is_empty()
+            && self.crashes.is_empty()
+            && self.stalls.is_empty()
+    }
+
+    /// Add a loss rule matching any frame.
+    pub fn lossy_all(mut self, probability: f64) -> Self {
+        self.loss.push(LossRule {
+            src: None,
+            dst: None,
+            op: None,
+            probability,
+        });
+        self
+    }
+
+    /// Add a loss rule for one operation kind on any link.
+    pub fn lossy_op(mut self, op: FaultOp, probability: f64) -> Self {
+        self.loss.push(LossRule {
+            src: None,
+            dst: None,
+            op: Some(op),
+            probability,
+        });
+        self
+    }
+
+    /// Add a loss rule for one directed link.
+    pub fn lossy_link(mut self, src: NodeId, dst: NodeId, probability: f64) -> Self {
+        self.loss.push(LossRule {
+            src: Some(src),
+            dst: Some(dst),
+            op: None,
+            probability,
+        });
+        self
+    }
+
+    /// Add a congestion window.
+    pub fn congested(mut self, from: SimTime, until: SimTime, latency_mult: f64) -> Self {
+        self.congestion.push(CongestionWindow {
+            from,
+            until,
+            latency_mult,
+        });
+        self
+    }
+
+    /// Add a fail-stop crash window for a node.
+    pub fn crash(mut self, node: NodeId, from: SimTime, until: SimTime) -> Self {
+        self.crashes.push(CrashWindow { node, from, until });
+        self
+    }
+
+    /// Add a NIC stall window for a node.
+    pub fn nic_stall(
+        mut self,
+        node: NodeId,
+        from: SimTime,
+        until: SimTime,
+        extra: SimDuration,
+    ) -> Self {
+        self.stalls.push(NicStall {
+            node,
+            from,
+            until,
+            extra,
+        });
+        self
+    }
+
+    /// Check every rule for well-formedness. Returns the first problem
+    /// found, described for humans.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, r) in self.loss.iter().enumerate() {
+            if !r.probability.is_finite() || !(0.0..=1.0).contains(&r.probability) {
+                return Err(format!(
+                    "loss rule {i}: probability {} outside [0, 1]",
+                    r.probability
+                ));
+            }
+        }
+        for (i, w) in self.congestion.iter().enumerate() {
+            if !w.latency_mult.is_finite() || w.latency_mult < 1.0 {
+                return Err(format!(
+                    "congestion window {i}: latency_mult {} must be finite and >= 1",
+                    w.latency_mult
+                ));
+            }
+            if w.from > w.until {
+                return Err(format!("congestion window {i}: from > until"));
+            }
+        }
+        for (i, c) in self.crashes.iter().enumerate() {
+            if c.from > c.until {
+                return Err(format!("crash window {i}: from > until"));
+            }
+        }
+        for (i, s) in self.stalls.iter().enumerate() {
+            if s.from > s.until {
+                return Err(format!("nic stall {i}: from > until"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Combined drop probability for one frame: independent rules compose
+    /// as `1 - Π(1 - p)`, always in `[0, 1]`.
+    ///
+    /// `src`/`dst` are what the fabric knows about the frame; completion
+    /// legs (read-data, write-ack) only know the initiator, so the caller
+    /// passes `None` for the unknown side and wildcard rules still apply.
+    pub fn loss_probability(&self, src: Option<NodeId>, dst: Option<NodeId>, op: FaultOp) -> f64 {
+        let mut keep = 1.0f64;
+        for r in &self.loss {
+            let src_ok = match (r.src, src) {
+                (None, _) => true,
+                (Some(want), Some(have)) => want == have,
+                (Some(_), None) => false,
+            };
+            let dst_ok = match (r.dst, dst) {
+                (None, _) => true,
+                (Some(want), Some(have)) => want == have,
+                (Some(_), None) => false,
+            };
+            if src_ok && dst_ok && r.op.is_none_or(|o| o == op) {
+                keep *= 1.0 - r.probability.clamp(0.0, 1.0);
+            }
+        }
+        (1.0 - keep).clamp(0.0, 1.0)
+    }
+
+    /// Is `node` fail-stopped at `now`? Windows are half-open `[from, until)`.
+    pub fn crashed(&self, node: NodeId, now: SimTime) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.node == node && c.from <= now && now < c.until)
+    }
+
+    /// Product of all congestion multipliers active at `now` (1.0 when
+    /// none are).
+    pub fn latency_mult(&self, now: SimTime) -> f64 {
+        self.congestion
+            .iter()
+            .filter(|w| w.from <= now && now < w.until)
+            .map(|w| w.latency_mult)
+            .product::<f64>()
+            .max(1.0)
+    }
+
+    /// Total extra NIC delay for frames touching `node` at `now`.
+    pub fn stall_extra(&self, node: NodeId, now: SimTime) -> SimDuration {
+        self.stalls
+            .iter()
+            .filter(|s| s.node == node && s.from <= now && now < s.until)
+            .fold(SimDuration::ZERO, |acc, s| acc + s.extra)
+    }
+
+    /// The latest instant any rule references — useful for sizing runs so
+    /// recovery behaviour is actually exercised.
+    pub fn horizon(&self) -> SimTime {
+        let mut t = SimTime::ZERO;
+        for w in &self.congestion {
+            t = t.max(w.until);
+        }
+        for c in &self.crashes {
+            t = t.max(c.until);
+        }
+        for s in &self.stalls {
+            t = t.max(s.until);
+        }
+        t
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retry/backoff state machine
+// ---------------------------------------------------------------------------
+
+/// Timeout/retry policy for monitor polls.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Per-attempt deadline. `SimDuration::MAX` disables the machinery
+    /// entirely (legacy wait-forever behaviour).
+    pub timeout: SimDuration,
+    /// Retries allowed after the first attempt of a poll.
+    pub max_retries: u32,
+    /// Delay before the first retry.
+    pub backoff_base: SimDuration,
+    /// Multiplier applied to the backoff on each successive retry.
+    pub backoff_mult: f64,
+    /// Consecutive gave-up polls before the backend is declared
+    /// [`RetryTracker::is_unreachable`].
+    pub unreachable_after: u32,
+}
+
+impl RetryPolicy {
+    /// Legacy behaviour: never time out, never retry.
+    pub const OFF: RetryPolicy = RetryPolicy {
+        timeout: SimDuration::MAX,
+        max_retries: 0,
+        backoff_base: SimDuration::ZERO,
+        backoff_mult: 1.0,
+        unreachable_after: u32::MAX,
+    };
+
+    /// A sensible default for fault-tolerant runs: 3 retries with
+    /// exponential backoff, unreachable after 2 consecutive failures.
+    pub fn aggressive(timeout: SimDuration) -> Self {
+        RetryPolicy {
+            timeout,
+            max_retries: 3,
+            backoff_base: SimDuration(timeout.nanos() / 4),
+            backoff_mult: 2.0,
+            unreachable_after: 2,
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.timeout != SimDuration::MAX
+    }
+
+    /// Backoff before retry number `attempt` (1-based: the first retry is
+    /// attempt 1 and waits `backoff_base`).
+    pub fn backoff_for(&self, attempt: u32) -> SimDuration {
+        let mut d = self.backoff_base;
+        for _ in 1..attempt {
+            d = d.mul_f64(self.backoff_mult);
+        }
+        d
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::OFF
+    }
+}
+
+/// What the caller should do about a request that exceeded its deadline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TimeoutAction {
+    /// Re-issue the poll as a fresh request after `backoff`; register the
+    /// new request id with [`RetryTracker::begin_retry`] carrying this
+    /// `attempt` number.
+    Retry {
+        req: u64,
+        attempt: u32,
+        backoff: SimDuration,
+    },
+    /// Retry budget exhausted: abandon this poll cycle.
+    GiveUp { req: u64 },
+}
+
+/// How a reply was classified by [`RetryTracker::on_reply`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReplyOutcome {
+    /// The request was outstanding; its sample should be accepted.
+    Accepted,
+    /// The request had already timed out: the reply must be ignored so
+    /// the sample is never double-counted.
+    LateIgnored,
+    /// Unknown request id (never begun, or aged out of the dead ring).
+    Unknown,
+}
+
+/// Retired request ids remembered for late-reply detection.
+const DEAD_RING: usize = 64;
+
+/// Per-backend timeout/retry bookkeeping. Pure data: the caller supplies
+/// `now`, the tracker never schedules anything itself, which is what makes
+/// it property-testable in isolation.
+#[derive(Clone, Debug)]
+pub struct RetryTracker {
+    policy: RetryPolicy,
+    /// Outstanding attempts: (request id, retry attempt number, deadline).
+    inflight: Vec<(u64, u32, SimTime)>,
+    /// Recently timed-out or abandoned request ids.
+    dead: VecDeque<u64>,
+    consecutive_failures: u32,
+    unreachable: bool,
+    /// Polls that exceeded their deadline.
+    pub timed_out: u64,
+    /// Retry attempts issued.
+    pub retries: u64,
+    /// Poll cycles abandoned after the retry budget.
+    pub gave_up: u64,
+    /// Replies that arrived after their request timed out.
+    pub late_ignored: u64,
+}
+
+impl RetryTracker {
+    pub fn new(policy: RetryPolicy) -> Self {
+        RetryTracker {
+            policy,
+            inflight: Vec::new(),
+            dead: VecDeque::new(),
+            consecutive_failures: 0,
+            unreachable: false,
+            timed_out: 0,
+            retries: 0,
+            gave_up: 0,
+            late_ignored: 0,
+        }
+    }
+
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    pub fn outstanding(&self) -> usize {
+        self.inflight.len()
+    }
+
+    pub fn is_unreachable(&self) -> bool {
+        self.unreachable
+    }
+
+    /// Register a fresh poll attempt (attempt number 0).
+    pub fn begin(&mut self, req: u64, now: SimTime) {
+        self.begin_attempt(req, 0, now);
+    }
+
+    /// Register the retry promised by a [`TimeoutAction::Retry`].
+    pub fn begin_retry(&mut self, req: u64, attempt: u32, now: SimTime) {
+        debug_assert!(
+            attempt <= self.policy.max_retries,
+            "retry attempt {attempt} exceeds budget {}",
+            self.policy.max_retries
+        );
+        self.retries += 1;
+        self.begin_attempt(req, attempt, now);
+    }
+
+    fn begin_attempt(&mut self, req: u64, attempt: u32, now: SimTime) {
+        debug_assert!(
+            !self.inflight.iter().any(|&(r, _, _)| r == req),
+            "request id {req} already in flight"
+        );
+        self.inflight
+            .push((req, attempt, now + self.policy.timeout));
+    }
+
+    /// Expire every attempt whose deadline has passed, returning what to
+    /// do about each. Call on a timer (or before issuing new polls).
+    pub fn poll_timeouts(&mut self, now: SimTime) -> Vec<TimeoutAction> {
+        let mut actions = Vec::new();
+        if !self.policy.enabled() {
+            return actions;
+        }
+        let mut i = 0;
+        while i < self.inflight.len() {
+            let (req, attempt, deadline) = self.inflight[i];
+            if deadline <= now {
+                self.inflight.remove(i);
+                self.timed_out += 1;
+                self.remember_dead(req);
+                if attempt < self.policy.max_retries {
+                    actions.push(TimeoutAction::Retry {
+                        req,
+                        attempt: attempt + 1,
+                        backoff: self.policy.backoff_for(attempt + 1),
+                    });
+                } else {
+                    actions.push(TimeoutAction::GiveUp { req });
+                    self.gave_up += 1;
+                    self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+                    if self.consecutive_failures >= self.policy.unreachable_after {
+                        self.unreachable = true;
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+        actions
+    }
+
+    /// Classify an arriving reply. An `Accepted` reply clears the failure
+    /// streak and re-admits an unreachable backend.
+    pub fn on_reply(&mut self, req: u64) -> ReplyOutcome {
+        if let Some(pos) = self.inflight.iter().position(|&(r, _, _)| r == req) {
+            self.inflight.remove(pos);
+            self.consecutive_failures = 0;
+            self.unreachable = false;
+            ReplyOutcome::Accepted
+        } else if self.dead.contains(&req) {
+            self.late_ignored += 1;
+            ReplyOutcome::LateIgnored
+        } else {
+            ReplyOutcome::Unknown
+        }
+    }
+
+    fn remember_dead(&mut self, req: u64) {
+        if self.dead.len() == DEAD_RING {
+            self.dead.pop_front();
+        }
+        self.dead.push_back(req);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan.loss_probability(None, None, FaultOp::Socket), 0.0);
+        assert!(!plan.crashed(NodeId(0), SimTime(5)));
+        assert_eq!(plan.latency_mult(SimTime(5)), 1.0);
+        assert_eq!(plan.stall_extra(NodeId(0), SimTime(5)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn loss_rules_compose_independently() {
+        let plan = FaultPlan::new(1)
+            .lossy_all(0.5)
+            .lossy_link(NodeId(0), NodeId(1), 0.5);
+        let p = plan.loss_probability(Some(NodeId(0)), Some(NodeId(1)), FaultOp::Socket);
+        assert!((p - 0.75).abs() < 1e-12);
+        // Other links only see the wildcard rule.
+        let p = plan.loss_probability(Some(NodeId(2)), Some(NodeId(1)), FaultOp::Socket);
+        assert!((p - 0.5).abs() < 1e-12);
+        // Unknown endpoints match wildcards but not the directed rule.
+        let p = plan.loss_probability(None, None, FaultOp::RdmaRead);
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn op_filter_applies() {
+        let plan = FaultPlan::new(1).lossy_op(FaultOp::Socket, 0.9);
+        assert!(plan.loss_probability(None, None, FaultOp::Socket) > 0.0);
+        assert_eq!(plan.loss_probability(None, None, FaultOp::RdmaRead), 0.0);
+    }
+
+    #[test]
+    fn crash_windows_are_half_open() {
+        let plan = FaultPlan::new(0).crash(NodeId(3), SimTime(100), SimTime(200));
+        assert!(!plan.crashed(NodeId(3), SimTime(99)));
+        assert!(plan.crashed(NodeId(3), SimTime(100)));
+        assert!(plan.crashed(NodeId(3), SimTime(199)));
+        assert!(!plan.crashed(NodeId(3), SimTime(200)));
+        assert!(!plan.crashed(NodeId(4), SimTime(150)));
+        assert_eq!(plan.horizon(), SimTime(200));
+    }
+
+    #[test]
+    fn congestion_and_stalls_window() {
+        let plan = FaultPlan::new(0)
+            .congested(SimTime(10), SimTime(20), 3.0)
+            .nic_stall(NodeId(1), SimTime(10), SimTime(20), SimDuration(5 * MS));
+        assert_eq!(plan.latency_mult(SimTime(9)), 1.0);
+        assert_eq!(plan.latency_mult(SimTime(10)), 3.0);
+        assert_eq!(
+            plan.stall_extra(NodeId(1), SimTime(15)),
+            SimDuration(5 * MS)
+        );
+        assert_eq!(plan.stall_extra(NodeId(2), SimTime(15)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn validate_rejects_bad_rules() {
+        assert!(FaultPlan::new(0).lossy_all(1.5).validate().is_err());
+        assert!(FaultPlan::new(0).lossy_all(f64::NAN).validate().is_err());
+        assert!(FaultPlan::new(0)
+            .congested(SimTime(0), SimTime(10), 0.5)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::new(0)
+            .crash(NodeId(0), SimTime(10), SimTime(5))
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn retry_tracker_happy_path() {
+        let pol = RetryPolicy {
+            timeout: SimDuration(10 * MS),
+            max_retries: 2,
+            backoff_base: SimDuration(MS),
+            backoff_mult: 2.0,
+            unreachable_after: 2,
+        };
+        let mut t = RetryTracker::new(pol);
+        t.begin(1, SimTime(0));
+        assert_eq!(t.outstanding(), 1);
+        assert_eq!(t.on_reply(1), ReplyOutcome::Accepted);
+        assert_eq!(t.outstanding(), 0);
+        assert_eq!(t.timed_out, 0);
+    }
+
+    #[test]
+    fn retry_then_give_up_marks_unreachable() {
+        let pol = RetryPolicy {
+            timeout: SimDuration(10),
+            max_retries: 1,
+            backoff_base: SimDuration(5),
+            backoff_mult: 2.0,
+            unreachable_after: 1,
+        };
+        let mut t = RetryTracker::new(pol);
+        t.begin(1, SimTime(0));
+        let acts = t.poll_timeouts(SimTime(10));
+        assert_eq!(
+            acts,
+            vec![TimeoutAction::Retry {
+                req: 1,
+                attempt: 1,
+                backoff: SimDuration(5)
+            }]
+        );
+        t.begin_retry(2, 1, SimTime(15));
+        let acts = t.poll_timeouts(SimTime(25));
+        assert_eq!(acts, vec![TimeoutAction::GiveUp { req: 2 }]);
+        assert!(t.is_unreachable());
+        assert_eq!(t.timed_out, 2);
+        assert_eq!(t.gave_up, 1);
+        // A late reply for the dead request is ignored, not accepted.
+        assert_eq!(t.on_reply(1), ReplyOutcome::LateIgnored);
+        assert_eq!(t.late_ignored, 1);
+        assert!(t.is_unreachable());
+        // A fresh successful poll re-admits the backend.
+        t.begin(3, SimTime(30));
+        assert_eq!(t.on_reply(3), ReplyOutcome::Accepted);
+        assert!(!t.is_unreachable());
+    }
+
+    #[test]
+    fn disabled_policy_never_times_out() {
+        let mut t = RetryTracker::new(RetryPolicy::OFF);
+        t.begin(1, SimTime(0));
+        assert!(t.poll_timeouts(SimTime::MAX).is_empty());
+        assert_eq!(t.outstanding(), 1);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let pol = RetryPolicy {
+            timeout: SimDuration(100),
+            max_retries: 3,
+            backoff_base: SimDuration(8),
+            backoff_mult: 2.0,
+            unreachable_after: u32::MAX,
+        };
+        assert_eq!(pol.backoff_for(1), SimDuration(8));
+        assert_eq!(pol.backoff_for(2), SimDuration(16));
+        assert_eq!(pol.backoff_for(3), SimDuration(32));
+    }
+}

@@ -5,6 +5,7 @@
 //! calibrated cost-model configuration used across every crate.
 
 pub mod config;
+pub mod fault;
 pub mod ids;
 pub mod load;
 pub mod msg;
@@ -12,6 +13,10 @@ pub mod payload;
 pub mod scheme;
 
 pub use config::{CostModel, MonitorConfig, NetConfig, OsConfig};
+pub use fault::{
+    CongestionWindow, CrashWindow, FaultOp, FaultPlan, LossRule, NicStall, ReplyOutcome,
+    RetryPolicy, RetryTracker, TimeoutAction,
+};
 pub use ids::{ConnId, McastGroup, NodeId, RegionId, ReqId, ServiceSlot, ThreadId};
 pub use load::{LoadSnapshot, LoadWeights, NodeCapacity, MAX_CPUS};
 pub use msg::{Msg, NetMsg, NodeMsg, RdmaResult, RegionData};

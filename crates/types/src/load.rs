@@ -1,7 +1,6 @@
 //! Load information: what the monitoring schemes measure and report.
 
 use fgmon_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Maximum CPUs per simulated node (paper testbed: dual-Xeon → 2 used).
 pub const MAX_CPUS: usize = 4;
@@ -75,7 +74,7 @@ impl LoadSnapshot {
 /// Capacity normalizers used when folding a [`LoadSnapshot`] into a scalar
 /// index (the "appropriate weights" of the IBM WebSphere algorithm the
 /// paper adopts for its load balancer).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct NodeCapacity {
     pub mem_total_kb: u64,
     pub net_capacity_kbps: f64,
@@ -98,7 +97,7 @@ impl Default for NodeCapacity {
 /// WebSphere utilizes load information such as CPU, memory, network and
 /// connection load, assigns appropriate weights to these load indices and
 /// calculates the average load of the server").
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct LoadWeights {
     pub cpu: f64,
     pub mem: f64,

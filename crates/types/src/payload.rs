@@ -3,10 +3,9 @@
 use crate::ids::NodeId;
 use crate::load::LoadSnapshot;
 use crate::scheme::Scheme;
-use serde::{Deserialize, Serialize};
 
 /// The eight RUBiS query classes of the paper's Table 1.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum QueryClass {
     Home,
     Browse,
@@ -65,10 +64,18 @@ pub enum RequestKind {
 /// Application payloads.
 #[derive(Clone, Debug)]
 pub enum Payload {
-    /// Front-end → back-end: "send me your load information".
-    MonitorRequest { scheme: Scheme, want_detail: bool },
-    /// Back-end → front-end socket reply with load info.
-    MonitorReply { snap: LoadSnapshot },
+    /// Front-end → back-end: "send me your load information". `req` is a
+    /// correlation id the back-end echoes in its reply, so the front-end
+    /// can match replies exactly even when frames are lost or reordered
+    /// (0 for callers that don't track requests).
+    MonitorRequest {
+        scheme: Scheme,
+        want_detail: bool,
+        req: u64,
+    },
+    /// Back-end → front-end socket reply with load info; `req` echoes the
+    /// request's correlation id.
+    MonitorReply { snap: LoadSnapshot, req: u64 },
     /// Client → front-end, or front-end → back-end work request.
     HttpRequest { req_id: u64, kind: RequestKind },
     /// Back-end → front-end, or front-end → client response.
@@ -130,11 +137,13 @@ mod tests {
         assert!(
             Payload::MonitorRequest {
                 scheme: Scheme::SocketSync,
-                want_detail: false
+                want_detail: false,
+                req: 0
             }
             .wire_size()
                 < Payload::MonitorReply {
-                    snap: LoadSnapshot::zero()
+                    snap: LoadSnapshot::zero(),
+                    req: 0
                 }
                 .wire_size()
         );

@@ -1,11 +1,10 @@
 //! The monitoring schemes compared in the paper, plus one extension.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A resource-monitoring scheme (paper §3, plus the multicast extension the
 /// paper's §6 discussion sketches).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Scheme {
     /// Two-sided sockets; a back-end *load-calculating thread* refreshes a
     /// shared buffer every interval `T` and a *reporter thread* answers
@@ -78,10 +77,7 @@ impl Scheme {
     pub fn has_backend_calc_thread(self) -> bool {
         matches!(
             self,
-            Scheme::SocketAsync
-                | Scheme::RdmaAsync
-                | Scheme::McastPush
-                | Scheme::RdmaWritePush
+            Scheme::SocketAsync | Scheme::RdmaAsync | Scheme::McastPush | Scheme::RdmaWritePush
         )
     }
 

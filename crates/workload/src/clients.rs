@@ -119,9 +119,7 @@ impl Service for RubisClient {
         os.recorder()
             .histogram(&format!("{prefix}/resp/{}", class.label()))
             .record(rt.nanos());
-        os.recorder()
-            .counter(&format!("{prefix}/completed"))
-            .inc();
+        os.recorder().counter(&format!("{prefix}/completed")).inc();
         let think = SimDuration::from_secs_f64(os.rng().exp(self.think_mean.as_secs_f64()));
         os.set_timer(think, req_id);
     }
@@ -220,9 +218,7 @@ impl Service for ZipfClient {
         os.recorder()
             .histogram(&format!("{prefix}/resp"))
             .record(rt.nanos());
-        os.recorder()
-            .counter(&format!("{prefix}/completed"))
-            .inc();
+        os.recorder().counter(&format!("{prefix}/completed")).inc();
         let think = SimDuration::from_secs_f64(os.rng().exp(self.think_mean.as_secs_f64()));
         os.set_timer(think, req_id);
     }

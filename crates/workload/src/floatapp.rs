@@ -112,6 +112,9 @@ mod tests {
         app.delay_sum = 0.5;
         assert!((app.mean_normalized_delay() - 0.25).abs() < 1e-12);
         assert_eq!(app.threads, 2);
-        assert_eq!(FloatApp::with_threads(SimDuration::from_millis(1), 4).threads, 4);
+        assert_eq!(
+            FloatApp::with_threads(SimDuration::from_millis(1), 4).threads,
+            4
+        );
     }
 }

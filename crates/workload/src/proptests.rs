@@ -1,9 +1,13 @@
-//! Property-based tests for the workload models.
+//! Property-based tests for the workload models and the fault-injection
+//! primitives (the retry state machine and `FaultPlan` are pure data in
+//! `fgmon-types`, so they are testable here without a running cluster).
 
 #![cfg(test)]
 
-use fgmon_sim::DetRng;
-use fgmon_types::QueryClass;
+use fgmon_sim::{DetRng, SimDuration, SimTime};
+use fgmon_types::{
+    FaultOp, FaultPlan, NodeId, QueryClass, ReplyOutcome, RetryPolicy, RetryTracker, TimeoutAction,
+};
 use proptest::prelude::*;
 
 use crate::rubis::{QueryProfile, TransitionMatrix};
@@ -66,5 +70,146 @@ proptest! {
         let total: f64 = mix.iter().sum();
         prop_assert!((total - 1.0).abs() < 1e-9);
         prop_assert!(mix.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    /// Drive the retry state machine through whole poll cycles against a
+    /// randomly lossy channel: attempts never exceed the retry budget,
+    /// every cycle resolves, and nothing stays in flight afterwards.
+    #[test]
+    fn retries_never_exceed_budget(
+        seed in 0u64..,
+        timeout_ms in 1u64..40,
+        max_retries in 0u32..5,
+        drop_p in 0.0f64..=1.0,
+    ) {
+        let policy = RetryPolicy {
+            timeout: SimDuration::from_millis(timeout_ms),
+            max_retries,
+            backoff_base: SimDuration::from_millis(1),
+            backoff_mult: 2.0,
+            unreachable_after: 2,
+        };
+        let mut t = RetryTracker::new(policy);
+        let mut rng = DetRng::new(seed);
+        let mut now = SimTime::ZERO;
+        let mut next_req = 1u64;
+        const CYCLES: u64 = 24;
+        for _ in 0..CYCLES {
+            let mut req = next_req;
+            next_req += 1;
+            t.begin(req, now);
+            let mut attempts = 1u32;
+            loop {
+                if rng.f64() >= drop_p {
+                    // Reply arrives before the deadline.
+                    prop_assert_eq!(t.on_reply(req), ReplyOutcome::Accepted);
+                    break;
+                }
+                // Reply lost: advance past the deadline and expire.
+                now += SimDuration::from_millis(timeout_ms + 1);
+                let actions = t.poll_timeouts(now);
+                prop_assert_eq!(actions.len(), 1);
+                match actions[0] {
+                    TimeoutAction::Retry { req: r, attempt, backoff } => {
+                        prop_assert_eq!(r, req);
+                        prop_assert!(attempt <= max_retries);
+                        now += backoff;
+                        req = next_req;
+                        next_req += 1;
+                        t.begin_retry(req, attempt, now);
+                        attempts += 1;
+                    }
+                    TimeoutAction::GiveUp { req: r } => {
+                        prop_assert_eq!(r, req);
+                        break;
+                    }
+                }
+            }
+            prop_assert!(attempts <= max_retries + 1,
+                "cycle used {} attempts with budget {}", attempts, max_retries);
+            prop_assert_eq!(t.outstanding(), 0);
+        }
+        prop_assert!(t.retries <= CYCLES * max_retries as u64);
+        prop_assert_eq!(t.timed_out, t.retries + t.gave_up);
+    }
+
+    /// A reply for a request that already timed out is classified
+    /// `LateIgnored` — and stays ignored no matter how often or late it
+    /// shows up, so a sample can never be double-counted.
+    #[test]
+    fn late_reply_is_ignored_never_double_counted(
+        timeout_ms in 1u64..40,
+        extra_ms in 0u64..500,
+        dupes in 1usize..4,
+    ) {
+        let policy = RetryPolicy {
+            timeout: SimDuration::from_millis(timeout_ms),
+            max_retries: 0,
+            backoff_base: SimDuration::from_millis(1),
+            backoff_mult: 2.0,
+            unreachable_after: u32::MAX,
+        };
+        let mut t = RetryTracker::new(policy);
+        t.begin(7, SimTime::ZERO);
+        let after = SimTime(SimDuration::from_millis(timeout_ms + 1 + extra_ms).nanos());
+        let actions = t.poll_timeouts(after);
+        prop_assert_eq!(actions.len(), 1);
+        prop_assert_eq!(t.timed_out, 1);
+        prop_assert_eq!(t.outstanding(), 0);
+        for k in 1..=dupes {
+            prop_assert_eq!(t.on_reply(7), ReplyOutcome::LateIgnored);
+            prop_assert_eq!(t.late_ignored, k as u64);
+        }
+        // A fresh request on the same tracker is unaffected.
+        t.begin(8, after);
+        prop_assert_eq!(t.on_reply(8), ReplyOutcome::Accepted);
+        // Ids nobody ever sent are Unknown, not Accepted.
+        prop_assert_eq!(t.on_reply(9999), ReplyOutcome::Unknown);
+    }
+
+    /// `FaultPlan` invariants under arbitrary rule composition: validation
+    /// accepts what the builders produce, combined loss stays a
+    /// probability and never drops below the strongest single rule,
+    /// latency multipliers stay finite and >= 1, and crash windows are
+    /// half-open.
+    #[test]
+    fn fault_plan_invariants(
+        probs in prop::collection::vec(0.0f64..=1.0, 0..6),
+        mults in prop::collection::vec(1.0f64..8.0, 0..4),
+        at in 0u64..10_000,
+        node in 0u16..8,
+    ) {
+        let mut plan = FaultPlan::new(9);
+        for &p in &probs {
+            plan = plan.lossy_all(p);
+        }
+        for (i, &m) in mults.iter().enumerate() {
+            let from = SimTime(i as u64 * 1_000);
+            plan = plan.congested(from, SimTime(from.nanos() + 5_000), m);
+        }
+        prop_assert!(plan.validate().is_ok());
+
+        for op in [FaultOp::Socket, FaultOp::RdmaRead, FaultOp::RdmaWrite, FaultOp::Mcast] {
+            let p = plan.loss_probability(Some(NodeId(0)), Some(NodeId(1)), op);
+            prop_assert!((0.0..=1.0).contains(&p));
+            let strongest = probs.iter().copied().fold(0.0f64, f64::max);
+            prop_assert!(p >= strongest - 1e-12,
+                "composed loss {} below strongest rule {}", p, strongest);
+        }
+
+        let m = plan.latency_mult(SimTime(at));
+        prop_assert!(m.is_finite() && m >= 1.0);
+
+        let crashy = FaultPlan::new(1).crash(NodeId(node), SimTime(100), SimTime(200));
+        prop_assert!(!crashy.crashed(NodeId(node), SimTime(99)));
+        prop_assert!(crashy.crashed(NodeId(node), SimTime(100)));
+        prop_assert!(crashy.crashed(NodeId(node), SimTime(199)));
+        prop_assert!(!crashy.crashed(NodeId(node), SimTime(200)));
+        // Other nodes are unaffected.
+        prop_assert!(!crashy.crashed(NodeId(node + 1), SimTime(150)));
+
+        // Malformed probabilities are rejected, not silently clamped.
+        prop_assert!(FaultPlan::new(0).lossy_all(1.5).validate().is_err());
+        prop_assert!(FaultPlan::new(0).congested(SimTime(0), SimTime(1), 0.5).validate().is_err());
     }
 }

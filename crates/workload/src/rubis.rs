@@ -89,7 +89,10 @@ impl Default for TransitionMatrix {
             }
         };
         // Browsing-heavy default mix (RUBiS "browsing" + some bidding).
-        set(Home, &[(Browse, 0.7), (SearchItemsInRegion, 0.2), (AboutMe, 0.1)]);
+        set(
+            Home,
+            &[(Browse, 0.7), (SearchItemsInRegion, 0.2), (AboutMe, 0.1)],
+        );
         set(
             Browse,
             &[
@@ -127,7 +130,10 @@ impl Default for TransitionMatrix {
                 (Home, 0.2),
             ],
         );
-        set(PutBidAuth, &[(Browse, 0.4), (Sell, 0.2), (AboutMe, 0.2), (Home, 0.2)]);
+        set(
+            PutBidAuth,
+            &[(Browse, 0.4), (Sell, 0.2), (AboutMe, 0.2), (Home, 0.2)],
+        );
         set(Sell, &[(Home, 0.4), (Browse, 0.3), (AboutMe, 0.3)]);
         set(AboutMe, &[(Home, 0.5), (Browse, 0.5)]);
         TransitionMatrix { rows }

@@ -117,12 +117,9 @@ impl WorkerPoolServer {
                 size_kb,
                 16 + size_kb / 4,
             ),
-            RequestKind::Float { work_us } => (
-                SimDuration::from_micros(work_us),
-                SimDuration::ZERO,
-                1,
-                16,
-            ),
+            RequestKind::Float { work_us } => {
+                (SimDuration::from_micros(work_us), SimDuration::ZERO, 1, 16)
+            }
         }
     }
 

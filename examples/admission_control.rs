@@ -37,13 +37,20 @@ fn run(scheme: Scheme, threshold: Option<f64>) -> (u64, u64, f64) {
             pooled.merge(h);
         }
     }
-    (client.completed, disp.stats.rejected, pooled.quantile(0.99) as f64 / 1e6)
+    (
+        client.completed,
+        disp.stats.rejected,
+        pooled.quantile(0.99) as f64 / 1e6,
+    )
 }
 
 fn main() {
     println!("Admission control on an overloaded 2-node cluster (RDMA-Sync)");
     println!();
-    println!("{:>10} {:>10} {:>10} {:>12}", "threshold", "completed", "rejected", "p99 (ms)");
+    println!(
+        "{:>10} {:>10} {:>10} {:>12}",
+        "threshold", "completed", "rejected", "p99 (ms)"
+    );
     for t in [None, Some(0.8), Some(0.5), Some(0.35)] {
         let (done, rejected, p99) = run(Scheme::RdmaSync, t);
         let label = t.map(|v| format!("{v}")).unwrap_or_else(|| "off".into());
@@ -54,9 +61,15 @@ fn main() {
     println!("admitted volume for bounded response times — and the accuracy");
     println!("of the load information decides how good that trade is:");
     println!();
-    println!("{:<14} {:>10} {:>10} {:>12}", "scheme", "completed", "rejected", "p99 (ms)");
+    println!(
+        "{:<14} {:>10} {:>10} {:>12}",
+        "scheme", "completed", "rejected", "p99 (ms)"
+    );
     for scheme in Scheme::ALL_PAPER {
         let (done, rejected, p99) = run(scheme, Some(0.5));
-        println!("{:<14} {done:>10} {rejected:>10} {p99:>12.1}", scheme.label());
+        println!(
+            "{:<14} {done:>10} {rejected:>10} {p99:>12.1}",
+            scheme.label()
+        );
     }
 }

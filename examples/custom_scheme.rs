@@ -60,7 +60,7 @@ impl Service for HybridBackend {
         payload: Payload,
         os: &mut OsApi<'_, '_>,
     ) {
-        let Payload::MonitorRequest { .. } = payload else {
+        let Payload::MonitorRequest { req, .. } = payload else {
             return;
         };
         let Some(tid) = tid else { return };
@@ -68,7 +68,7 @@ impl Service for HybridBackend {
         // Encode the app-level signal into a snapshot's spare field.
         let mut snap = os.proc_snapshot(false);
         snap.active_conns = self.app_queue_depth;
-        os.send(tid, conn, Payload::MonitorReply { snap });
+        os.send(tid, conn, Payload::MonitorReply { snap, req });
     }
 }
 
@@ -106,6 +106,7 @@ impl Service for HybridFrontend {
                 Payload::MonitorRequest {
                     scheme: Scheme::SocketSync,
                     want_detail: true,
+                    req: 0,
                 },
             );
         }
@@ -130,7 +131,7 @@ impl Service for HybridFrontend {
         payload: Payload,
         os: &mut OsApi<'_, '_>,
     ) {
-        if let Payload::MonitorReply { snap } = payload {
+        if let Payload::MonitorReply { snap, .. } = payload {
             let now = os.now();
             os.recorder()
                 .series("hybrid/app_queue")
@@ -209,10 +210,7 @@ fn main() {
     let be = cluster.node(backend);
     let hb = be.service::<HybridBackend>(ServiceSlot(0)).unwrap();
     println!("  backend served {} extended reports", hb.extended_served);
-    let util = cluster
-        .recorder()
-        .get_series("hybrid/kernel_util")
-        .unwrap();
+    let util = cluster.recorder().get_series("hybrid/kernel_util").unwrap();
     println!(
         "  kernel-util series: {} points, mean {:.2}",
         util.len(),

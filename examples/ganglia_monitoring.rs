@@ -35,13 +35,15 @@ fn main() {
     let mut w = ganglia_world(&base, capture, SimDuration::from_millis(g_ms));
     w.rubis.cluster.run_for(SimDuration::from_secs(15));
 
-    let publisher: &GmetricPublisher = w
-        .rubis
-        .cluster
-        .service(w.rubis.frontend, w.publisher_slot);
+    let publisher: &GmetricPublisher = w.rubis.cluster.service(w.rubis.frontend, w.publisher_slot);
     println!(
         "gmetric: {} fine-grained captures, {} Ganglia publishes",
-        publisher.client.views().iter().map(|v| v.replies).sum::<u64>(),
+        publisher
+            .client
+            .views()
+            .iter()
+            .map(|v| v.replies)
+            .sum::<u64>(),
         publisher.published
     );
 
@@ -56,7 +58,10 @@ fn main() {
     );
     for &node in &w.rubis.backends {
         if let Some(s) = gmond.sample(node, "fgmon_load") {
-            println!("  {node}: fgmon_load = {:.3} (heard {})", s.value, s.heard_at);
+            println!(
+                "  {node}: fgmon_load = {:.3} (heard {})",
+                s.value, s.heard_at
+            );
         }
     }
 

@@ -26,11 +26,11 @@ fn main() {
         // Build a deterministic world: front-end, back-end, chatter peer.
         let mut world = micro_latency(
             scheme,
-            24,                             // background compute threads
-            true,                           // communication chatter
-            SimDuration::from_millis(50),   // polling interval T
+            24,                           // background compute threads
+            true,                         // communication chatter
+            SimDuration::from_millis(50), // polling interval T
             OsConfig::default(),
-            42,                             // seed
+            42, // seed
         );
         world.cluster.run_for(SimDuration::from_secs(10));
 

@@ -49,7 +49,10 @@ fn main() {
         disp.stats.rejected
     );
     println!();
-    println!("{:<18} {:>10} {:>10} {:>8}", "query", "avg (ms)", "max (ms)", "count");
+    println!(
+        "{:<18} {:>10} {:>10} {:>8}",
+        "query", "avg (ms)", "max (ms)", "count"
+    );
     for class in QueryClass::ALL {
         if let Some(h) = w
             .cluster
@@ -82,5 +85,8 @@ fn main() {
 
     println!();
     let now = w.cluster.eng.now();
-    print!("{}", fgmon_cluster::render_report(&mut w.cluster, scheme, now));
+    print!(
+        "{}",
+        fgmon_cluster::render_report(&mut w.cluster, scheme, now)
+    );
 }

@@ -58,7 +58,12 @@ fn micro_world_bitwise_deterministic() {
             .recorder()
             .get_histogram("mon/latency/Socket-Async")
             .expect("hist");
-        (h.count(), h.mean().to_bits(), h.max(), w.cluster.eng.events_processed())
+        (
+            h.count(),
+            h.mean().to_bits(),
+            h.max(),
+            w.cluster.eng.events_processed(),
+        )
     };
     assert_eq!(run(), run());
 }

@@ -187,7 +187,11 @@ fn fig8_publisher_feeds_ganglia() {
     let frontend = w.rubis.frontend;
     let publisher: &GmetricPublisher = w.rubis.cluster.service(frontend, w.publisher_slot);
     // Captures run at 64 ms; publishes enter the Ganglia channel at 1 Hz.
-    assert!(publisher.published >= 8, "published {}", publisher.published);
+    assert!(
+        publisher.published >= 8,
+        "published {}",
+        publisher.published
+    );
     assert!(
         publisher.client.views()[0].replies > 50,
         "captures {}",
@@ -195,8 +199,7 @@ fn fig8_publisher_feeds_ganglia() {
     );
     // gmonds heard both their own heartbeats and the gmetric stream.
     let be = w.rubis.backends[0];
-    let gmond: &fgmon_ganglia::Gmond =
-        w.rubis.cluster.service(be, fgmon_types::ServiceSlot(3));
+    let gmond: &fgmon_ganglia::Gmond = w.rubis.cluster.service(be, fgmon_types::ServiceSlot(3));
     assert!(gmond.samples_heard > 10, "heard {}", gmond.samples_heard);
 }
 

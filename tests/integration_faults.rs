@@ -1,0 +1,208 @@
+//! Integration: the fault-injection subsystem.
+//!
+//! Covers the PR's acceptance criteria: (1) fault-injected runs are fully
+//! deterministic per (seed, FaultPlan); (2) under a lossy/congested plan
+//! the Socket-Sync scheme's staleness degrades while RDMA-Sync stays
+//! flat (ordering assertion — the paper's Figs. 3/8 contrast under
+//! injected faults); (3) the dispatcher excludes a crashed back-end from
+//! routing and re-admits it after recovery.
+
+use fgmon_balancer::Dispatcher;
+use fgmon_cluster::{
+    congested_switch, crash_during_burst, fault_compare_world, lossy_fabric, FaultCompareWorld,
+};
+use fgmon_core::MonitorFrontendService;
+use fgmon_net::FabricStats;
+use fgmon_sim::{SimDuration, SimTime};
+use fgmon_types::{FaultPlan, RetryPolicy, Scheme};
+
+const POLL: SimDuration = SimDuration::from_millis(20);
+
+/// Everything observable about one comparison run, bit-exact.
+fn fingerprint(mut w: FaultCompareWorld, dur: SimDuration) -> (FabricStats, Vec<u64>, u64) {
+    w.cluster.run_for(dur);
+    let mut metrics = Vec::new();
+    for label in ["Socket-Sync", "RDMA-Sync"] {
+        let h = w
+            .cluster
+            .recorder()
+            .get_histogram(&format!("mon/staleness/{label}"))
+            .expect("staleness histogram");
+        metrics.extend([h.count(), h.mean().to_bits(), h.min(), h.max()]);
+    }
+    for slot in [w.fe_socket, w.fe_rdma] {
+        let svc: &MonitorFrontendService = w.cluster.service(w.frontend, slot);
+        let v = svc.client.views()[0];
+        metrics.extend([
+            v.polls,
+            v.replies,
+            v.timed_out,
+            v.retries,
+            v.gave_up,
+            v.late_ignored,
+        ]);
+    }
+    (
+        w.cluster.fabric_stats(),
+        metrics,
+        w.cluster.eng.events_processed(),
+    )
+}
+
+#[test]
+fn fault_injected_run_is_deterministic() {
+    let run = || fingerprint(lossy_fabric(0.3, POLL, 7), SimDuration::from_secs(6));
+    let a = run();
+    let b = run();
+    assert!(a.0.fault_dropped > 0, "loss rule never fired: {:?}", a.0);
+    assert_eq!(a, b, "same seed + same FaultPlan must be bit-identical");
+}
+
+#[test]
+fn different_fault_seed_changes_fates() {
+    // Same topology and loss probability, different plan seed: the fate
+    // sequence (and hence the drop counters) should differ.
+    let run = |plan_seed: u64| {
+        let plan = FaultPlan::new(plan_seed).lossy_all(0.3);
+        let w = fault_compare_world(plan, RetryPolicy::aggressive(POLL.mul_f64(3.0)), POLL, 7);
+        fingerprint(w, SimDuration::from_secs(4))
+    };
+    assert_ne!(run(1), run(2));
+}
+
+#[test]
+fn lossy_fabric_degrades_socket_not_rdma() {
+    let mut w = lossy_fabric(0.35, POLL, 11);
+    w.cluster.run_for(SimDuration::from_secs(8));
+
+    let stats = w.cluster.fabric_stats();
+    assert!(stats.fault_checks > 0 && stats.fault_dropped > 0);
+
+    let mean = |w: &FaultCompareWorld, label: &str| {
+        w.cluster
+            .recorder()
+            .get_histogram(&format!("mon/staleness/{label}"))
+            .expect("staleness histogram")
+            .mean()
+    };
+    let socket = mean(&w, "Socket-Sync");
+    let rdma = mean(&w, "RDMA-Sync");
+    // The ordering the paper's story predicts: socket monitoring collapses
+    // under loss (requests and replies die, polls wait out timeouts),
+    // one-sided RDMA reads sail through untouched.
+    assert!(
+        socket > rdma,
+        "expected Socket-Sync staleness ({socket:.0} ns) above RDMA-Sync ({rdma:.0} ns)"
+    );
+
+    // Loss only touches the socket path, so only the socket poller should
+    // observe timeouts.
+    let view = |w: &FaultCompareWorld, slot| {
+        let svc: &MonitorFrontendService = w.cluster.service(w.frontend, slot);
+        svc.client.views()[0]
+    };
+    assert!(
+        view(&w, w.fe_socket).timed_out > 0,
+        "socket poller never timed out"
+    );
+    assert_eq!(
+        view(&w, w.fe_rdma).timed_out,
+        0,
+        "RDMA poller should not time out"
+    );
+}
+
+#[test]
+fn congested_switch_inflates_latency_and_keeps_ordering() {
+    let mut w = congested_switch(
+        6.0,
+        SimTime(2_000_000_000),
+        SimTime(6_000_000_000),
+        POLL,
+        13,
+    );
+    w.cluster.run_for(SimDuration::from_secs(8));
+    let stats = w.cluster.fabric_stats();
+    assert!(
+        stats.fault_delayed > 0,
+        "congestion window never delayed a frame"
+    );
+    let mean = |label: &str| {
+        w.cluster
+            .recorder()
+            .get_histogram(&format!("mon/staleness/{label}"))
+            .expect("staleness histogram")
+            .mean()
+    };
+    assert!(mean("Socket-Sync") > mean("RDMA-Sync"));
+}
+
+#[test]
+fn dispatcher_excludes_crashed_backend_and_readmits() {
+    let crash_from = SimTime(2_000_000_000);
+    let crash_until = SimTime(5_000_000_000);
+    let mut cw = crash_during_burst(Scheme::RdmaSync, crash_from, crash_until, 23);
+    let victim_idx = 0usize; // first back-end by construction
+
+    // Phase 1: healthy cluster up to the crash.
+    cw.world.cluster.run_for(SimDuration::from_secs(2));
+    let s0 = {
+        let d: &Dispatcher = cw
+            .world
+            .cluster
+            .service(cw.world.frontend, cw.world.dispatcher_slot);
+        d.stats.per_backend.clone()
+    };
+    assert!(
+        s0[victim_idx] > 0,
+        "victim should serve traffic before the crash"
+    );
+
+    // Phase 2: run deep into the crash window.
+    cw.world.cluster.run_for(SimDuration::from_millis(2_800));
+    let (s1, excl_mid, unreachable_mid) = {
+        let d: &Dispatcher = cw
+            .world
+            .cluster
+            .service(cw.world.frontend, cw.world.dispatcher_slot);
+        (
+            d.stats.per_backend.clone(),
+            d.stats.degraded_exclusions,
+            d.monitor
+                .view_of(cw.victim)
+                .expect("victim view")
+                .unreachable,
+        )
+    };
+    assert!(
+        unreachable_mid,
+        "monitor should mark the dark back-end unreachable"
+    );
+    assert!(excl_mid > 0, "dispatcher never excluded the dead back-end");
+    let victim_delta: u64 = s1[victim_idx] - s0[victim_idx];
+    let total_delta: u64 = s1.iter().sum::<u64>() - s0.iter().sum::<u64>();
+    // Fair share would be 1/4; only the short pre-detection tail may leak.
+    assert!(
+        victim_delta * 10 < total_delta,
+        "dead back-end kept receiving traffic: {victim_delta}/{total_delta}"
+    );
+
+    // Phase 3: run well past recovery.
+    cw.world.cluster.run_for(SimDuration::from_millis(4_200));
+    let d: &Dispatcher = cw
+        .world
+        .cluster
+        .service(cw.world.frontend, cw.world.dispatcher_slot);
+    assert!(
+        !d.monitor
+            .view_of(cw.victim)
+            .expect("victim view")
+            .unreachable,
+        "a reply after recovery must re-admit the back-end"
+    );
+    let s2 = &d.stats.per_backend;
+    assert!(
+        s2[victim_idx] > s1[victim_idx],
+        "recovered back-end should rejoin the routing rotation"
+    );
+}
