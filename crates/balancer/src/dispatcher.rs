@@ -7,7 +7,7 @@
 //! least-loaded server exceeds the overload threshold, the request is
 //! rejected immediately.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use fgmon_core::{BackendHandle, MonitorClient};
 
@@ -114,9 +114,9 @@ pub struct Dispatcher {
     cfg: DispatcherConfig,
     pub monitor: MonitorClient,
     backends: Vec<(NodeId, ConnId)>,
-    backend_conn_set: HashSet<ConnId>,
+    backend_conn_set: BTreeSet<ConnId>,
     client_conns: Vec<ConnId>,
-    inflight: HashMap<u64, Pending>,
+    inflight: BTreeMap<u64, Pending>,
     outstanding: Vec<u32>,
     next_id: u64,
     rr: usize,
@@ -148,7 +148,7 @@ impl Dispatcher {
             backends,
             backend_conn_set,
             client_conns,
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             outstanding: vec![0; n],
             next_id: 1,
             rr: 0,

@@ -5,7 +5,8 @@ use fgmon_net::Fabric;
 use fgmon_os::{NodeActor, OsCore, Service};
 use fgmon_sim::{ActorId, DetRng, Engine, RunOutcome, SimDuration, SimTime};
 use fgmon_types::{
-    ConnId, FaultPlan, McastGroup, Msg, NetConfig, NodeId, NodeMsg, OsConfig, ServiceSlot,
+    ConnId, FaultPlan, McastGroup, Msg, NetConfig, NodeId, NodeMsg, OsConfig, RaceDetector,
+    RaceMode, RaceReport, ServiceSlot, SharedRaceDetector,
 };
 
 /// Incrementally builds a simulated cluster.
@@ -15,18 +16,46 @@ pub struct ClusterBuilder {
     fabric: Fabric,
     nodes: Vec<ActorId>,
     rng: DetRng,
+    race: Option<SharedRaceDetector>,
 }
 
 impl ClusterBuilder {
     pub fn new(seed: u64, net: NetConfig) -> Self {
         let mut eng: Engine<Msg> = Engine::new();
         let fabric_slot = eng.reserve_actor();
-        ClusterBuilder {
+        let mut b = ClusterBuilder {
             eng,
             fabric_slot,
             fabric: Fabric::new(net, Vec::new()),
             nodes: Vec::new(),
+            // lint: rng-construction — this is the cluster's root RNG; every
+            // other stream in the simulation is forked from it by label.
             rng: DetRng::new(seed),
+            race: None,
+        };
+        b.set_race_mode(RaceMode::from_env());
+        b
+    }
+
+    /// Select the torn-read sanitizer mode. `RaceMode::Off` (the default
+    /// unless `FGMON_RACE_CHECK` is set) removes the detector entirely so
+    /// the hot path pays nothing. May be called at any point during
+    /// assembly: the detector is (un)installed on every node added so far
+    /// and on all nodes added later.
+    pub fn set_race_mode(&mut self, mode: RaceMode) {
+        self.race = if mode == RaceMode::Off {
+            None
+        } else {
+            Some(RaceDetector::new_shared(mode))
+        };
+        let race = self.race.clone();
+        for &actor in &self.nodes {
+            let core = self
+                .eng
+                .actor_mut::<NodeActor>(actor)
+                .expect("node actor")
+                .core_mut();
+            core.set_race_detector(race.clone());
         }
     }
 
@@ -35,7 +64,8 @@ impl ClusterBuilder {
         let node_id = NodeId(self.nodes.len() as u16);
         let actor_id = self.eng.reserve_actor();
         let rng = self.rng.fork_idx("node", node_id.0 as u64);
-        let core = OsCore::new(node_id, cfg, self.fabric_slot, actor_id, rng);
+        let mut core = OsCore::new(node_id, cfg, self.fabric_slot, actor_id, rng);
+        core.set_race_detector(self.race.clone());
         self.eng.install(actor_id, Box::new(NodeActor::new(core)));
         self.nodes.push(actor_id);
         node_id
@@ -97,6 +127,9 @@ impl ClusterBuilder {
     pub fn finish(mut self, ground_truth: &[(NodeId, SimDuration)]) -> Cluster {
         let mut fabric = self.fabric;
         fabric.set_node_actors(self.nodes.clone());
+        if let Some(race) = &self.race {
+            fabric.set_race_detector(race.clone());
+        }
         self.eng.install(self.fabric_slot, Box::new(fabric));
         for &actor in &self.nodes {
             self.eng
@@ -116,6 +149,7 @@ impl ClusterBuilder {
             eng: self.eng,
             fabric: self.fabric_slot,
             nodes: self.nodes,
+            race: self.race,
         }
     }
 }
@@ -125,6 +159,7 @@ pub struct Cluster {
     pub eng: Engine<Msg>,
     pub fabric: ActorId,
     nodes: Vec<ActorId>,
+    race: Option<SharedRaceDetector>,
 }
 
 impl Cluster {
@@ -173,6 +208,33 @@ impl Cluster {
             .actor::<Fabric>(self.fabric)
             .expect("fabric actor")
             .stats
+    }
+
+    /// Zero the fabric's frame counters so a follow-up `run_for` segment
+    /// measures only itself (the fault plan and its RNG are untouched).
+    pub fn reset_fabric_stats(&mut self) {
+        self.eng
+            .actor_mut::<Fabric>(self.fabric)
+            .expect("fabric actor")
+            .reset_stats();
+    }
+
+    /// Snapshot of the torn-read sanitizer's findings. Returns a default
+    /// (mode `Off`, all counters zero) report when the sanitizer was not
+    /// enabled for this cluster.
+    pub fn race_report(&self) -> RaceReport {
+        match &self.race {
+            Some(race) => race.borrow().report().clone(),
+            None => RaceReport::default(),
+        }
+    }
+
+    /// Active sanitizer mode for this cluster.
+    pub fn race_mode(&self) -> RaceMode {
+        match &self.race {
+            Some(race) => race.borrow().mode(),
+            None => RaceMode::Off,
+        }
     }
 
     pub fn node_count(&self) -> usize {

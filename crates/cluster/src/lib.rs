@@ -12,7 +12,9 @@
 //! * [`scenarios::ganglia_world`] — Fig. 8;
 //! * [`scenarios::lossy_fabric`], [`scenarios::congested_switch`],
 //!   [`scenarios::crash_during_burst`] — fault-injected robustness
-//!   scenarios (no paper figure; the adversarial axis).
+//!   scenarios (no paper figure; the adversarial axis);
+//! * [`scenarios::torn_read_world`] — the race sanitizer's canonical
+//!   RDMA-read/host-write overlap reproducer.
 //!
 //! Plus plain-text/CSV table rendering ([`report`]) and a multi-threaded
 //! parameter-sweep runner ([`sweep`]).
@@ -26,9 +28,10 @@ pub mod sweep;
 pub use builder::{Cluster, ClusterBuilder};
 pub use report::Table;
 pub use scenarios::{
-    accuracy_world, congested_switch, crash_during_burst, fault_compare_world, float_granularity,
-    ganglia_world, lossy_fabric, micro_latency, rubis_world, AccuracyWorld, CrashWorld,
-    FaultCompareWorld, FloatWorld, GangliaWorld, MicroWorld, RubisWorld, RubisWorldCfg, GT_PERIOD,
+    accuracy_world, congested_switch, crash_during_burst, fault_compare_world,
+    fault_compare_world_raced, float_granularity, ganglia_world, lossy_fabric, micro_latency,
+    rubis_world, torn_read_world, AccuracyWorld, CrashWorld, FaultCompareWorld, FloatWorld,
+    GangliaWorld, MicroWorld, RubisWorld, RubisWorldCfg, TornReadWorld, GT_PERIOD,
 };
 pub use summary::{node_summaries, pooled_responses, render_report, NodeSummary, ResponseSummary};
 pub use sweep::sweep_parallel;

@@ -8,8 +8,8 @@ use fgmon_core::{make_backend, BackendConfig, BackendHandle, MonitorFrontendServ
 use fgmon_ganglia::{GmetricPublisher, Gmond};
 use fgmon_sim::{DetRng, SimDuration, SimTime};
 use fgmon_types::{
-    FaultOp, FaultPlan, McastGroup, NetConfig, NodeId, OsConfig, RegionId, RetryPolicy, Scheme,
-    ServiceSlot,
+    FaultOp, FaultPlan, McastGroup, NetConfig, NodeId, OsConfig, RaceMode, RegionId, RetryPolicy,
+    Scheme, ServiceSlot,
 };
 use fgmon_workload::{
     CommLoad, ComputeHogs, FloatApp, LoadRamp, RampStep, RubisClient, WorkerPoolServer,
@@ -474,6 +474,8 @@ pub fn rubis_world(cfg: &RubisWorldCfg) -> RubisWorld {
         )),
     );
     let zipf_client_slot = cfg.zipf.map(|(alpha, sessions)| {
+        // lint: rng-construction — catalog shuffling runs at build time,
+        // before the engine starts; seeded straight from the world config.
         let mut rng = DetRng::new(cfg.seed ^ 0x21bf);
         let catalog = ZipfCatalog::new(1000, alpha, &mut rng);
         b.add_service(
@@ -520,14 +522,28 @@ pub struct FaultCompareWorld {
     pub fe_rdma: ServiceSlot,
 }
 
-/// Build the comparison world with an arbitrary [`FaultPlan`].
+/// Build the comparison world with an arbitrary [`FaultPlan`]. The race
+/// sanitizer follows `FGMON_RACE_CHECK` (the builder default).
 pub fn fault_compare_world(
     plan: FaultPlan,
     retry: RetryPolicy,
     poll: SimDuration,
     seed: u64,
 ) -> FaultCompareWorld {
+    fault_compare_world_raced(plan, retry, poll, seed, RaceMode::from_env())
+}
+
+/// [`fault_compare_world`] with an explicit sanitizer mode (tests pin the
+/// mode instead of inheriting the environment).
+pub fn fault_compare_world_raced(
+    plan: FaultPlan,
+    retry: RetryPolicy,
+    poll: SimDuration,
+    seed: u64,
+    race: RaceMode,
+) -> FaultCompareWorld {
     let mut b = ClusterBuilder::new(seed, NetConfig::default());
+    b.set_race_mode(race);
     let frontend = b.add_node(OsConfig::frontend());
     let backend = b.add_node(OsConfig::default());
     let cfg = BackendConfig {
@@ -602,6 +618,84 @@ pub fn congested_switch(
         .lossy_op(FaultOp::Socket, 0.25);
     let retry = RetryPolicy::aggressive(poll.mul_f64(3.0));
     fault_compare_world(plan, retry, poll, seed)
+}
+
+/// World engineered to make RDMA reads overlap host kernel writes: the
+/// race-sanitizer's canonical reproducer.
+pub struct TornReadWorld {
+    pub cluster: Cluster,
+    pub frontend: NodeId,
+    pub backend: NodeId,
+    /// Slot of the RDMA-Sync poller on the front-end.
+    pub fe_mon: ServiceSlot,
+}
+
+/// One RDMA-Sync poller reading the back-end's kernel-load region while
+/// bursty peer chatter wakes and blocks the back-end's sink thread — each
+/// transition is a host write to the exported region. A persistent
+/// congestion fault stretches the read's request leg from ~5 µs to
+/// ~100 µs, so writes routinely land *inside* open read windows. Strict
+/// mode reports them as [`fgmon_types::TornRead`]s; seqlock mode retries
+/// them away at a modeled cost.
+pub fn torn_read_world(race: RaceMode, seed: u64) -> TornReadWorld {
+    let poll = SimDuration::from_millis(1);
+    let mut b = ClusterBuilder::new(seed, NetConfig::default());
+    b.set_race_mode(race);
+    let frontend = b.add_node(OsConfig::frontend());
+    let backend = b.add_node(OsConfig::default());
+    let peer = b.add_node(OsConfig::default());
+
+    // Back-end slot 0 = RDMA-Sync backend; its kernel region is
+    // RegionId(0) by construction.
+    let handle = wire_monitoring(
+        &mut b,
+        Scheme::RdmaSync,
+        BackendConfig {
+            calc_interval: poll,
+            via_kernel_module: false,
+            mcast_group: McastGroup(0),
+            push_target: None,
+        },
+        frontend,
+        ServiceSlot(0),
+        backend,
+        0,
+    );
+    let fe_mon = b.add_service(
+        frontend,
+        Box::new(MonitorFrontendService::new(
+            Scheme::RdmaSync,
+            false,
+            poll,
+            vec![handle],
+        )),
+    );
+
+    // Bursty chatter peer→backend. The sink must *drain* between frames
+    // so it keeps blocking and re-waking — each transition is a kernel
+    // write to the exported run-queue state. (A saturated sink would stay
+    // runnable forever and never touch it: no echo, no compute hogs.)
+    let conn = b.connect(peer, ServiceSlot(0), backend, ServiceSlot(1));
+    b.add_service(
+        peer,
+        Box::new(CommLoad::bursty(conn, SimDuration::from_micros(400), 4)),
+    );
+    b.add_service(
+        backend,
+        Box::new(fgmon_workload::CommSink::new(conn, false)),
+    );
+
+    // Persistent congestion: every frame's latency ×24, widening the
+    // read window far past the write inter-arrival time.
+    b.set_fault_plan(FaultPlan::new(seed ^ 0x7042).congested(SimTime::ZERO, SimTime::MAX, 24.0));
+
+    let cluster = b.finish(&[]);
+    TornReadWorld {
+        cluster,
+        frontend,
+        backend,
+        fe_mon,
+    }
 }
 
 /// Crash-during-burst scenario, ready for assertions about exclusion and

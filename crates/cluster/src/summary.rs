@@ -102,6 +102,19 @@ pub fn render_report(cluster: &mut Cluster, scheme: Scheme, now: SimTime) -> Str
             q.latency_mean_us, q.latency_max_us, q.staleness_mean_ms
         ));
     }
+    let race = cluster.race_report();
+    if race.mode != fgmon_types::RaceMode::Off {
+        out.push_str(&format!(
+            "race check:      mode {} — {} reads tracked, {} host writes, \
+             {} torn, {} seqlock retries ({} exhausted)\n",
+            race.mode.label(),
+            race.reads_tracked,
+            race.host_writes,
+            race.torn_total,
+            race.seqlock_retries,
+            race.seqlock_exhausted
+        ));
+    }
     out.push('\n');
 
     let mut table = Table::new(vec!["node", "cpu busy (s)", "threads", "irqs", "net MiB"]);

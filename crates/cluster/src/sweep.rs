@@ -13,6 +13,10 @@ where
     R: Send,
     F: Fn(&P) -> R + Sync,
 {
+    // lint: thread-spawn — sweeps sit *outside* the simulation: every
+    // point builds, runs, and drops its own engine entirely inside one
+    // worker closure, so no simulated state ever crosses threads and the
+    // per-point results are identical to a serial run.
     let width = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -21,6 +25,8 @@ where
         points.iter().map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
 
+    // lint: thread-spawn — see above: engine-per-thread, results joined
+    // in input order before this function returns.
     std::thread::scope(|scope| {
         for _ in 0..width {
             scope.spawn(|| loop {

@@ -19,7 +19,7 @@
 //! series are timestamped at *request* time. A slow capture path then
 //! shows up directly as deviation from the ground-truth series.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use fgmon_os::OsApi;
 use fgmon_sim::SimTime;
@@ -83,7 +83,7 @@ impl BackendView {
 struct Inflight {
     tracker: RetryTracker,
     /// Send timestamps by correlation id, for latency accounting.
-    sent: HashMap<u64, SimTime>,
+    sent: BTreeMap<u64, SimTime>,
     next_seq: u32,
 }
 
@@ -91,7 +91,7 @@ impl Inflight {
     fn new(policy: RetryPolicy) -> Self {
         Inflight {
             tracker: RetryTracker::new(policy),
-            sent: HashMap::new(),
+            sent: BTreeMap::new(),
             next_seq: 0,
         }
     }
@@ -116,8 +116,8 @@ pub struct MonitorClient {
     backends: Vec<BackendHandle>,
     views: Vec<BackendView>,
     inflight: Vec<Inflight>,
-    conn_to_idx: HashMap<ConnId, usize>,
-    node_to_idx: HashMap<NodeId, usize>,
+    conn_to_idx: BTreeMap<ConnId, usize>,
+    node_to_idx: BTreeMap<NodeId, usize>,
     mcast_group: McastGroup,
     /// Local buffers the back-ends push into (RDMA-write-push scheme),
     /// indexed by backend; registered in [`MonitorClient::start`].

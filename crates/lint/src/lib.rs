@@ -1,0 +1,604 @@
+//! Determinism lint for the simulation-path crates.
+//!
+//! The whole value of the simulator is bit-reproducible runs: same seed,
+//! same event trace, same histograms. That property is global — one
+//! `Instant::now()` or one iterated `HashMap` anywhere in the event path
+//! silently breaks it, and nothing in the type system objects. This crate
+//! is the guard rail: a fast, dependency-free static pass over the
+//! sim-path crates that rejects the handful of constructs known to
+//! smuggle nondeterminism in.
+//!
+//! It is intentionally *not* a Rust parser. Rules are token/substring
+//! matches over comment- and string-stripped source, with file- and
+//! region-level skips for test code. That keeps the pass trivial to audit
+//! and fast enough for CI, at the cost of requiring an explicit
+//! suppression comment (`// lint: <rule-id> — why this is sound`) for the
+//! rare legitimate use.
+//!
+//! Run it as `cargo run -p fgmon-lint -- check`.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` trees run inside (or construct) the simulation and
+/// therefore must be deterministic. Harness crates (`bench`) and the
+/// vendored compat shims are exempt.
+pub const SIM_CRATES: &[&str] = &[
+    "sim", "net", "os", "core", "balancer", "cluster", "workload",
+];
+
+/// One lint rule: a set of needles to find and a fix to suggest.
+pub struct Rule {
+    /// Stable identifier, used in reports and suppression comments.
+    pub id: &'static str,
+    /// One-line statement of what the rule forbids and why.
+    pub summary: &'static str,
+    /// Patterns that trigger the rule. A needle containing any
+    /// non-identifier character is matched as a substring; a bare
+    /// identifier is matched on token boundaries (so `Instant` does not
+    /// fire on `Instantaneous`).
+    pub needles: &'static [&'static str],
+    /// Path substrings where the rule does not apply (the construct's
+    /// sanctioned home).
+    pub allow_paths: &'static [&'static str],
+    /// What to write instead.
+    pub suggestion: &'static str,
+}
+
+/// The rule table. Order is report order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "wall-clock",
+        summary: "wall-clock time read inside the simulation",
+        needles: &[
+            "std::time::Instant",
+            "std::time::SystemTime",
+            "Instant",
+            "SystemTime",
+            "chrono",
+        ],
+        allow_paths: &[],
+        suggestion: "use the engine clock (`SimTime`/`ctx.now`); real time \
+                     differs across runs and machines",
+    },
+    Rule {
+        id: "thread-spawn",
+        summary: "OS threads inside the simulation",
+        needles: &[
+            "std::thread::spawn",
+            "thread::spawn",
+            "std::thread::scope",
+            "thread::scope",
+            "available_parallelism",
+        ],
+        allow_paths: &[],
+        suggestion: "the engine is single-threaded by design; model \
+                     concurrency as actors/events, or justify engine-free \
+                     parallelism with a `// lint: thread-spawn` comment",
+    },
+    Rule {
+        id: "hash-collections",
+        summary: "hash-based collection with nondeterministic iteration order",
+        needles: &["HashMap", "HashSet"],
+        allow_paths: &[],
+        suggestion: "use `BTreeMap`/`BTreeSet`; hash iteration order feeds \
+                     event ordering and is randomized per process",
+    },
+    Rule {
+        id: "rng-construction",
+        summary: "RNG constructed outside the seeded hierarchy",
+        needles: &["DetRng::new", "thread_rng", "rand::rngs", "StdRng", "OsRng"],
+        allow_paths: &["crates/sim/src/rng.rs"],
+        suggestion: "fork from the cluster's root RNG (`DetRng::fork`) so \
+                     every stream derives from the world seed",
+    },
+    Rule {
+        id: "allow-attr",
+        summary: "#[allow(..)] without a recorded justification",
+        needles: &["#[allow(", "#![allow("],
+        allow_paths: &[],
+        suggestion: "add a `// lint: allow-attr — why` comment above the \
+                     attribute (silenced warnings hide exactly the bugs \
+                     this pass hunts)",
+    },
+];
+
+/// One violation found in a source file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (see [`RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending raw source line, trimmed.
+    pub snippet: String,
+    /// The rule's suggested fix.
+    pub suggestion: &'static str,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    help: {}",
+            self.path, self.line, self.rule, self.snippet, self.suggestion
+        )
+    }
+}
+
+/// Replace comments, string literals, and char literals with spaces while
+/// preserving line structure, so rules never fire on prose. Handles line
+/// comments, (nested) block comments, plain/escaped strings, raw strings
+/// with `#` fences, and char literals; lifetime ticks are left alone.
+fn strip_source(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+
+    fn keep_or_space(out: &mut String, c: char) {
+        out.push(if c == '\n' { '\n' } else { ' ' });
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        let next = b.get(i + 1).copied();
+        match c {
+            '/' if next == Some('/') => {
+                while i < b.len() && b[i] != '\n' {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if next == Some('*') => {
+                let mut depth = 1;
+                out.push_str("  ");
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else {
+                        keep_or_space(&mut out, b[i]);
+                        i += 1;
+                    }
+                }
+            }
+            'r' if next == Some('"')
+                || (next == Some('#') && {
+                    // r#"..."# / r##"..."## (also covers r#ident, skipped below)
+                    let mut j = i + 1;
+                    while b.get(j) == Some(&'#') {
+                        j += 1;
+                    }
+                    b.get(j) == Some(&'"')
+                }) =>
+            {
+                // Raw string: r"..." or r#"..."# etc.
+                let mut j = i + 1;
+                let mut fences = 0;
+                while b.get(j) == Some(&'#') {
+                    fences += 1;
+                    j += 1;
+                }
+                // j is at the opening quote.
+                out.push(' ');
+                for _ in 0..fences + 1 {
+                    out.push(' ');
+                }
+                j += 1;
+                loop {
+                    match b.get(j) {
+                        None => break,
+                        Some('"') => {
+                            let mut k = j + 1;
+                            let mut closing = 0;
+                            while closing < fences && b.get(k) == Some(&'#') {
+                                closing += 1;
+                                k += 1;
+                            }
+                            if closing == fences {
+                                for _ in 0..closing + 1 {
+                                    out.push(' ');
+                                }
+                                j = k;
+                                break;
+                            }
+                            out.push(' ');
+                            j += 1;
+                        }
+                        Some(&ch) => {
+                            keep_or_space(&mut out, ch);
+                            j += 1;
+                        }
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                out.push(' ');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == '\\' {
+                        out.push_str("  ");
+                        i += 2;
+                    } else if b[i] == '"' {
+                        out.push(' ');
+                        i += 1;
+                        break;
+                    } else {
+                        keep_or_space(&mut out, b[i]);
+                        i += 1;
+                    }
+                }
+            }
+            '\'' => {
+                // Char literal or lifetime. A lifetime ('a, '_, 'static)
+                // has no closing quote right after one "payload"; detect
+                // char literals conservatively: '\x', or 'c' followed by '.
+                let is_char = matches!(
+                    (b.get(i + 1), b.get(i + 2)),
+                    (Some('\\'), _) | (Some(_), Some('\''))
+                );
+                if is_char {
+                    out.push(' ');
+                    i += 1;
+                    while i < b.len() {
+                        if b[i] == '\\' {
+                            out.push_str("  ");
+                            i += 2;
+                        } else if b[i] == '\'' {
+                            out.push(' ');
+                            i += 1;
+                            break;
+                        } else {
+                            keep_or_space(&mut out, b[i]);
+                            i += 1;
+                        }
+                    }
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Match `needle` in a stripped code line. Bare-identifier needles match
+/// only on token boundaries.
+fn line_matches(code: &str, needle: &str) -> bool {
+    let token = needle.chars().all(is_ident_char);
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        if !token {
+            return true;
+        }
+        let before_ok = start == 0 || !is_ident_char(code[..start].chars().next_back().unwrap());
+        let after_ok = end >= code.len() || !is_ident_char(code[end..].chars().next().unwrap());
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Compute which lines fall inside `#[cfg(test)]`-gated regions: the
+/// attribute line itself through the close of the brace block that
+/// follows it (a `mod tests { ... }`, a gated `fn`, etc.).
+fn cfg_test_lines(code_lines: &[&str]) -> Vec<bool> {
+    let mut skip = vec![false; code_lines.len()];
+    let mut i = 0;
+    while i < code_lines.len() {
+        if !code_lines[i].contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        // Skip from the attribute to the end of the next brace block.
+        let mut depth = 0usize;
+        let mut seen_open = false;
+        let mut j = i;
+        while j < code_lines.len() {
+            skip[j] = true;
+            for c in code_lines[j].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        seen_open = true;
+                    }
+                    '}' => depth = depth.saturating_sub(1),
+                    _ => {}
+                }
+            }
+            if seen_open && depth == 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    skip
+}
+
+/// Is the finding on `line_idx` suppressed? A suppression is a raw line
+/// containing `lint: <rule-id>` either on the finding line itself or in
+/// the contiguous run of `//` comment lines directly above it (so a
+/// multi-line justification works). The `allow-attr` rule accepts any
+/// `lint:` justification, since its whole demand is "write one".
+fn is_suppressed(raw_lines: &[&str], line_idx: usize, rule_id: &str) -> bool {
+    let hits =
+        |line: &str| line.contains("lint:") && (rule_id == "allow-attr" || line.contains(rule_id));
+    if hits(raw_lines[line_idx]) {
+        return true;
+    }
+    let mut j = line_idx;
+    while j > 0 {
+        j -= 1;
+        let t = raw_lines[j].trim_start();
+        if !(t.starts_with("//") || t.starts_with("#[") || t.starts_with("#![")) {
+            break;
+        }
+        if hits(raw_lines[j]) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Scan one file's source. `path_label` is the workspace-relative path
+/// used both for reports and for `allow_paths` matching.
+pub fn scan_source(path_label: &str, source: &str) -> Vec<Finding> {
+    let stripped = strip_source(source);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let code_lines: Vec<&str> = stripped.lines().collect();
+
+    // Whole files gated to test builds (e.g. in-crate proptest modules)
+    // never run in the sim path.
+    if code_lines.iter().any(|l| l.contains("#![cfg(test)]")) {
+        return Vec::new();
+    }
+    let skip = cfg_test_lines(&code_lines);
+
+    let mut findings = Vec::new();
+    for (idx, code) in code_lines.iter().enumerate() {
+        if skip[idx] {
+            continue;
+        }
+        for rule in RULES {
+            if rule.allow_paths.iter().any(|p| path_label.contains(p)) {
+                continue;
+            }
+            if !rule.needles.iter().any(|n| line_matches(code, n)) {
+                continue;
+            }
+            if idx < raw_lines.len() && is_suppressed(&raw_lines, idx, rule.id) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: rule.id,
+                path: path_label.to_string(),
+                line: idx + 1,
+                snippet: raw_lines.get(idx).unwrap_or(&"").trim().to_string(),
+                suggestion: rule.suggestion,
+            });
+        }
+    }
+    findings
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for deterministic
+/// report order.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Scan every sim-path crate under `root` (the workspace root). Only
+/// `crates/<name>/src` trees are scanned: `tests/`, `benches/`, and the
+/// harness crates may use whatever the host offers.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for krate in SIM_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        let mut files = Vec::new();
+        rs_files(&src, &mut files);
+        for file in files {
+            let source = std::fs::read_to_string(&file)?;
+            let label = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            findings.extend(scan_source(&label, &source));
+        }
+    }
+    Ok(findings)
+}
+
+/// Minimal JSON string escaping (the report has no exotic content, but
+/// snippets can contain quotes and backslashes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render findings as a JSON array (stable field order, one object per
+/// finding) for machine consumers.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \
+             \"snippet\": \"{}\", \"suggestion\": \"{}\"}}{}\n",
+            json_escape(f.rule),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.snippet),
+            json_escape(f.suggestion),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(src: &str) -> Vec<&'static str> {
+        scan_source("crates/os/src/x.rs", src)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn flags_wall_clock_and_threads_and_hashes() {
+        assert_eq!(
+            rules_hit("let t = std::time::Instant::now();"),
+            vec!["wall-clock"]
+        );
+        assert_eq!(
+            rules_hit("std::thread::spawn(|| work());"),
+            vec!["thread-spawn"]
+        );
+        assert_eq!(
+            rules_hit("let m: HashMap<u32, u32> = HashMap::new();"),
+            vec!["hash-collections"]
+        );
+        assert_eq!(
+            rules_hit("let r = DetRng::new(42);"),
+            vec!["rng-construction"]
+        );
+    }
+
+    #[test]
+    fn token_boundary_spares_lookalikes() {
+        // `Instant` must not fire inside `Instantaneous`.
+        assert!(rules_hit("/// doc\nfn instantaneous() {}").is_empty());
+        assert!(rules_hit("let x = InstantaneousLoad::new();").is_empty());
+        // ...but the bare token still fires.
+        assert_eq!(rules_hit("use std::time::Instant;"), vec!["wall-clock"]);
+    }
+
+    #[test]
+    fn comments_and_strings_never_fire() {
+        assert!(rules_hit("// HashMap would be wrong here").is_empty());
+        assert!(rules_hit("let s = \"HashMap\";").is_empty());
+        assert!(rules_hit("/* Instant::now() */ let x = 1;").is_empty());
+        assert!(rules_hit("let r = r#\"thread::spawn\"#;").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_are_skipped() {
+        let src = "\
+fn real() {}
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    fn t() { let m = HashMap::new(); }
+}
+fn also_real() { let m = HashMap::new(); }
+";
+        let hits = rules_hit(src);
+        assert_eq!(hits, vec!["hash-collections"]);
+        let f = &scan_source("crates/os/src/x.rs", src)[0];
+        assert_eq!(f.line, 7);
+    }
+
+    #[test]
+    fn file_level_cfg_test_skips_everything() {
+        let src = "#![cfg(test)]\nuse std::collections::HashMap;\n";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn suppression_on_same_or_preceding_comment_lines() {
+        assert!(rules_hit("let r = DetRng::new(s); // lint: rng-construction — root").is_empty());
+        let multi = "\
+// lint: rng-construction — this is the root RNG; everything
+// else forks from it by label.
+let r = DetRng::new(seed);
+";
+        assert!(rules_hit(multi).is_empty());
+        // A comment for a *different* rule does not suppress.
+        let wrong = "// lint: wall-clock — nope\nlet r = DetRng::new(seed);\n";
+        assert_eq!(rules_hit(wrong), vec!["rng-construction"]);
+        // Suppression does not leak past non-comment lines.
+        let gap = "// lint: rng-construction — stale\nlet x = 1;\nlet r = DetRng::new(seed);\n";
+        assert_eq!(rules_hit(gap), vec!["rng-construction"]);
+    }
+
+    #[test]
+    fn allow_attr_requires_any_justification() {
+        assert_eq!(
+            rules_hit("#[allow(dead_code)]\nfn f() {}"),
+            vec!["allow-attr"]
+        );
+        assert!(
+            rules_hit("// lint: kept for ffi layout\n#[allow(dead_code)]\nfn f() {}").is_empty()
+        );
+    }
+
+    #[test]
+    fn allow_paths_exempt_the_rng_home() {
+        let src = "pub fn new(seed: u64) -> DetRng { DetRng::new(seed) }";
+        assert!(scan_source("crates/sim/src/rng.rs", src).is_empty());
+        assert!(!scan_source("crates/os/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn json_output_is_wellformed_enough() {
+        let f = vec![Finding {
+            rule: "wall-clock",
+            path: "crates/os/src/x.rs".into(),
+            line: 3,
+            snippet: "let t = \"x\\y\";".into(),
+            suggestion: "use SimTime",
+        }];
+        let j = render_json(&f);
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\\\"x\\\\y\\\""));
+        assert!(j.contains("\"line\": 3"));
+    }
+}

@@ -1,0 +1,85 @@
+//! `fgmon-lint` — determinism lint for the sim-path crates.
+//!
+//! Usage:
+//!   fgmon-lint check [--json] [--root <workspace>]
+//!   fgmon-lint rules
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fgmon_lint::{render_json, scan_workspace, RULES};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: fgmon-lint check [--json] [--root <workspace>] | fgmon-lint rules");
+    ExitCode::from(2)
+}
+
+/// Locate the workspace root: an explicit `--root`, else relative to this
+/// crate's manifest (two levels up from `crates/lint`), else the current
+/// directory.
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.to_path_buf())
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("rules") => {
+            for r in RULES {
+                println!("{:<18} {}", r.id, r.summary);
+                println!("{:<18}   fix: {}", "", r.suggestion);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let mut json = false;
+            let mut root = default_root();
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--json" => json = true,
+                    "--root" => {
+                        i += 1;
+                        let Some(p) = args.get(i) else {
+                            return usage();
+                        };
+                        root = PathBuf::from(p);
+                    }
+                    _ => return usage(),
+                }
+                i += 1;
+            }
+            let findings = match scan_workspace(&root) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("fgmon-lint: failed to scan {}: {e}", root.display());
+                    return ExitCode::from(2);
+                }
+            };
+            if json {
+                println!("{}", render_json(&findings));
+            } else if findings.is_empty() {
+                println!(
+                    "fgmon-lint: clean ({} rules over sim-path crates)",
+                    RULES.len()
+                );
+            } else {
+                for f in &findings {
+                    println!("{f}");
+                }
+                println!("fgmon-lint: {} finding(s)", findings.len());
+            }
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,106 @@
+//! End-to-end checks of the determinism lint: the real workspace must be
+//! clean, and a seeded violation must fail the gate with exit code 1.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use fgmon_lint::scan_workspace;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+/// Build a minimal fake workspace containing one sim-path file.
+fn seed_tree(name: &str, source: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let src = root.join("crates/sim/src");
+    std::fs::create_dir_all(&src).expect("create seeded tree");
+    std::fs::write(src.join("bad.rs"), source).expect("write seeded file");
+    root
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let findings = scan_workspace(&workspace_root()).expect("scan workspace");
+    assert!(
+        findings.is_empty(),
+        "sim-path crates must stay lint-clean, found:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn seeded_violation_is_found_by_library() {
+    let root = seed_tree(
+        "lint-lib-seed",
+        "pub fn bad() -> std::time::Instant { std::time::Instant::now() }\n",
+    );
+    let findings = scan_workspace(&root).expect("scan seeded tree");
+    assert!(!findings.is_empty());
+    assert!(findings.iter().all(|f| f.rule == "wall-clock"));
+    assert_eq!(findings[0].path, "crates/sim/src/bad.rs");
+    assert_eq!(findings[0].line, 1);
+}
+
+#[test]
+fn cli_exits_nonzero_on_violation_and_zero_on_clean() {
+    let bad = seed_tree(
+        "lint-cli-bad",
+        "use std::collections::HashMap;\npub fn f() { std::thread::spawn(|| ()); }\n",
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_fgmon-lint"))
+        .args(["check", "--root"])
+        .arg(&bad)
+        .output()
+        .expect("run fgmon-lint");
+    assert_eq!(out.status.code(), Some(1), "violations must fail the gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("hash-collections"));
+    assert!(stdout.contains("thread-spawn"));
+
+    // A clean tree (one inert file) passes.
+    let clean = seed_tree("lint-cli-clean", "pub fn fine() -> u32 { 1 }\n");
+    let out = Command::new(env!("CARGO_BIN_EXE_fgmon-lint"))
+        .args(["check", "--root"])
+        .arg(&clean)
+        .output()
+        .expect("run fgmon-lint");
+    assert_eq!(out.status.code(), Some(0));
+
+    // And the real workspace passes through the CLI too.
+    let out = Command::new(env!("CARGO_BIN_EXE_fgmon-lint"))
+        .args(["check", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("run fgmon-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace not lint-clean:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn json_mode_emits_parseable_array() {
+    let bad = seed_tree("lint-cli-json", "pub use std::time::SystemTime;\n");
+    let out = Command::new(env!("CARGO_BIN_EXE_fgmon-lint"))
+        .args(["check", "--json", "--root"])
+        .arg(&bad)
+        .output()
+        .expect("run fgmon-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let trimmed = stdout.trim();
+    assert!(trimmed.starts_with('[') && trimmed.ends_with(']'));
+    assert!(trimmed.contains("\"rule\": \"wall-clock\""));
+    assert!(trimmed.contains("\"line\": 1"));
+}

@@ -13,12 +13,12 @@
 //! Hardware multicast (paper §6) replicates a frame to every subscriber
 //! with a small per-destination fan-out cost.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use fgmon_sim::{Actor, ActorId, Ctx, DetRng, SimDuration, SimTime};
 use fgmon_types::{
     ConnId, FaultOp, FaultPlan, McastGroup, Msg, NetConfig, NetMsg, NodeId, NodeMsg, Payload,
-    ServiceSlot,
+    ReadVerdict, ServiceSlot, SharedRaceDetector,
 };
 
 /// One registered point-to-point connection.
@@ -47,6 +47,11 @@ pub struct FabricStats {
     pub fault_crash_dropped: u64,
     /// Frames whose latency was inflated by congestion or a NIC stall.
     pub fault_delayed: u64,
+    /// One-sided reads whose target region was written mid-flight
+    /// (race checker in strict mode).
+    pub torn_reads: u64,
+    /// Seqlock-mode re-reads issued after a version-check mismatch.
+    pub seqlock_retries: u64,
 }
 
 /// The switch + wires actor.
@@ -55,12 +60,15 @@ pub struct Fabric {
     /// `node_actors[node.index()]` = engine id of that node's actor.
     node_actors: Vec<ActorId>,
     conns: Vec<ConnEntry>,
-    mcast: HashMap<McastGroup, Vec<NodeId>>,
+    mcast: BTreeMap<McastGroup, Vec<NodeId>>,
     /// Fault schedule; `fault_rng` is `Some` iff the plan has rules, so
     /// fault-free runs draw zero random numbers and stay bit-identical
     /// to builds that predate fault injection.
     plan: FaultPlan,
     fault_rng: Option<DetRng>,
+    /// Shadow-state torn-read detector, shared with every node's OS core;
+    /// `None` when race checking is off (zero overhead).
+    race: Option<SharedRaceDetector>,
     pub stats: FabricStats,
 }
 
@@ -70,15 +78,28 @@ impl Fabric {
             cfg,
             node_actors,
             conns: Vec::new(),
-            mcast: HashMap::new(),
+            mcast: BTreeMap::new(),
             plan: FaultPlan::default(),
             fault_rng: None,
+            race: None,
             stats: FabricStats::default(),
         }
     }
 
     pub fn cfg(&self) -> &NetConfig {
         &self.cfg
+    }
+
+    /// Attach the cluster-wide race detector (builder wiring).
+    pub fn set_race_detector(&mut self, detector: SharedRaceDetector) {
+        self.race = Some(detector);
+    }
+
+    /// Reset all frame/fault counters to zero. Harnesses that re-run
+    /// scenarios on a reused fabric must call this between runs, or the
+    /// second run's stats silently include the first run's traffic.
+    pub fn reset_stats(&mut self) {
+        self.stats = FabricStats::default();
     }
 
     /// Install a fault schedule. The fault RNG is forked from the plan's
@@ -94,6 +115,9 @@ impl Fabric {
         self.fault_rng = if plan.is_empty() {
             None
         } else {
+            // lint: rng-construction — derived from the plan's own seed so
+            // fault fates replay per (seed, plan), independent of the rest
+            // of the simulation's draws.
             Some(DetRng::new(plan.seed).fork("fabric-faults"))
         };
         self.plan = plan;
@@ -266,6 +290,12 @@ impl Actor<Msg> for Fabric {
                 else {
                     return;
                 };
+                // Open the shadow read window: epoch sampled at post time.
+                // (Lost frames above never open one.)
+                if let Some(race) = &self.race {
+                    race.borrow_mut()
+                        .on_read_start(src, req_id, dst, region, now);
+                }
                 ctx.send_in(
                     delay,
                     dst_actor,
@@ -316,6 +346,50 @@ impl Actor<Msg> for Fabric {
                     self.stats.dropped += 1;
                     return;
                 };
+                // Close the shadow read window: the data just left the
+                // target NIC, so any host write since the post tore it.
+                let verdict = match &self.race {
+                    Some(race) => race.borrow_mut().on_read_complete(initiator, req_id, now),
+                    None => ReadVerdict::Clean,
+                };
+                if let ReadVerdict::Retry { target, region, .. } = verdict {
+                    self.stats.seqlock_retries += 1;
+                    let Some(target_actor) = self.actor_of(target) else {
+                        self.stats.dropped += 1;
+                        return;
+                    };
+                    // Reader-side seqlock retry: the torn data still flies
+                    // back (full return leg), the reader's version check
+                    // rejects it, and a fresh read is posted — one extra
+                    // round trip plus the modeled check per attempt.
+                    let base = self.cfg.nic_read
+                        + self.cfg.wire_latency
+                        + self.cfg.completion_poll
+                        + self.cfg.seqlock_check
+                        + self.cfg.rdma_post
+                        + self.cfg.wire_latency;
+                    match self.apply_faults(now, None, Some(initiator), FaultOp::RdmaRead, base) {
+                        Some(delay) => ctx.send_in(
+                            delay,
+                            target_actor,
+                            Msg::Node(NodeMsg::RdmaReadArrive {
+                                initiator,
+                                region,
+                                req_id,
+                            }),
+                        ),
+                        None => {
+                            // The retry was lost: close the re-armed window.
+                            if let Some(race) = &self.race {
+                                race.borrow_mut().on_read_drop(initiator, req_id);
+                            }
+                        }
+                    }
+                    return;
+                }
+                if verdict == ReadVerdict::Torn {
+                    self.stats.torn_reads += 1;
+                }
                 // Target-NIC DMA read + reply flight + initiator CQ poll.
                 let base = self.cfg.nic_read + self.cfg.wire_latency + self.cfg.completion_poll;
                 let Some(delay) =
@@ -506,6 +580,30 @@ mod tests {
         assert!(dropped_a > 0 && dropped_a < 64, "p=0.5 should drop some");
         let (fates_c, _) = run(12);
         assert_ne!(fates_a, fates_c, "different seed should change fates");
+    }
+
+    #[test]
+    fn reset_stats_clears_every_counter() {
+        let mut f = Fabric::new(NetConfig::default(), vec![]);
+        f.set_fault_plan(FaultPlan::new(3).lossy_all(0.5));
+        for i in 0..32 {
+            f.apply_faults(
+                SimTime(i),
+                Some(NodeId(0)),
+                Some(NodeId(1)),
+                FaultOp::Socket,
+                SimDuration(10),
+            );
+        }
+        f.stats.socket_frames += 4;
+        f.stats.rdma_reads += 2;
+        f.stats.torn_reads += 1;
+        assert_ne!(f.stats, FabricStats::default());
+        f.reset_stats();
+        assert_eq!(f.stats, FabricStats::default());
+        // The fault plan and its RNG survive a stats reset: only the
+        // counters are scenario-scoped.
+        assert!(!f.fault_plan().is_empty());
     }
 
     #[test]

@@ -4,12 +4,12 @@
 //! lives in [`crate::node`]; everything that can be expressed as pure state
 //! manipulation lives here so it can be unit-tested in isolation.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use fgmon_sim::{ActorId, DetRng, SimDuration, SimTime};
 use fgmon_types::{
-    ConnId, LoadSnapshot, McastGroup, NodeId, OsConfig, RegionId, ReqId, ServiceSlot, ThreadId,
-    MAX_CPUS,
+    ConnId, LoadSnapshot, McastGroup, NodeId, OsConfig, RegionId, ReqId, ServiceSlot,
+    SharedRaceDetector, ThreadId, MAX_CPUS,
 };
 
 use crate::irq::CpuIrq;
@@ -97,10 +97,14 @@ pub struct OsCore {
     regions: Vec<Region>,
     user_snapshots: Vec<Option<LoadSnapshot>>,
     /// Outstanding RDMA work requests this node initiated.
-    pub rdma_pending: HashMap<u64, (ServiceSlot, u64)>,
+    /// `BTreeMap` keeps any iteration deterministic (fgmon-lint rule).
+    pub rdma_pending: BTreeMap<u64, (ServiceSlot, u64)>,
     next_req: u64,
-    pub listeners: HashMap<ConnId, (ServiceSlot, ListenMode)>,
-    pub mcast_subs: HashMap<McastGroup, ServiceSlot>,
+    pub listeners: BTreeMap<ConnId, (ServiceSlot, ListenMode)>,
+    pub mcast_subs: BTreeMap<McastGroup, ServiceSlot>,
+    /// Shadow-state race detector (shared with the fabric); `None` when
+    /// race checking is off, so the hot paths below stay cost-free.
+    race: Option<SharedRaceDetector>,
 }
 
 impl OsCore {
@@ -128,11 +132,17 @@ impl OsCore {
             stats: KernelStats::new(),
             regions: Vec::new(),
             user_snapshots: Vec::new(),
-            rdma_pending: HashMap::new(),
+            rdma_pending: BTreeMap::new(),
             next_req: 0,
-            listeners: HashMap::new(),
-            mcast_subs: HashMap::new(),
+            listeners: BTreeMap::new(),
+            mcast_subs: BTreeMap::new(),
+            race: None,
         }
+    }
+
+    /// Attach the cluster-wide race detector (builder wiring).
+    pub fn set_race_detector(&mut self, detector: Option<SharedRaceDetector>) {
+        self.race = detector;
     }
 
     pub fn ncpus(&self) -> usize {
@@ -162,11 +172,37 @@ impl OsCore {
         self.run_queue.len() as u32 + running + preempted
     }
 
-    /// Fold the run-queue level held since the last change into `avenrun`.
-    /// Call *before* any mutation that changes the runnable count.
-    pub fn touch_loadavg(&mut self, now: SimTime) {
+    /// Fold the run-queue level held since the last change into `avenrun`
+    /// without treating it as a kernel write (the lazy-decay step a real
+    /// kernel performs on its own 5 s tick; our readers trigger it).
+    fn fold_loadavg(&mut self, now: SimTime) {
         let held = self.runnable_now() as f64;
         self.stats.loadavg1.advance(now, held);
+    }
+
+    /// Fold the run-queue level held since the last change into `avenrun`.
+    /// Call *before* any mutation that changes the runnable count. Every
+    /// call site is therefore a genuine kernel-state write, which is what
+    /// the shadow-epoch race detector tracks for exported kernel regions.
+    pub fn touch_loadavg(&mut self, now: SimTime) {
+        self.fold_loadavg(now);
+        self.note_kernel_write(now);
+    }
+
+    /// Bump the shadow epoch of every exported kernel-load region: the
+    /// scheduler state a concurrent one-sided read would sample just
+    /// changed under it.
+    fn note_kernel_write(&mut self, now: SimTime) {
+        let Some(race) = &self.race else { return };
+        let mut race = race.borrow_mut();
+        if !race.enabled() {
+            return;
+        }
+        for (i, r) in self.regions.iter().enumerate() {
+            if matches!(r.kind, RegionKind::KernelLoad { .. }) {
+                race.note_host_write(self.node, RegionId(i as u32), now);
+            }
+        }
     }
 
     /// Pick the CPU that services the next network interrupt. The paper's
@@ -195,10 +231,15 @@ impl OsCore {
         self.regions.get(id.0 as usize)
     }
 
-    /// Store a snapshot into a user region (the calc thread's copy step).
-    pub fn write_user_snapshot(&mut self, id: RegionId, snap: LoadSnapshot) {
+    /// Store a snapshot into a user region (the calc thread's copy step,
+    /// or a remote one-sided write landing). A host write for the race
+    /// detector: a concurrent RDMA read of this region could tear.
+    pub fn write_user_snapshot(&mut self, id: RegionId, snap: LoadSnapshot, now: SimTime) {
         if let Some(slot) = self.user_snapshots.get_mut(id.0 as usize) {
             *slot = Some(snap);
+            if let Some(race) = &self.race {
+                race.borrow_mut().note_host_write(self.node, id, now);
+            }
         }
     }
 
@@ -229,7 +270,10 @@ impl OsCore {
     /// or because a helper kernel module exposes `irq_stat` to user space
     /// as in the Fig. 6 experiment).
     pub fn snapshot(&mut self, now: SimTime, kernel_detail: bool) -> LoadSnapshot {
-        self.touch_loadavg(now);
+        // Reading folds the decayed load average but mutates nothing a
+        // remote reader could observe — not a write for the race detector
+        // (a kernel-region RDMA read serving itself must not self-flag).
+        self.fold_loadavg(now);
         let ncpus = self.ncpus();
         let mut util = 0.0;
         for acct in &mut self.cpu_acct {
@@ -312,7 +356,7 @@ mod tests {
         assert!(c.read_user_snapshot(r0).is_none());
         let mut s = LoadSnapshot::zero();
         s.nthreads = 42;
-        c.write_user_snapshot(r0, s);
+        c.write_user_snapshot(r0, s, SimTime(100));
         assert_eq!(c.read_user_snapshot(r0).unwrap().nthreads, 42);
     }
 

@@ -600,7 +600,7 @@ impl NodeActor {
         let result = match self.core.region(region).copied() {
             Some(r) if r.writable => {
                 if let RegionData::Snapshot(snap) = data {
-                    self.core.write_user_snapshot(region, snap);
+                    self.core.write_user_snapshot(region, snap, now);
                 }
                 RdmaResult::WriteOk
             }

@@ -338,7 +338,8 @@ impl OsApi<'_, '_> {
     /// copy-out step; the memory write itself is free — its CPU cost is
     /// part of the burst that computed the snapshot).
     pub fn write_user_region(&mut self, region: RegionId, snap: LoadSnapshot) {
-        self.core.write_user_snapshot(region, snap);
+        let now = self.ctx.now;
+        self.core.write_user_snapshot(region, snap, now);
     }
 
     /// Read a user buffer registered on *this* node (e.g. one that remote

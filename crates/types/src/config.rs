@@ -112,6 +112,12 @@ pub struct NetConfig {
     pub completion_poll: SimDuration,
     /// Per-destination replication latency for hardware multicast.
     pub mcast_fanout: SimDuration,
+    /// Reader-side version check of a completed one-sided read (the
+    /// seqlock mitigation of torn reads): compare the two version words
+    /// bracketing the buffer before accepting it. Charged once per retry
+    /// on top of the re-read round trip when the race checker runs in
+    /// seqlock mode; free when the check passes (it is two cached loads).
+    pub seqlock_check: SimDuration,
 }
 
 impl Default for NetConfig {
@@ -123,6 +129,7 @@ impl Default for NetConfig {
             nic_read: SimDuration::from_micros(10),
             completion_poll: SimDuration::from_micros(2),
             mcast_fanout: SimDuration::from_micros(1),
+            seqlock_check: SimDuration::from_nanos(500),
         }
     }
 }

@@ -10,6 +10,7 @@ pub mod ids;
 pub mod load;
 pub mod msg;
 pub mod payload;
+pub mod race;
 pub mod scheme;
 
 pub use config::{CostModel, MonitorConfig, NetConfig, OsConfig};
@@ -21,4 +22,8 @@ pub use ids::{ConnId, McastGroup, NodeId, RegionId, ReqId, ServiceSlot, ThreadId
 pub use load::{LoadSnapshot, LoadWeights, NodeCapacity, MAX_CPUS};
 pub use msg::{Msg, NetMsg, NodeMsg, RdmaResult, RegionData};
 pub use payload::{Payload, QueryClass, RequestKind};
+pub use race::{
+    RaceDetector, RaceMode, RaceReport, ReadVerdict, SharedRaceDetector, TornRead,
+    MAX_TORN_DIAGNOSTICS, SEQLOCK_MAX_RETRIES,
+};
 pub use scheme::Scheme;

@@ -1,0 +1,452 @@
+//! Shadow-state torn-read detection for one-sided RDMA operations.
+//!
+//! The paper's RDMA-Sync/e-RDMA-Sync schemes (§3) have a remote NIC read
+//! a registered buffer that the host keeps mutating with no coordination
+//! at all. The simulation materializes every read atomically at the serve
+//! instant, so it can never observe a *torn* value — but real hardware
+//! can: a DMA read that overlaps a host store returns a mix of old and
+//! new words (the hazard RDMAbox and "Using RDMA for Lock Management"
+//! handle with explicit version checks). This module is the sanitizer
+//! that re-introduces the hazard as *shadow state*: every registered
+//! region carries an epoch counter bumped on host writes, every in-flight
+//! read records the epoch at post time, and a completion whose epoch
+//! moved is flagged as a [`TornRead`].
+//!
+//! Three modes:
+//!
+//! * [`RaceMode::Off`] — no bookkeeping at all (zero overhead).
+//! * [`RaceMode::Strict`] — detect and report; the simulation's event
+//!   flow is untouched, so a strict run is bit-identical to an off run
+//!   apart from the report itself.
+//! * [`RaceMode::Seqlock`] — model the mitigation: the reader version-
+//!   checks the completed buffer and re-issues the read when the epoch
+//!   moved, paying a modeled check + re-read cost per retry (see
+//!   `NetConfig::seqlock_check`). No torn value ever escapes.
+//!
+//! The detector is shared between the fabric (which sees reads) and the
+//! per-node OS cores (which see writes) through an `Rc<RefCell<...>>` —
+//! legal because the engine is strictly single-threaded.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use fgmon_sim::SimTime;
+
+use crate::ids::{NodeId, RegionId, ReqId};
+
+/// How many detailed [`TornRead`] diagnostics a report retains. The total
+/// count keeps incrementing past this cap.
+pub const MAX_TORN_DIAGNOSTICS: usize = 64;
+
+/// Bound on seqlock re-reads of one request. A real seqlock reader spins
+/// until a stable pair of version reads; under pathological write rates
+/// the model stops charging after this many attempts and records the
+/// exhaustion instead of livelocking the simulation.
+pub const SEQLOCK_MAX_RETRIES: u32 = 8;
+
+/// Race-checking mode, normally selected via the `FGMON_RACE_CHECK`
+/// environment variable (`off` / `strict` / `seqlock`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RaceMode {
+    /// No shadow bookkeeping.
+    #[default]
+    Off,
+    /// Detect and report torn reads; never perturbs the simulation.
+    Strict,
+    /// Model the seqlock mitigation: retry torn reads at a modeled cost.
+    Seqlock,
+}
+
+impl RaceMode {
+    /// Read the mode from `FGMON_RACE_CHECK`. Unset or unrecognized
+    /// values mean [`RaceMode::Off`].
+    pub fn from_env() -> RaceMode {
+        match std::env::var("FGMON_RACE_CHECK").as_deref() {
+            Ok("strict") | Ok("STRICT") | Ok("1") | Ok("on") => RaceMode::Strict,
+            Ok("seqlock") | Ok("SEQLOCK") => RaceMode::Seqlock,
+            _ => RaceMode::Off,
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            RaceMode::Off => "off",
+            RaceMode::Strict => "strict",
+            RaceMode::Seqlock => "seqlock",
+        }
+    }
+}
+
+/// One detected torn read: an RDMA read whose target region was written
+/// between the request post and the data's departure from the target NIC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TornRead {
+    /// Node that posted the read.
+    pub initiator: NodeId,
+    /// Node whose region was read.
+    pub target: NodeId,
+    pub region: RegionId,
+    /// When the work request was posted to the fabric.
+    pub read_start: SimTime,
+    /// When the data left the target (the serve instant).
+    pub read_complete: SimTime,
+    pub epoch_at_start: u64,
+    pub epoch_at_complete: u64,
+    /// First and last host write that landed inside the read window.
+    pub write_span: (SimTime, SimTime),
+}
+
+/// End-of-run summary of the shadow-state detector.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RaceReport {
+    pub mode: RaceMode,
+    /// Host writes observed on registered regions.
+    pub host_writes: u64,
+    /// RDMA reads whose windows were tracked.
+    pub reads_tracked: u64,
+    /// Total torn reads detected (strict mode).
+    pub torn_total: u64,
+    /// Detailed diagnostics, capped at [`MAX_TORN_DIAGNOSTICS`].
+    pub torn: Vec<TornRead>,
+    /// Seqlock-mode re-reads issued after a version mismatch.
+    pub seqlock_retries: u64,
+    /// Reads that hit [`SEQLOCK_MAX_RETRIES`] and gave up retrying.
+    pub seqlock_exhausted: u64,
+}
+
+/// What the fabric should do with a completed read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadVerdict {
+    /// Epochs match (or the detector is off): deliver the data.
+    Clean,
+    /// Strict mode: the read is torn; a diagnostic was recorded. The data
+    /// is still delivered — strict mode never perturbs the run.
+    Torn,
+    /// Seqlock mode: the version check failed; re-issue the read against
+    /// `target`/`region` after the modeled check + re-post cost.
+    Retry {
+        target: NodeId,
+        region: RegionId,
+        attempt: u32,
+    },
+}
+
+/// An in-flight read window, keyed by (initiator, request id).
+#[derive(Clone, Copy, Debug)]
+struct ReadWindow {
+    target: NodeId,
+    region: RegionId,
+    started_at: SimTime,
+    epoch_at_start: u64,
+    /// (first, last) write time observed inside the window so far.
+    overlap: Option<(SimTime, SimTime)>,
+    retries: u32,
+}
+
+/// The shadow-state race detector shared by the fabric and every node.
+#[derive(Debug, Default)]
+pub struct RaceDetector {
+    mode: RaceMode,
+    /// Shadow epoch per registered region, bumped on every host write.
+    epochs: BTreeMap<(NodeId, RegionId), u64>,
+    /// Open read windows. Request ids are per-initiator counters, so the
+    /// key must include the initiator to stay collision-free.
+    windows: BTreeMap<(NodeId, u64), ReadWindow>,
+    report: RaceReport,
+}
+
+/// Shared handle: the engine is single-threaded, so `Rc<RefCell<...>>`
+/// gives every actor cheap access without any ordering hazards.
+pub type SharedRaceDetector = Rc<RefCell<RaceDetector>>;
+
+impl RaceDetector {
+    pub fn new(mode: RaceMode) -> Self {
+        RaceDetector {
+            mode,
+            report: RaceReport {
+                mode,
+                ..RaceReport::default()
+            },
+            ..RaceDetector::default()
+        }
+    }
+
+    pub fn new_shared(mode: RaceMode) -> SharedRaceDetector {
+        Rc::new(RefCell::new(RaceDetector::new(mode)))
+    }
+
+    pub fn mode(&self) -> RaceMode {
+        self.mode
+    }
+
+    pub fn set_mode(&mut self, mode: RaceMode) {
+        self.mode = mode;
+        self.report.mode = mode;
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.mode != RaceMode::Off
+    }
+
+    pub fn report(&self) -> &RaceReport {
+        &self.report
+    }
+
+    /// A host write to a registered region: bump its epoch and extend the
+    /// overlap span of every read window currently open on it.
+    pub fn note_host_write(&mut self, node: NodeId, region: RegionId, now: SimTime) {
+        if !self.enabled() {
+            return;
+        }
+        *self.epochs.entry((node, region)).or_insert(0) += 1;
+        self.report.host_writes += 1;
+        for w in self.windows.values_mut() {
+            if w.target == node && w.region == region {
+                w.overlap = Some(match w.overlap {
+                    None => (now, now),
+                    Some((first, _)) => (first, now),
+                });
+            }
+        }
+    }
+
+    /// An RDMA read was posted to the fabric: open its window.
+    pub fn on_read_start(
+        &mut self,
+        initiator: NodeId,
+        req: ReqId,
+        target: NodeId,
+        region: RegionId,
+        now: SimTime,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.report.reads_tracked += 1;
+        let epoch = self.epochs.get(&(target, region)).copied().unwrap_or(0);
+        self.windows.insert(
+            (initiator, req.0),
+            ReadWindow {
+                target,
+                region,
+                started_at: now,
+                epoch_at_start: epoch,
+                overlap: None,
+                retries: 0,
+            },
+        );
+    }
+
+    /// The read's data left the target NIC: close (or re-arm) the window.
+    pub fn on_read_complete(&mut self, initiator: NodeId, req: ReqId, now: SimTime) -> ReadVerdict {
+        if !self.enabled() {
+            return ReadVerdict::Clean;
+        }
+        let key = (initiator, req.0);
+        let Some(w) = self.windows.get(&key).copied() else {
+            // Unknown request (e.g. posted before the detector attached).
+            return ReadVerdict::Clean;
+        };
+        let epoch_now = self.epochs.get(&(w.target, w.region)).copied().unwrap_or(0);
+        if epoch_now == w.epoch_at_start {
+            self.windows.remove(&key);
+            return ReadVerdict::Clean;
+        }
+        match self.mode {
+            RaceMode::Off => unreachable!("checked by enabled()"),
+            RaceMode::Strict => {
+                self.windows.remove(&key);
+                self.report.torn_total += 1;
+                if self.report.torn.len() < MAX_TORN_DIAGNOSTICS {
+                    self.report.torn.push(TornRead {
+                        initiator,
+                        target: w.target,
+                        region: w.region,
+                        read_start: w.started_at,
+                        read_complete: now,
+                        epoch_at_start: w.epoch_at_start,
+                        epoch_at_complete: epoch_now,
+                        write_span: w.overlap.unwrap_or((now, now)),
+                    });
+                }
+                ReadVerdict::Torn
+            }
+            RaceMode::Seqlock => {
+                let attempt = w.retries + 1;
+                if attempt > SEQLOCK_MAX_RETRIES {
+                    // Give up retrying: the real reader would eventually
+                    // win; stop charging and deliver the latest value.
+                    self.windows.remove(&key);
+                    self.report.seqlock_exhausted += 1;
+                    return ReadVerdict::Clean;
+                }
+                self.report.seqlock_retries += 1;
+                // Re-arm the window at the current epoch: the retry reads
+                // a fresh copy, so only *further* writes can tear it.
+                self.windows.insert(
+                    key,
+                    ReadWindow {
+                        started_at: now,
+                        epoch_at_start: epoch_now,
+                        overlap: None,
+                        retries: attempt,
+                        ..w
+                    },
+                );
+                ReadVerdict::Retry {
+                    target: w.target,
+                    region: w.region,
+                    attempt,
+                }
+            }
+        }
+    }
+
+    /// The frame carrying this read (or its retry) was lost: close the
+    /// window so it cannot linger in the overlap scan forever.
+    pub fn on_read_drop(&mut self, initiator: NodeId, req: ReqId) {
+        self.windows.remove(&(initiator, req.0));
+    }
+
+    /// Open windows right now (diagnostic).
+    pub fn open_windows(&self) -> usize {
+        self.windows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N0: NodeId = NodeId(0);
+    const N1: NodeId = NodeId(1);
+    const R0: RegionId = RegionId(0);
+
+    #[test]
+    fn off_mode_is_inert() {
+        let mut d = RaceDetector::new(RaceMode::Off);
+        d.note_host_write(N1, R0, SimTime(5));
+        d.on_read_start(N0, ReqId(0), N1, R0, SimTime(10));
+        d.note_host_write(N1, R0, SimTime(15));
+        assert_eq!(
+            d.on_read_complete(N0, ReqId(0), SimTime(20)),
+            ReadVerdict::Clean
+        );
+        assert_eq!(d.report().host_writes, 0);
+        assert_eq!(d.report().reads_tracked, 0);
+    }
+
+    #[test]
+    fn strict_flags_write_inside_window() {
+        let mut d = RaceDetector::new(RaceMode::Strict);
+        d.note_host_write(N1, R0, SimTime(5)); // before the window: harmless
+        d.on_read_start(N0, ReqId(0), N1, R0, SimTime(10));
+        d.note_host_write(N1, R0, SimTime(12));
+        d.note_host_write(N1, R0, SimTime(14));
+        assert_eq!(
+            d.on_read_complete(N0, ReqId(0), SimTime(20)),
+            ReadVerdict::Torn
+        );
+        let r = d.report();
+        assert_eq!(r.torn_total, 1);
+        let t = &r.torn[0];
+        assert_eq!((t.initiator, t.target, t.region), (N0, N1, R0));
+        assert_eq!((t.read_start, t.read_complete), (SimTime(10), SimTime(20)));
+        assert_eq!(t.write_span, (SimTime(12), SimTime(14)));
+        assert_eq!(t.epoch_at_complete - t.epoch_at_start, 2);
+        assert_eq!(d.open_windows(), 0);
+    }
+
+    #[test]
+    fn strict_clean_when_no_write_in_window() {
+        let mut d = RaceDetector::new(RaceMode::Strict);
+        d.note_host_write(N1, R0, SimTime(5));
+        d.on_read_start(N0, ReqId(0), N1, R0, SimTime(10));
+        assert_eq!(
+            d.on_read_complete(N0, ReqId(0), SimTime(20)),
+            ReadVerdict::Clean
+        );
+        // A write *after* completion tears nothing.
+        d.note_host_write(N1, R0, SimTime(25));
+        assert_eq!(d.report().torn_total, 0);
+    }
+
+    #[test]
+    fn same_req_id_from_two_initiators_does_not_collide() {
+        let mut d = RaceDetector::new(RaceMode::Strict);
+        d.on_read_start(N0, ReqId(7), N1, R0, SimTime(10));
+        d.on_read_start(NodeId(2), ReqId(7), N1, R0, SimTime(11));
+        d.note_host_write(N1, R0, SimTime(12));
+        assert_eq!(
+            d.on_read_complete(N0, ReqId(7), SimTime(15)),
+            ReadVerdict::Torn
+        );
+        assert_eq!(
+            d.on_read_complete(NodeId(2), ReqId(7), SimTime(16)),
+            ReadVerdict::Torn
+        );
+        assert_eq!(d.report().torn_total, 2);
+    }
+
+    #[test]
+    fn seqlock_retries_then_converges() {
+        let mut d = RaceDetector::new(RaceMode::Seqlock);
+        d.on_read_start(N0, ReqId(0), N1, R0, SimTime(10));
+        d.note_host_write(N1, R0, SimTime(12));
+        let v = d.on_read_complete(N0, ReqId(0), SimTime(20));
+        assert_eq!(
+            v,
+            ReadVerdict::Retry {
+                target: N1,
+                region: R0,
+                attempt: 1
+            }
+        );
+        // No further writes: the retry completes clean.
+        assert_eq!(
+            d.on_read_complete(N0, ReqId(0), SimTime(40)),
+            ReadVerdict::Clean
+        );
+        let r = d.report();
+        assert_eq!(r.seqlock_retries, 1);
+        assert_eq!(r.torn_total, 0);
+        assert_eq!(d.open_windows(), 0);
+    }
+
+    #[test]
+    fn seqlock_exhausts_after_bound() {
+        let mut d = RaceDetector::new(RaceMode::Seqlock);
+        d.on_read_start(N0, ReqId(0), N1, R0, SimTime(0));
+        let mut t = 1u64;
+        let mut retries = 0u32;
+        loop {
+            d.note_host_write(N1, R0, SimTime(t));
+            t += 1;
+            match d.on_read_complete(N0, ReqId(0), SimTime(t)) {
+                ReadVerdict::Retry { attempt, .. } => {
+                    retries = attempt;
+                    t += 1;
+                }
+                ReadVerdict::Clean => break,
+                ReadVerdict::Torn => panic!("seqlock mode never reports torn"),
+            }
+        }
+        assert_eq!(retries, SEQLOCK_MAX_RETRIES);
+        assert_eq!(d.report().seqlock_exhausted, 1);
+        assert_eq!(d.report().seqlock_retries, SEQLOCK_MAX_RETRIES as u64);
+    }
+
+    #[test]
+    fn dropped_read_closes_window() {
+        let mut d = RaceDetector::new(RaceMode::Strict);
+        d.on_read_start(N0, ReqId(0), N1, R0, SimTime(10));
+        assert_eq!(d.open_windows(), 1);
+        d.on_read_drop(N0, ReqId(0));
+        assert_eq!(d.open_windows(), 0);
+        assert_eq!(
+            d.on_read_complete(N0, ReqId(0), SimTime(20)),
+            ReadVerdict::Clean
+        );
+    }
+}

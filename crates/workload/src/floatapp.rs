@@ -9,7 +9,7 @@
 //! burns is a cycle stolen from the application, exactly the trade-off
 //! the paper's granularity experiment quantifies.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use fgmon_os::{OsApi, Service};
 use fgmon_sim::{SimDuration, SimTime};
@@ -24,7 +24,7 @@ pub struct FloatApp {
     /// Number of compute threads (default: one per CPU on the paper's
     /// dual-processor nodes).
     pub threads: u32,
-    batch_started: HashMap<ThreadId, SimTime>,
+    batch_started: BTreeMap<ThreadId, SimTime>,
     /// Completed batches (all threads).
     pub completed: u64,
     /// Sum of normalized delays (for the mean).
@@ -44,7 +44,7 @@ impl FloatApp {
         FloatApp {
             batch,
             threads,
-            batch_started: HashMap::new(),
+            batch_started: BTreeMap::new(),
             completed: 0,
             delay_sum: 0.0,
             delay_max: 0.0,

@@ -14,7 +14,7 @@
 //! live-thread count (a Fig. 5 ground-truth signal) tracks offered load,
 //! as with real prefork servers.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use fgmon_os::{OsApi, Service};
 use fgmon_sim::SimDuration;
@@ -54,7 +54,7 @@ pub struct WorkerPoolServer {
     idle: Vec<ThreadId>,
     worker_count: u32,
     backlog: VecDeque<Work>,
-    inflight: HashMap<u64, Work>,
+    inflight: BTreeMap<u64, Work>,
     next_token: u64,
     /// Is the (per-node) database lock held?
     db_busy: bool,
@@ -84,7 +84,7 @@ impl WorkerPoolServer {
             idle: Vec::new(),
             worker_count: 0,
             backlog: VecDeque::new(),
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             next_token: 0,
             db_busy: false,
             db_waiters: VecDeque::new(),

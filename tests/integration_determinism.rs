@@ -1,9 +1,9 @@
 //! Integration: a (seed, config) pair fully determines every output.
 
 use fgmon_balancer::Dispatcher;
-use fgmon_cluster::{micro_latency, rubis_world, RubisWorldCfg};
-use fgmon_sim::SimDuration;
-use fgmon_types::{OsConfig, Scheme};
+use fgmon_cluster::{fault_compare_world_raced, micro_latency, rubis_world, RubisWorldCfg};
+use fgmon_sim::{SimDuration, SimTime};
+use fgmon_types::{FaultPlan, OsConfig, RaceMode, RetryPolicy, Scheme};
 use fgmon_workload::RubisClient;
 
 fn fingerprint(seed: u64) -> (u64, u64, Vec<u64>, u64) {
@@ -66,6 +66,38 @@ fn micro_world_bitwise_deterministic() {
         )
     };
     assert_eq!(run(), run());
+}
+
+#[test]
+fn race_sanitizer_runs_are_bitwise_identical() {
+    // Faulty fabric + strict race checking, twice with the same seed: the
+    // fabric counters AND the full race report (every torn-read
+    // diagnostic, timestamp, and epoch) must match exactly.
+    let run = |seed| {
+        let plan = FaultPlan::new(seed ^ 0xD15C)
+            .congested(SimTime::ZERO, SimTime::MAX, 16.0)
+            .lossy_all(0.02);
+        let mut w = fault_compare_world_raced(
+            plan,
+            RetryPolicy::aggressive(SimDuration::from_millis(30)),
+            SimDuration::from_millis(5),
+            seed,
+            RaceMode::Strict,
+        );
+        w.cluster.run_for(SimDuration::from_secs(3));
+        (
+            w.cluster.fabric_stats(),
+            w.cluster.race_report(),
+            w.cluster.eng.events_processed(),
+        )
+    };
+    let (stats_a, race_a, ev_a) = run(7);
+    let (stats_b, race_b, ev_b) = run(7);
+    assert_eq!(stats_a, stats_b);
+    assert_eq!(race_a, race_b);
+    assert_eq!(ev_a, ev_b);
+    assert_eq!(race_a.mode, RaceMode::Strict);
+    assert!(race_a.reads_tracked > 0, "the RDMA poller must be tracked");
 }
 
 #[test]

@@ -206,3 +206,28 @@ fn dispatcher_excludes_crashed_backend_and_readmits() {
         "recovered back-end should rejoin the routing rotation"
     );
 }
+
+#[test]
+fn fabric_stats_reset_scopes_counters_to_a_segment() {
+    // A reused world measured across two segments: without the reset the
+    // second segment's counters would still contain the first's.
+    let plan = FaultPlan::new(11).lossy_all(0.05);
+    let mut w = fault_compare_world(plan, RetryPolicy::OFF, POLL, 11);
+
+    w.cluster.run_for(SimDuration::from_secs(2));
+    let first = w.cluster.fabric_stats();
+    assert!(first.rdma_reads > 0 && first.fault_checks > 0);
+
+    w.cluster.reset_fabric_stats();
+    assert_eq!(w.cluster.fabric_stats(), FabricStats::default());
+
+    w.cluster.run_for(SimDuration::from_secs(2));
+    let second = w.cluster.fabric_stats();
+    assert!(second.rdma_reads > 0, "second segment must be measured");
+    assert!(
+        second.rdma_reads < first.rdma_reads * 2,
+        "second segment must not re-count the first: {second:?} vs {first:?}"
+    );
+    // The fault plan kept running across the reset.
+    assert!(second.fault_checks > 0);
+}
