@@ -15,8 +15,8 @@ use crate::reconfig::{Reconfigurator, ServiceClass};
 use fgmon_os::{OsApi, Service};
 use fgmon_sim::{SimDuration, SimTime};
 use fgmon_types::{
-    ConnId, LoadWeights, McastGroup, NodeCapacity, NodeId, Payload, RdmaResult, RetryPolicy,
-    Scheme, ThreadId,
+    BreakerConfig, ConnId, LoadWeights, McastGroup, NodeCapacity, NodeId, Payload, RdmaResult,
+    RetryPolicy, Scheme, ThreadId,
 };
 
 const TOK_POLL: u64 = 0xD15B_0001;
@@ -67,6 +67,10 @@ pub struct DispatcherConfig {
     /// policy, back-ends that stop answering are marked unreachable and
     /// leave the routing rotation until a reply re-admits them.
     pub retry: RetryPolicy,
+    /// Per-back-end circuit breaker for the monitor's primary (RDMA)
+    /// channel. When set, a tripped channel falls back to socket polling
+    /// for that back-end only and periodically probes the RDMA path.
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl DispatcherConfig {
@@ -86,6 +90,7 @@ impl DispatcherConfig {
             local_conn_weight: 0.0,
             max_info_age: None,
             retry: RetryPolicy::OFF,
+            breaker: None,
         }
     }
 }
@@ -142,6 +147,9 @@ impl Dispatcher {
         let mut monitor =
             MonitorClient::new(cfg.scheme, cfg.scheme.uses_irq_signal(), monitor_handles);
         monitor.set_retry_policy(cfg.retry);
+        if let Some(breaker) = cfg.breaker {
+            monitor.set_breaker(breaker);
+        }
         Dispatcher {
             monitor,
             cfg,

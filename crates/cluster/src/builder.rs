@@ -130,10 +130,25 @@ impl ClusterBuilder {
         if let Some(race) = &self.race {
             fabric.set_race_detector(race.clone());
         }
+        // A fail-stop window ends with the node coming back *restarted*,
+        // not resumed: schedule the restart at each finite window end, so
+        // the node re-boots its services under a fresh boot generation
+        // (crashes with `until = SimTime::MAX` never recover).
+        let restarts: Vec<(SimTime, NodeId)> = fabric
+            .fault_plan()
+            .crashes
+            .iter()
+            .filter(|c| c.until < SimTime::MAX)
+            .map(|c| (c.until, c.node))
+            .collect();
         self.eng.install(self.fabric_slot, Box::new(fabric));
         for &actor in &self.nodes {
             self.eng
                 .schedule(SimTime::ZERO, actor, Msg::Node(NodeMsg::Boot));
+        }
+        for (at, node) in restarts {
+            let actor = self.nodes[node.index()];
+            self.eng.schedule(at, actor, Msg::Node(NodeMsg::Restart));
         }
         for &(node, period) in ground_truth {
             let actor = self.nodes[node.index()];

@@ -14,7 +14,11 @@
 //!   [`scenarios::crash_during_burst`] — fault-injected robustness
 //!   scenarios (no paper figure; the adversarial axis);
 //! * [`scenarios::torn_read_world`] — the race sanitizer's canonical
-//!   RDMA-read/host-write overlap reproducer.
+//!   RDMA-read/host-write overlap reproducer;
+//! * [`scenarios::flaky_rdma_failover`],
+//!   [`scenarios::crash_restart_recovery`] — self-healing monitoring
+//!   channels: circuit-breaker failover to the socket path and
+//!   epoch-fenced crash-restart re-registration.
 //!
 //! Plus plain-text/CSV table rendering ([`report`]) and a multi-threaded
 //! parameter-sweep runner ([`sweep`]).
@@ -28,10 +32,14 @@ pub mod sweep;
 pub use builder::{Cluster, ClusterBuilder};
 pub use report::Table;
 pub use scenarios::{
-    accuracy_world, congested_switch, crash_during_burst, fault_compare_world,
-    fault_compare_world_raced, float_granularity, ganglia_world, lossy_fabric, micro_latency,
-    rubis_world, torn_read_world, AccuracyWorld, CrashWorld, FaultCompareWorld, FloatWorld,
-    GangliaWorld, MicroWorld, RubisWorld, RubisWorldCfg, TornReadWorld, GT_PERIOD,
+    accuracy_world, congested_switch, crash_during_burst, crash_restart_recovery,
+    fault_compare_world, fault_compare_world_raced, flaky_rdma_failover, float_granularity,
+    ganglia_world, lossy_fabric, micro_latency, rubis_world, torn_read_world, AccuracyWorld,
+    CrashWorld, FailoverWorld, FaultCompareWorld, FloatWorld, GangliaWorld, MicroWorld, RubisWorld,
+    RubisWorldCfg, TornReadWorld, GT_PERIOD,
 };
-pub use summary::{node_summaries, pooled_responses, render_report, NodeSummary, ResponseSummary};
+pub use summary::{
+    channel_health_section, node_summaries, pooled_responses, render_report, NodeSummary,
+    ResponseSummary,
+};
 pub use sweep::sweep_parallel;

@@ -3,13 +3,13 @@
 //! describes; the bench harnesses sweep their parameters.
 
 use fgmon_balancer::{Dispatcher, DispatcherConfig, Policy, ReconfigPolicy, Reconfigurator};
-use fgmon_core::backend::SocketBackend;
+use fgmon_core::backend::{RdmaAsyncBackend, RdmaSyncBackend, SocketBackend};
 use fgmon_core::{make_backend, BackendConfig, BackendHandle, MonitorFrontendService};
 use fgmon_ganglia::{GmetricPublisher, Gmond};
 use fgmon_sim::{DetRng, SimDuration, SimTime};
 use fgmon_types::{
-    FaultOp, FaultPlan, McastGroup, NetConfig, NodeId, OsConfig, RaceMode, RegionId, RetryPolicy,
-    Scheme, ServiceSlot,
+    BreakerConfig, FaultOp, FaultPlan, McastGroup, NetConfig, NodeId, OsConfig, RaceMode, RegionId,
+    RetryPolicy, Scheme, ServiceSlot,
 };
 use fgmon_workload::{
     CommLoad, ComputeHogs, FloatApp, LoadRamp, RampStep, RubisClient, WorkerPoolServer,
@@ -46,9 +46,7 @@ fn wire_monitoring(
     let svc = make_backend(scheme, cfg);
     let slot = b.add_service(backend, svc);
     let conn = b.connect(frontend, fe_slot, backend, slot);
-    if let Some(sb) = b.node_service_mut::<SocketBackend>(backend, slot) {
-        sb.conns.push(conn);
-    }
+    register_backend_conn(b, backend, slot, conn);
     if scheme == Scheme::McastPush {
         b.join_mcast(McastGroup(0), frontend);
         b.join_mcast(McastGroup(0), backend);
@@ -57,6 +55,26 @@ fn wire_monitoring(
         node: backend,
         conn: Some(conn),
         region: Some(RegionId(expected_region)),
+    }
+}
+
+/// Tell a just-wired backend service which connection the front-end talks
+/// over. Socket backends answer requests on it; RDMA backends use it for
+/// fallback replies and restart re-advertisements.
+fn register_backend_conn(
+    b: &mut ClusterBuilder,
+    backend: NodeId,
+    slot: ServiceSlot,
+    conn: fgmon_types::ConnId,
+) {
+    if let Some(sb) = b.node_service_mut::<SocketBackend>(backend, slot) {
+        sb.conns.push(conn);
+    }
+    if let Some(rb) = b.node_service_mut::<RdmaSyncBackend>(backend, slot) {
+        rb.conns.push(conn);
+    }
+    if let Some(rb) = b.node_service_mut::<RdmaAsyncBackend>(backend, slot) {
+        rb.conns.push(conn);
     }
 }
 
@@ -98,6 +116,7 @@ pub fn micro_latency(
             via_kernel_module: false,
             mcast_group: McastGroup(0),
             push_target: None,
+            fallback_reporter: false,
         },
         frontend,
         ServiceSlot(0),
@@ -165,6 +184,7 @@ pub fn float_granularity(scheme: Scheme, g: SimDuration, seed: u64) -> FloatWorl
             via_kernel_module: false,
             mcast_group: McastGroup(0),
             push_target: None,
+            fallback_reporter: false,
         },
         frontend,
         ServiceSlot(0),
@@ -233,6 +253,7 @@ pub fn accuracy_world(
         via_kernel_module,
         mcast_group: McastGroup(0),
         push_target: None,
+        fallback_reporter: false,
     };
     let mut handles = Vec::new();
     let mut region_counter = 0u32;
@@ -247,9 +268,7 @@ pub fn accuracy_world(
         let svc = make_backend(scheme, cfg);
         let slot = b.add_service(backend, svc);
         let conn = b.connect(frontend, ServiceSlot(i as u16), backend, slot);
-        if let Some(sb) = b.node_service_mut::<SocketBackend>(backend, slot) {
-            sb.conns.push(conn);
-        }
+        register_backend_conn(&mut b, backend, slot, conn);
         handles.push(BackendHandle {
             node: backend,
             conn: Some(conn),
@@ -348,6 +367,12 @@ pub struct RubisWorldCfg {
     pub retry: RetryPolicy,
     /// Staleness threshold for routing (see [`DispatcherConfig`]).
     pub max_info_age: Option<SimDuration>,
+    /// Circuit breaker for the monitor's primary channel (see
+    /// [`DispatcherConfig::breaker`]).
+    pub breaker: Option<BreakerConfig>,
+    /// Give RDMA backends a standby fallback reporter so tripped channels
+    /// can be polled over the socket path.
+    pub fallback_reporter: bool,
     pub seed: u64,
 }
 
@@ -367,6 +392,8 @@ impl Default for RubisWorldCfg {
             faults: FaultPlan::default(),
             retry: RetryPolicy::OFF,
             max_info_age: None,
+            breaker: None,
+            fallback_reporter: false,
             seed: 42,
         }
     }
@@ -396,6 +423,7 @@ pub fn rubis_world(cfg: &RubisWorldCfg) -> RubisWorld {
         via_kernel_module: false,
         mcast_group: McastGroup(0),
         push_target: None,
+        fallback_reporter: cfg.fallback_reporter,
     };
 
     // Back-ends: slot 0 = monitor backend (region 0 by construction),
@@ -444,6 +472,7 @@ pub fn rubis_world(cfg: &RubisWorldCfg) -> RubisWorld {
     dcfg.admission_threshold = cfg.admission_threshold;
     dcfg.retry = cfg.retry;
     dcfg.max_info_age = cfg.max_info_age;
+    dcfg.breaker = cfg.breaker;
     let mut client_conns = vec![rubis_conn];
     if let Some(c) = zipf_conn {
         client_conns.push(c);
@@ -551,6 +580,7 @@ pub fn fault_compare_world_raced(
         via_kernel_module: false,
         mcast_group: McastGroup(0),
         push_target: None,
+        fallback_reporter: false,
     };
     // Back-end slot 0 = socket backend (registers no region), slot 1 =
     // RDMA backend — its exported region is therefore RegionId(0).
@@ -655,6 +685,7 @@ pub fn torn_read_world(race: RaceMode, seed: u64) -> TornReadWorld {
             via_kernel_module: false,
             mcast_group: McastGroup(0),
             push_target: None,
+            fallback_reporter: false,
         },
         frontend,
         ServiceSlot(0),
@@ -736,6 +767,84 @@ pub fn crash_during_burst(scheme: Scheme, from: SimTime, until: SimTime, seed: u
 }
 
 // ---------------------------------------------------------------------------
+// Self-healing channel scenarios
+// ---------------------------------------------------------------------------
+
+/// World where the RDMA transport itself degrades for a window: the
+/// self-healing-channel counterpart of [`crash_during_burst`].
+pub struct FailoverWorld {
+    pub world: RubisWorld,
+    /// Window during which RDMA read legs are dropped with high
+    /// probability.
+    pub flaky_from: SimTime,
+    pub flaky_until: SimTime,
+}
+
+/// A RUBiS cluster whose fabric drops ~90% of RDMA read legs inside
+/// `[1 s, 4 s)` — an NIC firmware bug that a reboot fixes — while socket
+/// frames sail through. One-sided schemes trip their per-backend circuit
+/// breakers, fall back to socket polling of the standby reporter, probe
+/// the RDMA path on the breaker cool-down (probes fail inside the window,
+/// the first one after it succeeds), and restore. Two-sided and push
+/// schemes are untouched, which is exactly the availability contrast the
+/// failover experiment measures.
+pub fn flaky_rdma_failover(scheme: Scheme, seed: u64) -> FailoverWorld {
+    let from = SimTime(SimDuration::from_secs(1).nanos());
+    let until = SimTime(SimDuration::from_secs(4).nanos());
+    let cfg = RubisWorldCfg {
+        scheme,
+        backends: 4,
+        rubis_sessions: 48,
+        granularity: SimDuration::from_millis(20),
+        faults: FaultPlan::new(seed ^ 0xF1A2).lossy_op_window(FaultOp::RdmaRead, 0.9, from, until),
+        retry: RetryPolicy::aggressive(SimDuration::from_millis(60)),
+        max_info_age: Some(SimDuration::from_millis(250)),
+        breaker: Some(BreakerConfig::default()),
+        fallback_reporter: true,
+        seed,
+        ..Default::default()
+    };
+    FailoverWorld {
+        world: rubis_world(&cfg),
+        flaky_from: from,
+        flaky_until: until,
+    }
+}
+
+/// [`crash_during_burst`] with the full recovery stack switched on: the
+/// victim back-end fail-stops for `[2 s, 5 s)`, restarts with a bumped
+/// boot generation, re-registers its regions, and re-advertises them over
+/// every monitoring connection. The client's fence gate rejects any
+/// record still carrying the old generation, and the breaker + fallback
+/// reporter keep the other back-ends' monitoring untouched. Assertions
+/// about fresh-generation re-admission live in the failover integration
+/// tests.
+pub fn crash_restart_recovery(scheme: Scheme, seed: u64) -> CrashWorld {
+    let victim = NodeId(2);
+    let from = SimTime(SimDuration::from_secs(2).nanos());
+    let until = SimTime(SimDuration::from_secs(5).nanos());
+    let cfg = RubisWorldCfg {
+        scheme,
+        backends: 4,
+        rubis_sessions: 48,
+        granularity: SimDuration::from_millis(20),
+        faults: FaultPlan::new(seed ^ 0xC4A5).crash(victim, from, until),
+        retry: RetryPolicy::aggressive(SimDuration::from_millis(60)),
+        max_info_age: Some(SimDuration::from_millis(250)),
+        breaker: Some(BreakerConfig::default()),
+        fallback_reporter: true,
+        seed,
+        ..Default::default()
+    };
+    CrashWorld {
+        world: rubis_world(&cfg),
+        victim,
+        crash_from: from,
+        crash_until: until,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Fig. 8 — RUBiS + Ganglia + gmetric
 // ---------------------------------------------------------------------------
 
@@ -768,12 +877,14 @@ pub fn ganglia_world(
         via_kernel_module: false,
         mcast_group: McastGroup(0),
         push_target: None,
+        fallback_reporter: false,
     };
     let gmetric_cfg = BackendConfig {
         calc_interval: gmetric_granularity,
         via_kernel_module: false,
         mcast_group: McastGroup(0),
         push_target: None,
+        fallback_reporter: false,
     };
 
     let mut monitor_handles = Vec::new();
@@ -811,9 +922,7 @@ pub fn ganglia_world(
         let svc = make_backend(gmetric_scheme, gmetric_cfg);
         let slot = b.add_service(be, svc);
         let gconn = b.connect(frontend, ServiceSlot(1), be, slot);
-        if let Some(sb) = b.node_service_mut::<SocketBackend>(be, slot) {
-            sb.conns.push(gconn);
-        }
+        register_backend_conn(&mut b, be, slot, gconn);
         gmetric_handles.push(BackendHandle {
             node: be,
             conn: Some(gconn),

@@ -2,9 +2,10 @@
 //! quality, and per-node OS counters of a finished run into one report —
 //! what an operator would want on one screen.
 
-use fgmon_core::scheme_quality;
+use fgmon_balancer::Dispatcher;
+use fgmon_core::{scheme_quality, MonitorClient};
 use fgmon_sim::{Histogram, SimTime};
-use fgmon_types::{NodeId, QueryClass, Scheme};
+use fgmon_types::{NodeId, QueryClass, Scheme, ServiceSlot};
 
 use crate::builder::Cluster;
 use crate::report::{fmt_f, Table};
@@ -76,6 +77,52 @@ pub fn node_summaries(cluster: &mut Cluster) -> Vec<NodeSummary> {
     out
 }
 
+/// Render per-backend channel health from a monitoring client: breaker
+/// state, the path polls currently take (primary vs. socket fallback),
+/// the newest boot generation seen, and the transition counters. Returns
+/// `None` when no breaker is installed and nothing health-related ever
+/// happened, so pristine runs keep their report unchanged.
+pub fn channel_health_section(client: &MonitorClient) -> Option<String> {
+    let n = client.backend_count();
+    let guarded = (0..n).any(|i| client.breaker_state(i).is_some());
+    if !guarded && !client.health_total().any_activity() {
+        return None;
+    }
+    let mut out = String::from("\nchannel health:\n");
+    for i in 0..n {
+        let state = client
+            .breaker_state(i)
+            .map(|s| s.label())
+            .unwrap_or("unguarded");
+        let path = if client.on_fallback(i) {
+            "socket-fallback"
+        } else {
+            "primary"
+        };
+        let generation = client
+            .generation_of(i)
+            .map(|g| g.to_string())
+            .unwrap_or_else(|| "-".into());
+        let h = client.health_of(i);
+        out.push_str(&format!(
+            "  {}: breaker {} path {} gen {} — trips {} reopens {} restorations {} \
+             probes {} fallback-polls {} stale-rejected {} repins {}\n",
+            client.backend_node(i),
+            state,
+            path,
+            generation,
+            h.trips,
+            h.reopens,
+            h.restorations,
+            h.probes,
+            h.fallback_polls,
+            h.stale_gen_rejected,
+            h.repins,
+        ));
+    }
+    Some(out)
+}
+
 /// Render a one-screen report of a finished run.
 pub fn render_report(cluster: &mut Cluster, scheme: Scheme, now: SimTime) -> String {
     let mut out = String::new();
@@ -114,6 +161,18 @@ pub fn render_report(cluster: &mut Cluster, scheme: Scheme, now: SimTime) -> Str
             race.seqlock_retries,
             race.seqlock_exhausted
         ));
+    }
+    // Channel health of every dispatcher's monitor (usually one, on the
+    // front-end).
+    for i in 0..cluster.node_count() {
+        let node = cluster.node(NodeId(i as u16));
+        for s in 0..node.service_count() {
+            if let Some(d) = node.service::<Dispatcher>(ServiceSlot(s as u16)) {
+                if let Some(section) = channel_health_section(&d.monitor) {
+                    out.push_str(&section);
+                }
+            }
+        }
     }
     out.push('\n');
 

@@ -12,8 +12,8 @@
 use fgmon_os::{OsApi, Service};
 use fgmon_sim::{SimDuration, SimTime};
 use fgmon_types::{
-    ConnId, LoadSnapshot, McastGroup, MonitorConfig, NodeId, Payload, RdmaResult, RegionId, Scheme,
-    ThreadId,
+    ConnId, LoadSnapshot, McastGroup, MonitorConfig, NodeId, Payload, RdmaResult, RecordFence,
+    RegionId, Scheme, ThreadId,
 };
 
 /// Tokens used by backend threads.
@@ -22,6 +22,7 @@ const TOK_CALC_WAKE: u64 = 0xBAC0_0002;
 const TOK_SYNC_DONE: u64 = 0xBAC0_0003;
 const TOK_PUSH_DONE: u64 = 0xBAC0_0004;
 const TOK_PUSH_WAKE: u64 = 0xBAC0_0005;
+const TOK_STANDBY_DONE: u64 = 0xBAC0_0006;
 
 /// Configuration shared by the backend services.
 #[derive(Clone, Copy, Debug)]
@@ -36,6 +37,12 @@ pub struct BackendConfig {
     /// Target of the RDMA-write-push extension: the front-end node and
     /// the buffer registered there for this back-end.
     pub push_target: Option<(NodeId, RegionId)>,
+    /// Run a standby socket reporter thread on the RDMA back-ends so the
+    /// front-end's circuit breaker has a fallback path to divert to when
+    /// the RDMA channel trips. Off by default: the paper's RDMA-Sync
+    /// property (no back-end thread at all) is preserved unless failover
+    /// is explicitly wanted.
+    pub fallback_reporter: bool,
 }
 
 impl Default for BackendConfig {
@@ -45,6 +52,7 @@ impl Default for BackendConfig {
             via_kernel_module: false,
             mcast_group: McastGroup(0),
             push_target: None,
+            fallback_reporter: false,
         }
     }
 }
@@ -69,8 +77,11 @@ pub fn make_backend(scheme: Scheme, cfg: BackendConfig) -> Box<dyn Service> {
         Scheme::SocketAsync => Box::new(SocketBackend::new(cfg, false)),
         Scheme::SocketSync => Box::new(SocketBackend::new(cfg, true)),
         Scheme::RdmaAsync => Box::new(RdmaAsyncBackend::new(cfg)),
-        Scheme::RdmaSync => Box::new(RdmaSyncBackend::new(cfg.via_kernel_module)),
-        Scheme::ERdmaSync => Box::new(RdmaSyncBackend::new(true)),
+        Scheme::RdmaSync => {
+            let detail = cfg.via_kernel_module;
+            Box::new(RdmaSyncBackend::new(cfg, detail))
+        }
+        Scheme::ERdmaSync => Box::new(RdmaSyncBackend::new(cfg, true)),
         Scheme::McastPush => Box::new(McastPushBackend::new(cfg)),
         Scheme::RdmaWritePush => Box::new(RdmaWritePushBackend::new(cfg)),
     }
@@ -100,6 +111,8 @@ pub struct SocketBackend {
     /// Statistics.
     pub requests_served: u64,
     pub calc_rounds: u64,
+    /// Monotonic reply sequence stamped into fences.
+    reply_seq: u64,
 }
 
 impl SocketBackend {
@@ -114,6 +127,15 @@ impl SocketBackend {
             conns: Vec::new(),
             requests_served: 0,
             calc_rounds: 0,
+            reply_seq: 0,
+        }
+    }
+
+    fn fence(&mut self, os: &mut OsApi<'_, '_>) -> RecordFence {
+        self.reply_seq += 1;
+        RecordFence {
+            generation: os.boot_generation(),
+            seq: self.reply_seq,
         }
     }
 
@@ -163,7 +185,8 @@ impl Service for SocketBackend {
                 let snap = os.proc_snapshot(self.cfg.via_kernel_module);
                 if let Some((conn, req)) = self.pending.pop_front() {
                     self.requests_served += 1;
-                    os.send(tid, conn, Payload::MonitorReply { snap, req });
+                    let fence = self.fence(os);
+                    os.send(tid, conn, Payload::MonitorReply { snap, req, fence });
                 }
             }
             _ => {}
@@ -200,7 +223,8 @@ impl Service for SocketBackend {
                 measured_at: SimTime::ZERO,
                 ..LoadSnapshot::zero()
             });
-            os.send(tid, conn, Payload::MonitorReply { snap, req });
+            let fence = self.fence(os);
+            os.send(tid, conn, Payload::MonitorReply { snap, req, fence });
         }
     }
 }
@@ -210,11 +234,26 @@ impl Service for SocketBackend {
 /// RDMA-Async back-end (paper Fig. 2a): a calc thread refreshes a
 /// registered user-space buffer every interval `T`; the front-end pulls it
 /// with one-sided reads.
+///
+/// With [`BackendConfig::fallback_reporter`] a standby socket reporter
+/// additionally listens on `conns`, answering `MonitorRequest` from the
+/// shared buffer (Socket-Async semantics) so a tripped front-end breaker
+/// has somewhere to fall back to, and answering `RegionQuery` with the
+/// current registration.
 pub struct RdmaAsyncBackend {
     cfg: BackendConfig,
     calc_tid: Option<ThreadId>,
+    standby_tid: Option<ThreadId>,
     pub region: Option<RegionId>,
+    /// Connections for the recovery handshake / standby reporter (set
+    /// before boot by the cluster builder).
+    pub conns: Vec<ConnId>,
     pub calc_rounds: u64,
+    /// Fallback requests answered by the standby reporter.
+    pub standby_served: u64,
+    /// `RegionAdvertise` frames sent (restarts + query answers).
+    pub readvertisements: u64,
+    reply_seq: u64,
 }
 
 impl RdmaAsyncBackend {
@@ -222,8 +261,33 @@ impl RdmaAsyncBackend {
         RdmaAsyncBackend {
             cfg,
             calc_tid: None,
+            standby_tid: None,
             region: None,
+            conns: Vec::new(),
             calc_rounds: 0,
+            standby_served: 0,
+            readvertisements: 0,
+            reply_seq: 0,
+        }
+    }
+
+    /// Advertise the current registration on every connection (restart
+    /// recovery). Zero-cost control-plane frames: the handshake is not
+    /// part of the measured monitoring path.
+    fn advertise_all(&mut self, os: &mut OsApi<'_, '_>) {
+        let Some(region) = self.region else { return };
+        let generation = os.boot_generation();
+        for i in 0..self.conns.len() {
+            let conn = self.conns[i];
+            self.readvertisements += 1;
+            os.send_direct(
+                conn,
+                Payload::RegionAdvertise {
+                    region,
+                    generation,
+                    req: 0,
+                },
+            );
         }
     }
 }
@@ -240,6 +304,22 @@ impl Service for RdmaAsyncBackend {
         self.calc_tid = Some(calc);
         let cost = os.proc_read_cost() + os.load_calc_cost();
         os.burst(calc, cost, TOK_CALC_DONE);
+        if self.cfg.fallback_reporter {
+            let standby = os.spawn_thread("mon-standby");
+            self.standby_tid = Some(standby);
+            for &c in &self.conns {
+                os.listen_thread(c, standby);
+            }
+        }
+    }
+
+    fn on_restart(&mut self, os: &mut OsApi<'_, '_>) {
+        // The old registration died with the previous boot generation:
+        // re-register (fresh generation) and tell every front-end where
+        // the region now lives. The calc thread refreshes the new buffer
+        // from its next round on.
+        self.region = Some(os.register_user_region(false));
+        self.advertise_all(os);
     }
 
     fn on_burst_done(&mut self, tid: ThreadId, token: u64, os: &mut OsApi<'_, '_>) {
@@ -259,6 +339,52 @@ impl Service for RdmaAsyncBackend {
             os.burst(tid, cost, TOK_CALC_DONE);
         }
     }
+
+    fn on_packet(
+        &mut self,
+        tid: Option<ThreadId>,
+        conn: ConnId,
+        _size: u32,
+        payload: Payload,
+        os: &mut OsApi<'_, '_>,
+    ) {
+        let Some(tid) = tid else { return };
+        match payload {
+            Payload::MonitorRequest { req, .. } => {
+                // Socket-Async semantics: answer from the shared buffer.
+                let snap = self
+                    .region
+                    .and_then(|r| os.read_local_region(r))
+                    .unwrap_or_else(|| LoadSnapshot {
+                        measured_at: SimTime::ZERO,
+                        ..LoadSnapshot::zero()
+                    });
+                self.standby_served += 1;
+                self.reply_seq += 1;
+                let fence = RecordFence {
+                    generation: os.boot_generation(),
+                    seq: self.reply_seq,
+                };
+                os.send(tid, conn, Payload::MonitorReply { snap, req, fence });
+            }
+            Payload::RegionQuery { req } => {
+                if let Some(region) = self.region {
+                    self.readvertisements += 1;
+                    let generation = os.boot_generation();
+                    os.send(
+                        tid,
+                        conn,
+                        Payload::RegionAdvertise {
+                            region,
+                            generation,
+                            req,
+                        },
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -267,16 +393,60 @@ impl Service for RdmaAsyncBackend {
 /// data structures holding resource usage and then **does nothing** — no
 /// thread, no CPU, ever. `detail` additionally registers `irq_stat`
 /// (e-RDMA-Sync).
+///
+/// With [`BackendConfig::fallback_reporter`] the "does nothing" property
+/// is deliberately relaxed: a standby reporter thread answers
+/// `MonitorRequest` Socket-Sync-style (computes per request) while the
+/// front-end's breaker has the RDMA path tripped, and answers
+/// `RegionQuery` with the live registration.
 pub struct RdmaSyncBackend {
+    cfg: BackendConfig,
     detail: bool,
     pub region: Option<RegionId>,
+    /// Connections for the recovery handshake / standby reporter (set
+    /// before boot by the cluster builder).
+    pub conns: Vec<ConnId>,
+    standby_tid: Option<ThreadId>,
+    /// Fallback requests whose `/proc` scan is in flight.
+    pending: std::collections::VecDeque<(ConnId, u64)>,
+    pub standby_served: u64,
+    /// `RegionAdvertise` frames sent (restarts + query answers).
+    pub readvertisements: u64,
+    reply_seq: u64,
 }
 
 impl RdmaSyncBackend {
-    pub fn new(detail: bool) -> Self {
+    pub fn new(cfg: BackendConfig, detail: bool) -> Self {
         RdmaSyncBackend {
+            cfg,
             detail,
             region: None,
+            conns: Vec::new(),
+            standby_tid: None,
+            pending: std::collections::VecDeque::new(),
+            standby_served: 0,
+            readvertisements: 0,
+            reply_seq: 0,
+        }
+    }
+
+    /// Advertise the current registration on every connection (restart
+    /// recovery). Zero-cost control-plane frames: the handshake is not
+    /// part of the measured monitoring path.
+    fn advertise_all(&mut self, os: &mut OsApi<'_, '_>) {
+        let Some(region) = self.region else { return };
+        let generation = os.boot_generation();
+        for i in 0..self.conns.len() {
+            let conn = self.conns[i];
+            self.readvertisements += 1;
+            os.send_direct(
+                conn,
+                Payload::RegionAdvertise {
+                    region,
+                    generation,
+                    req: 0,
+                },
+            );
         }
     }
 }
@@ -292,6 +462,72 @@ impl Service for RdmaSyncBackend {
 
     fn on_start(&mut self, os: &mut OsApi<'_, '_>) {
         self.region = Some(os.register_kernel_region(self.detail));
+        if self.cfg.fallback_reporter {
+            let standby = os.spawn_thread("mon-standby");
+            self.standby_tid = Some(standby);
+            for &c in &self.conns {
+                os.listen_thread(c, standby);
+            }
+        }
+    }
+
+    fn on_restart(&mut self, os: &mut OsApi<'_, '_>) {
+        // Re-pin the kernel export under the new boot generation and tell
+        // every front-end, so monitoring resumes instead of the backend
+        // staying excluded forever.
+        self.region = Some(os.register_kernel_region(self.detail));
+        self.advertise_all(os);
+    }
+
+    fn on_burst_done(&mut self, tid: ThreadId, token: u64, os: &mut OsApi<'_, '_>) {
+        if token == TOK_STANDBY_DONE {
+            // Socket-Sync semantics: the load was computed for this very
+            // request.
+            let snap = os.proc_snapshot(self.detail || self.cfg.via_kernel_module);
+            if let Some((conn, req)) = self.pending.pop_front() {
+                self.standby_served += 1;
+                self.reply_seq += 1;
+                let fence = RecordFence {
+                    generation: os.boot_generation(),
+                    seq: self.reply_seq,
+                };
+                os.send(tid, conn, Payload::MonitorReply { snap, req, fence });
+            }
+        }
+    }
+
+    fn on_packet(
+        &mut self,
+        tid: Option<ThreadId>,
+        conn: ConnId,
+        _size: u32,
+        payload: Payload,
+        os: &mut OsApi<'_, '_>,
+    ) {
+        let Some(tid) = tid else { return };
+        match payload {
+            Payload::MonitorRequest { req, .. } => {
+                self.pending.push_back((conn, req));
+                let cost = os.proc_read_cost() + os.load_calc_cost();
+                os.burst(tid, cost, TOK_STANDBY_DONE);
+            }
+            Payload::RegionQuery { req } => {
+                if let Some(region) = self.region {
+                    self.readvertisements += 1;
+                    let generation = os.boot_generation();
+                    os.send(
+                        tid,
+                        conn,
+                        Payload::RegionAdvertise {
+                            region,
+                            generation,
+                            req,
+                        },
+                    );
+                }
+            }
+            _ => {}
+        }
     }
 }
 

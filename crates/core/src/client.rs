@@ -24,8 +24,9 @@ use std::collections::BTreeMap;
 use fgmon_os::OsApi;
 use fgmon_sim::SimTime;
 use fgmon_types::{
-    ConnId, LoadSnapshot, McastGroup, NodeId, Payload, RdmaResult, RegionData, RegionId,
-    ReplyOutcome, RetryPolicy, RetryTracker, Scheme, TimeoutAction,
+    BreakerConfig, BreakerEvent, BreakerState, ChannelHealthStats, CircuitBreaker, ConnId,
+    FenceGate, FenceVerdict, LoadSnapshot, McastGroup, NodeId, Payload, RdmaResult, RecordFence,
+    RegionData, RegionId, ReplyOutcome, RetryPolicy, RetryTracker, Scheme, TimeoutAction,
 };
 
 /// Token namespace for this component's RDMA work requests:
@@ -109,6 +110,27 @@ struct PendingRetry {
     not_before: SimTime,
 }
 
+/// Per-backend channel-health state: the circuit breaker deciding which
+/// path polls take, the epoch fence rejecting pre-restart records, and
+/// the transition counters.
+struct Channel {
+    /// `None` when the breaker is disabled (legacy behaviour: the primary
+    /// path is always used).
+    breaker: Option<CircuitBreaker>,
+    fence: FenceGate,
+    health: ChannelHealthStats,
+}
+
+impl Channel {
+    fn new(breaker: Option<BreakerConfig>) -> Self {
+        Channel {
+            breaker: breaker.map(CircuitBreaker::new),
+            fence: FenceGate::default(),
+            health: ChannelHealthStats::default(),
+        }
+    }
+}
+
 /// Pull/receive load information from a set of back-ends using one scheme.
 pub struct MonitorClient {
     scheme: Scheme,
@@ -130,6 +152,10 @@ pub struct MonitorClient {
     next_req: u64,
     /// Retries waiting out their backoff.
     pending_retries: Vec<PendingRetry>,
+    /// Per-backend channel-health state (breaker + fence + counters).
+    channels: Vec<Channel>,
+    /// Breaker thresholds installed via [`MonitorClient::set_breaker`].
+    breaker_cfg: Option<BreakerConfig>,
     /// In-flight request budget per back-end (socket-buffer model).
     pub max_outstanding: usize,
     /// Push per-backend reported-value series into the recorder (accuracy
@@ -140,6 +166,7 @@ pub struct MonitorClient {
 impl MonitorClient {
     pub fn new(scheme: Scheme, want_detail: bool, backends: Vec<BackendHandle>) -> Self {
         let views = vec![BackendView::default(); backends.len()];
+        let channels = backends.iter().map(|_| Channel::new(None)).collect();
         let inflight = backends
             .iter()
             .map(|_| Inflight::new(RetryPolicy::OFF))
@@ -167,6 +194,8 @@ impl MonitorClient {
             policy: RetryPolicy::OFF,
             next_req: 0,
             pending_retries: Vec::new(),
+            channels,
+            breaker_cfg: None,
             max_outstanding: 16,
             record_series: false,
         }
@@ -188,6 +217,79 @@ impl MonitorClient {
 
     pub fn retry_policy(&self) -> &RetryPolicy {
         &self.policy
+    }
+
+    /// Install the channel-health circuit breaker (one per backend).
+    /// Only meaningful for the one-sided schemes — socket schemes have no
+    /// lower rung to fall back to. Resets breaker state; call before the
+    /// first poll.
+    pub fn set_breaker(&mut self, cfg: BreakerConfig) {
+        self.breaker_cfg = Some(cfg);
+        for ch in &mut self.channels {
+            ch.breaker = Some(CircuitBreaker::new(cfg));
+        }
+    }
+
+    /// Breaker state of backend `idx` (`None` when the breaker is
+    /// disabled).
+    pub fn breaker_state(&self, idx: usize) -> Option<BreakerState> {
+        self.channels
+            .get(idx)
+            .and_then(|c| c.breaker.as_ref())
+            .map(|b| b.state())
+    }
+
+    /// Channel-health counters of backend `idx`.
+    pub fn health_of(&self, idx: usize) -> &ChannelHealthStats {
+        &self.channels[idx].health
+    }
+
+    /// Channel-health counters summed over every backend.
+    pub fn health_total(&self) -> ChannelHealthStats {
+        let mut total = ChannelHealthStats::default();
+        for ch in &self.channels {
+            total.merge(&ch.health);
+        }
+        total
+    }
+
+    /// Newest boot generation accepted from backend `idx` (fenced
+    /// schemes; `None` before the first fenced record).
+    pub fn generation_of(&self, idx: usize) -> Option<u32> {
+        self.channels[idx].fence.latest().map(|f| f.generation)
+    }
+
+    /// Is backend `idx` currently being polled over the fallback socket
+    /// path?
+    pub fn on_fallback(&self, idx: usize) -> bool {
+        self.scheme.is_one_sided()
+            && matches!(self.breaker_state(idx), Some(BreakerState::Open { .. }))
+    }
+
+    /// Feed a primary-path failure signal into the breaker.
+    fn note_failure(&mut self, idx: usize, os: &mut OsApi<'_, '_>) {
+        let Some(br) = &mut self.channels[idx].breaker else {
+            return;
+        };
+        let now = os.now();
+        // Seeded cool-down jitter (same convention as the poll timers):
+        // deterministic per seed, decorrelated across backends.
+        let jitter = 0.9 + 0.2 * os.rng().f64();
+        match br.on_failure(now, jitter) {
+            BreakerEvent::Tripped => self.channels[idx].health.trips += 1,
+            BreakerEvent::Reopened => self.channels[idx].health.reopens += 1,
+            _ => {}
+        }
+    }
+
+    /// Feed a primary-path success signal into the breaker.
+    fn note_success(&mut self, idx: usize, os: &mut OsApi<'_, '_>) {
+        let Some(br) = &mut self.channels[idx].breaker else {
+            return;
+        };
+        if br.on_success(os.now()) == BreakerEvent::Restored {
+            self.channels[idx].health.restorations += 1;
+        }
     }
 
     pub fn backend_count(&self) -> usize {
@@ -273,10 +375,39 @@ impl MonitorClient {
 
     /// Send one poll request to backend `idx`; `attempt > 0` marks a retry
     /// promised by a [`TimeoutAction::Retry`].
+    ///
+    /// One-sided schemes consult the per-backend breaker: while it is
+    /// open, polls divert to the fallback socket path (Socket-Async
+    /// semantics over the same connection); once the cool-down elapses
+    /// the next poll doubles as the half-open probe over the primary
+    /// RDMA path. Only primary-path completions can close the breaker.
     fn issue_poll(&mut self, idx: usize, attempt: u32, os: &mut OsApi<'_, '_>) {
         let now = os.now();
         let b = self.backends[idx];
-        let req = if self.scheme.is_one_sided() {
+        let use_rdma = if self.scheme.is_one_sided() {
+            match &mut self.channels[idx].breaker {
+                Some(br) => {
+                    let (primary, probe) = br.allow_primary(now);
+                    if primary {
+                        if probe {
+                            self.channels[idx].health.probes += 1;
+                        }
+                        true
+                    } else if b.conn.is_some() {
+                        self.channels[idx].health.fallback_polls += 1;
+                        false
+                    } else {
+                        // Nothing to fall back to: keep hitting the
+                        // primary path rather than going silent.
+                        true
+                    }
+                }
+                None => true,
+            }
+        } else {
+            false
+        };
+        let req = if use_rdma {
             let region = b.region.expect("RDMA scheme needs a region");
             let seq = self.inflight[idx].next_seq;
             self.inflight[idx].next_seq = seq.wrapping_add(1);
@@ -284,7 +415,7 @@ impl MonitorClient {
             os.rdma_read(b.node, region, token);
             token
         } else {
-            let conn = b.conn.expect("socket scheme needs a connection");
+            let conn = b.conn.expect("socket path needs a connection");
             self.next_req += 1;
             let req = self.next_req;
             os.send_direct(
@@ -332,6 +463,12 @@ impl MonitorClient {
                     }
                     TimeoutAction::GiveUp { req } => {
                         self.inflight[idx].sent.remove(&req);
+                        // Only primary-path (RDMA-token) give-ups judge the
+                        // primary channel; a fallback socket give-up says
+                        // nothing about the RDMA path.
+                        if req & MON_TOKEN_MASK == MON_TOKEN_BASE {
+                            self.note_failure(idx, os);
+                        }
                     }
                 }
             }
@@ -410,21 +547,62 @@ impl MonitorClient {
 
     /// Feed a packet; returns true when consumed.
     pub fn on_packet(&mut self, conn: ConnId, payload: &Payload, os: &mut OsApi<'_, '_>) -> bool {
-        let Payload::MonitorReply { snap, req } = payload else {
-            return false;
-        };
-        let Some(&idx) = self.conn_to_idx.get(&conn) else {
-            return false;
-        };
-        let sent = self.inflight[idx].sent.remove(req);
-        match self.inflight[idx].tracker.on_reply(*req) {
-            ReplyOutcome::Accepted => self.accept(idx, *snap, sent, os),
-            // Late or unknown replies are counted by the tracker and
-            // dropped — never double-counted into the view.
-            ReplyOutcome::LateIgnored | ReplyOutcome::Unknown => {}
+        match payload {
+            Payload::MonitorReply { snap, req, fence } => {
+                let Some(&idx) = self.conn_to_idx.get(&conn) else {
+                    return false;
+                };
+                let sent = self.inflight[idx].sent.remove(req);
+                match self.inflight[idx].tracker.on_reply(*req) {
+                    ReplyOutcome::Accepted => match self.channels[idx].fence.admit(*fence) {
+                        FenceVerdict::StaleGeneration => {
+                            // A pre-restart straggler: provably stale, never
+                            // admitted into the view.
+                            self.channels[idx].health.stale_gen_rejected += 1;
+                        }
+                        verdict => {
+                            if verdict == FenceVerdict::GenerationAdvanced {
+                                self.channels[idx].health.generation_advances += 1;
+                            }
+                            self.accept(idx, *snap, sent, os);
+                        }
+                    },
+                    // Late or unknown replies are counted by the tracker and
+                    // dropped — never double-counted into the view.
+                    ReplyOutcome::LateIgnored | ReplyOutcome::Unknown => {}
+                }
+                self.sync_view(idx);
+                true
+            }
+            Payload::RegionAdvertise {
+                region, generation, ..
+            } => {
+                let Some(&idx) = self.conn_to_idx.get(&conn) else {
+                    return false;
+                };
+                // Re-registration handshake: re-pin the handle to the
+                // freshly registered region and fence out the old
+                // generation.
+                self.backends[idx].region = Some(*region);
+                let ch = &mut self.channels[idx];
+                ch.health.repins += 1;
+                let verdict = ch.fence.admit(RecordFence {
+                    generation: *generation,
+                    seq: 0,
+                });
+                if verdict == FenceVerdict::GenerationAdvanced {
+                    ch.health.generation_advances += 1;
+                }
+                // The backend itself says the channel is back: probe the
+                // primary path immediately instead of waiting out the
+                // cool-down.
+                if let Some(br) = &mut ch.breaker {
+                    br.nudge_probe();
+                }
+                true
+            }
+            _ => false,
         }
-        self.sync_view(idx);
-        true
     }
 
     /// Feed an RDMA completion; returns true when consumed.
@@ -444,13 +622,45 @@ impl MonitorClient {
         let sent = self.inflight[idx].sent.remove(&token);
         match self.inflight[idx].tracker.on_reply(token) {
             ReplyOutcome::Accepted => match result {
-                RdmaResult::ReadOk(RegionData::Snapshot(snap)) => {
-                    self.accept(idx, *snap, sent, os);
+                RdmaResult::ReadOk { data, fence } => {
+                    match self.channels[idx].fence.admit(*fence) {
+                        FenceVerdict::StaleGeneration => {
+                            // A read served from a pre-restart registration
+                            // that raced the generation bump: reject it and
+                            // judge the channel.
+                            self.channels[idx].health.stale_gen_rejected += 1;
+                            self.note_failure(idx, os);
+                        }
+                        verdict => {
+                            if verdict == FenceVerdict::GenerationAdvanced {
+                                self.channels[idx].health.generation_advances += 1;
+                            }
+                            if let RegionData::Snapshot(snap) = data {
+                                self.accept(idx, *snap, sent, os);
+                            }
+                            self.note_success(idx, os);
+                        }
+                    }
                 }
                 RdmaResult::AccessDenied => {
                     self.views[idx].denied += 1;
+                    self.note_failure(idx, os);
                 }
-                _ => {}
+                RdmaResult::RegionInvalidated => {
+                    // The backend restarted: its old registration is dead.
+                    self.channels[idx].health.region_invalidated += 1;
+                    self.note_failure(idx, os);
+                    // Backstop handshake: ask where the region lives now.
+                    // (The backend's own restart advertisement usually wins
+                    // the race; the query covers advertisements lost to
+                    // faults, answered when a standby reporter runs.)
+                    if let Some(conn) = self.backends[idx].conn {
+                        self.next_req += 1;
+                        let req = self.next_req;
+                        os.send_direct(conn, Payload::RegionQuery { req });
+                    }
+                }
+                RdmaResult::WriteOk => {}
             },
             // A completion for a request we already timed out: ignore the
             // data so it can't be counted twice.

@@ -74,6 +74,7 @@ fn build(scheme: Scheme, hogs: u32, poll: SimDuration) -> World {
         } else {
             None
         },
+        fallback_reporter: false,
     };
     let mut backend = make_backend(scheme, bcfg);
     // Socket backends need their listening connections configured.
@@ -327,6 +328,7 @@ fn e_rdma_sync_sees_pending_interrupt_detail() {
             via_kernel_module: false,
             mcast_group: McastGroup(0),
             push_target: None,
+            fallback_reporter: false,
         },
     ));
     be_node.add_service(Box::new(Hogs { n: 4 }));

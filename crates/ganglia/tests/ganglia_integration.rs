@@ -102,6 +102,7 @@ fn gmetric_publisher_feeds_gmonds_with_captured_metric() {
             via_kernel_module: false,
             mcast_group: McastGroup(0),
             push_target: None,
+            fallback_reporter: false,
         },
     ));
     be_node.add_service(Box::new(Gmond::new(SimDuration::from_secs(1))));

@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 use fgmon_sim::{Actor, ActorId, Ctx, DetRng, SimDuration, SimTime};
 use fgmon_types::{
     ConnId, FaultOp, FaultPlan, McastGroup, Msg, NetConfig, NetMsg, NodeId, NodeMsg, Payload,
-    ReadVerdict, ServiceSlot, SharedRaceDetector,
+    RdmaResult, ReadVerdict, ServiceSlot, SharedRaceDetector,
 };
 
 /// One registered point-to-point connection.
@@ -52,6 +52,9 @@ pub struct FabricStats {
     pub torn_reads: u64,
     /// Seqlock-mode re-reads issued after a version-check mismatch.
     pub seqlock_retries: u64,
+    /// Read completions answered `RegionInvalidated` (stale registration
+    /// after a target restart).
+    pub region_invalidated: u64,
 }
 
 /// The switch + wires actor.
@@ -153,7 +156,7 @@ impl Fabric {
             self.stats.fault_crash_dropped += 1;
             return None;
         }
-        if u < self.plan.loss_probability(src, dst, op) {
+        if u < self.plan.loss_probability(src, dst, op, now) {
             self.stats.fault_dropped += 1;
             return None;
         }
@@ -346,13 +349,26 @@ impl Actor<Msg> for Fabric {
                     self.stats.dropped += 1;
                     return;
                 };
+                if matches!(result, RdmaResult::RegionInvalidated) {
+                    self.stats.region_invalidated += 1;
+                }
                 // Close the shadow read window: the data just left the
                 // target NIC, so any host write since the post tore it.
                 let verdict = match &self.race {
                     Some(race) => race.borrow_mut().on_read_complete(initiator, req_id, now),
                     None => ReadVerdict::Clean,
                 };
-                if let ReadVerdict::Retry { target, region, .. } = verdict {
+                // A version-check retry only makes sense on data that was
+                // actually served: error completions (RegionInvalidated,
+                // AccessDenied) carry no record to re-read, so they close
+                // their re-armed window and fly back as-is.
+                if !matches!(result, RdmaResult::ReadOk { .. }) {
+                    if matches!(verdict, ReadVerdict::Retry { .. }) {
+                        if let Some(race) = &self.race {
+                            race.borrow_mut().on_read_drop(initiator, req_id);
+                        }
+                    }
+                } else if let ReadVerdict::Retry { target, region, .. } = verdict {
                     self.stats.seqlock_retries += 1;
                     let Some(target_actor) = self.actor_of(target) else {
                         self.stats.dropped += 1;

@@ -48,6 +48,13 @@ pub struct Region {
     /// memory regions as read-only thus avoiding the risk of modifying
     /// these memory regions remotely").
     pub writable: bool,
+    /// Boot generation the region was registered under. A restart bumps
+    /// the node's generation, so every pre-restart registration becomes
+    /// stale: the NIC answers reads of it with `RegionInvalidated`.
+    pub boot_gen: u32,
+    /// Monotonic record sequence, bumped on every write (user regions)
+    /// or serve (kernel regions — each read materializes a fresh record).
+    pub seq: u64,
 }
 
 /// Runtime state of one CPU.
@@ -102,6 +109,9 @@ pub struct OsCore {
     next_req: u64,
     pub listeners: BTreeMap<ConnId, (ServiceSlot, ListenMode)>,
     pub mcast_subs: BTreeMap<McastGroup, ServiceSlot>,
+    /// Boot generation, starting at 1 and bumped by [`OsCore::restart`].
+    /// Stamped into every registered region and every fenced record.
+    boot_gen: u32,
     /// Shadow-state race detector (shared with the fabric); `None` when
     /// race checking is off, so the hot paths below stay cost-free.
     race: Option<SharedRaceDetector>,
@@ -136,8 +146,24 @@ impl OsCore {
             next_req: 0,
             listeners: BTreeMap::new(),
             mcast_subs: BTreeMap::new(),
+            boot_gen: 1,
             race: None,
         }
+    }
+
+    /// Current boot generation (1 until the first restart).
+    pub fn boot_generation(&self) -> u32 {
+        self.boot_gen
+    }
+
+    /// Crash-recovery: bump the boot generation, invalidating every
+    /// region registered before this instant. The fail-stop window
+    /// already blackholed in-flight traffic; what a restart changes
+    /// durably is that old memory registrations are dead — remote
+    /// initiators holding pre-crash region handles now get
+    /// `RegionInvalidated` and must re-learn them.
+    pub fn restart(&mut self, _now: SimTime) {
+        self.boot_gen += 1;
     }
 
     /// Attach the cluster-wide race detector (builder wiring).
@@ -219,10 +245,16 @@ impl OsCore {
         }
     }
 
-    /// Register an RDMA-readable region.
+    /// Register an RDMA-readable region under the current boot
+    /// generation.
     pub fn register_region(&mut self, kind: RegionKind, writable: bool) -> RegionId {
         let id = RegionId(self.regions.len() as u32);
-        self.regions.push(Region { kind, writable });
+        self.regions.push(Region {
+            kind,
+            writable,
+            boot_gen: self.boot_gen,
+            seq: 0,
+        });
         self.user_snapshots.push(None);
         id
     }
@@ -231,12 +263,39 @@ impl OsCore {
         self.regions.get(id.0 as usize)
     }
 
+    /// Is the region's registration still alive (same boot generation)?
+    pub fn region_current(&self, id: RegionId) -> bool {
+        self.region(id).is_some_and(|r| r.boot_gen == self.boot_gen)
+    }
+
+    /// Bump a region's record sequence (a serve of a kernel region
+    /// materializes a fresh record) and return the fence to stamp on it.
+    pub fn bump_region_seq(&mut self, id: RegionId) -> fgmon_types::RecordFence {
+        let r = &mut self.regions[id.0 as usize];
+        r.seq += 1;
+        fgmon_types::RecordFence {
+            generation: r.boot_gen,
+            seq: r.seq,
+        }
+    }
+
+    /// Fence a region's current record without bumping (user regions:
+    /// the sequence advanced at write time).
+    pub fn region_fence(&self, id: RegionId) -> fgmon_types::RecordFence {
+        let r = &self.regions[id.0 as usize];
+        fgmon_types::RecordFence {
+            generation: r.boot_gen,
+            seq: r.seq,
+        }
+    }
+
     /// Store a snapshot into a user region (the calc thread's copy step,
     /// or a remote one-sided write landing). A host write for the race
     /// detector: a concurrent RDMA read of this region could tear.
     pub fn write_user_snapshot(&mut self, id: RegionId, snap: LoadSnapshot, now: SimTime) {
         if let Some(slot) = self.user_snapshots.get_mut(id.0 as usize) {
             *slot = Some(snap);
+            self.regions[id.0 as usize].seq += 1;
             if let Some(race) = &self.race {
                 race.borrow_mut().note_host_write(self.node, id, now);
             }

@@ -64,6 +64,11 @@ impl NodeActor {
         self.core.node
     }
 
+    /// Number of hosted services (slots are `0..service_count()`).
+    pub fn service_count(&self) -> usize {
+        self.services.len()
+    }
+
     pub fn core(&self) -> &OsCore {
         &self.core
     }
@@ -564,14 +569,27 @@ impl NodeActor {
         req_id: ReqId,
     ) {
         let result = match self.core.region(region).copied() {
+            // A registration from a previous boot generation is dead: the
+            // NIC refuses it distinctly from a plain denial so the
+            // initiator knows to re-learn the region (epoch fencing).
+            Some(_) if !self.core.region_current(region) => RdmaResult::RegionInvalidated,
             Some(r) => match r.kind {
                 RegionKind::UserSnapshot => match self.core.read_user_snapshot(region) {
-                    Some(snap) => RdmaResult::ReadOk(RegionData::Snapshot(snap)),
-                    None => RdmaResult::ReadOk(RegionData::Raw(0)),
+                    Some(snap) => RdmaResult::ReadOk {
+                        data: RegionData::Snapshot(snap),
+                        fence: self.core.region_fence(region),
+                    },
+                    None => RdmaResult::ReadOk {
+                        data: RegionData::Raw(0),
+                        fence: self.core.region_fence(region),
+                    },
                 },
                 RegionKind::KernelLoad { detail } => {
                     let snap = self.core.snapshot(now, detail);
-                    RdmaResult::ReadOk(RegionData::Snapshot(snap))
+                    RdmaResult::ReadOk {
+                        data: RegionData::Snapshot(snap),
+                        fence: self.core.bump_region_seq(region),
+                    }
                 }
             },
             None => RdmaResult::AccessDenied,
@@ -598,6 +616,7 @@ impl NodeActor {
         data: RegionData,
     ) {
         let result = match self.core.region(region).copied() {
+            Some(_) if !self.core.region_current(region) => RdmaResult::RegionInvalidated,
             Some(r) if r.writable => {
                 if let RegionData::Snapshot(snap) = data {
                     self.core.write_user_snapshot(region, snap, now);
@@ -663,6 +682,12 @@ impl Actor<Msg> for NodeActor {
             NodeMsg::Boot => {
                 for i in 0..self.services.len() {
                     self.call_service(ctx, ServiceSlot(i as u16), |svc, os| svc.on_start(os));
+                }
+            }
+            NodeMsg::Restart => {
+                self.core.restart(now);
+                for i in 0..self.services.len() {
+                    self.call_service(ctx, ServiceSlot(i as u16), |svc, os| svc.on_restart(os));
                 }
             }
             NodeMsg::QuantumEnd { cpu, gen } => self.on_segment_end(now, ctx, cpu, gen),

@@ -39,6 +39,12 @@ pub trait Service: Any {
     fn on_start(&mut self, os: &mut OsApi<'_, '_>) {
         let _ = os;
     }
+    /// Crash-recovery hook: the node's boot generation just bumped, so
+    /// every region registered before this instant is invalid. Services
+    /// that export RDMA regions re-register and re-advertise them here.
+    fn on_restart(&mut self, os: &mut OsApi<'_, '_>) {
+        let _ = os;
+    }
     fn on_timer(&mut self, token: u64, os: &mut OsApi<'_, '_>) {
         let _ = (token, os);
     }
@@ -87,6 +93,11 @@ impl OsApi<'_, '_> {
     /// The service slot this callback belongs to.
     pub fn slot(&self) -> ServiceSlot {
         self.slot
+    }
+
+    /// The node's current boot generation (bumped on every restart).
+    pub fn boot_generation(&self) -> u32 {
+        self.core.boot_generation()
     }
 
     /// The node's deterministic RNG.

@@ -458,12 +458,17 @@ fn rdma_read_is_fast_and_unaffected_by_load() {
         let reader = eng.actor::<NodeActor>(n0).unwrap();
         let svc = reader.service::<RdmaReader>(ServiceSlot(0)).unwrap();
         match svc.result.as_ref().expect("read did not complete") {
-            RdmaResult::ReadOk(RegionData::Snapshot(snap)) => {
+            RdmaResult::ReadOk {
+                data: RegionData::Snapshot(snap),
+                fence,
+            } => {
                 if hogs > 0 {
                     // The kernel view is fresh: the hogs are visible.
                     assert!(snap.run_queue >= hogs.saturating_sub(2), "{snap:?}");
                     assert_eq!(snap.nthreads, hogs);
                 }
+                // First boot: records carry generation 1.
+                assert_eq!(fence.generation, 1);
             }
             other => panic!("unexpected result {other:?}"),
         }

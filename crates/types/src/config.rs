@@ -8,6 +8,7 @@
 
 use fgmon_sim::SimDuration;
 
+use crate::health::BreakerConfig;
 use crate::scheme::Scheme;
 
 /// Per-operation CPU costs and scheduler parameters for one node's OS.
@@ -156,6 +157,10 @@ pub struct MonitorConfig {
     pub calc_interval: SimDuration,
     /// Request kernel-level detail (pending interrupts) where available.
     pub want_detail: bool,
+    /// Circuit-breaker trip/cool-down thresholds for per-backend channel
+    /// failover. `None` (the default) disables the breaker: a degraded
+    /// backend is only ever marked unreachable, never failed over.
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl Default for MonitorConfig {
@@ -165,6 +170,7 @@ impl Default for MonitorConfig {
             poll_interval: SimDuration::from_millis(50),
             calc_interval: SimDuration::from_millis(50),
             want_detail: false,
+            breaker: None,
         }
     }
 }
@@ -176,6 +182,12 @@ impl MonitorConfig {
             want_detail: scheme.uses_irq_signal(),
             ..Self::default()
         }
+    }
+
+    /// Enable the channel-health circuit breaker.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = Some(breaker);
+        self
     }
 
     /// Set both the polling and calc granularity (the experiments sweep

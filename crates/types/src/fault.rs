@@ -41,6 +41,9 @@ pub struct LossRule {
     pub op: Option<FaultOp>,
     /// Independent drop probability in `[0, 1]` per matching frame.
     pub probability: f64,
+    /// Active window `[from, until)`; the builders default to all-time.
+    pub from: SimTime,
+    pub until: SimTime,
 }
 
 /// Time window during which every wire/NIC latency is multiplied — the
@@ -109,6 +112,8 @@ impl FaultPlan {
             dst: None,
             op: None,
             probability,
+            from: SimTime::ZERO,
+            until: SimTime::MAX,
         });
         self
     }
@@ -120,6 +125,29 @@ impl FaultPlan {
             dst: None,
             op: Some(op),
             probability,
+            from: SimTime::ZERO,
+            until: SimTime::MAX,
+        });
+        self
+    }
+
+    /// Add a loss rule for one operation kind active only in
+    /// `[from, until)` — a transient outage of one transport (e.g. an NIC
+    /// firmware bug dropping RDMA reads until it is rebooted).
+    pub fn lossy_op_window(
+        mut self,
+        op: FaultOp,
+        probability: f64,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.loss.push(LossRule {
+            src: None,
+            dst: None,
+            op: Some(op),
+            probability,
+            from,
+            until,
         });
         self
     }
@@ -131,6 +159,8 @@ impl FaultPlan {
             dst: Some(dst),
             op: None,
             probability,
+            from: SimTime::ZERO,
+            until: SimTime::MAX,
         });
         self
     }
@@ -178,6 +208,9 @@ impl FaultPlan {
                     r.probability
                 ));
             }
+            if r.from > r.until {
+                return Err(format!("loss rule {i}: from > until"));
+            }
         }
         for (i, w) in self.congestion.iter().enumerate() {
             if !w.latency_mult.is_finite() || w.latency_mult < 1.0 {
@@ -209,9 +242,18 @@ impl FaultPlan {
     /// `src`/`dst` are what the fabric knows about the frame; completion
     /// legs (read-data, write-ack) only know the initiator, so the caller
     /// passes `None` for the unknown side and wildcard rules still apply.
-    pub fn loss_probability(&self, src: Option<NodeId>, dst: Option<NodeId>, op: FaultOp) -> f64 {
+    pub fn loss_probability(
+        &self,
+        src: Option<NodeId>,
+        dst: Option<NodeId>,
+        op: FaultOp,
+        now: SimTime,
+    ) -> f64 {
         let mut keep = 1.0f64;
         for r in &self.loss {
+            if now < r.from || now >= r.until {
+                continue;
+            }
             let src_ok = match (r.src, src) {
                 (None, _) => true,
                 (Some(want), Some(have)) => want == have,
@@ -259,6 +301,11 @@ impl FaultPlan {
     /// recovery behaviour is actually exercised.
     pub fn horizon(&self) -> SimTime {
         let mut t = SimTime::ZERO;
+        for r in &self.loss {
+            if r.until < SimTime::MAX {
+                t = t.max(r.until);
+            }
+        }
         for w in &self.congestion {
             t = t.max(w.until);
         }
@@ -288,6 +335,10 @@ pub struct RetryPolicy {
     pub backoff_base: SimDuration,
     /// Multiplier applied to the backoff on each successive retry.
     pub backoff_mult: f64,
+    /// Upper bound on any single backoff delay. Exponential growth
+    /// saturates here instead of overflowing (or stalling a backend for
+    /// geological time at high attempt counts).
+    pub max_backoff: SimDuration,
     /// Consecutive gave-up polls before the backend is declared
     /// [`RetryTracker::is_unreachable`].
     pub unreachable_after: u32,
@@ -300,17 +351,20 @@ impl RetryPolicy {
         max_retries: 0,
         backoff_base: SimDuration::ZERO,
         backoff_mult: 1.0,
+        max_backoff: SimDuration::MAX,
         unreachable_after: u32::MAX,
     };
 
     /// A sensible default for fault-tolerant runs: 3 retries with
-    /// exponential backoff, unreachable after 2 consecutive failures.
+    /// exponential backoff capped at 8x the timeout, unreachable after 2
+    /// consecutive failures.
     pub fn aggressive(timeout: SimDuration) -> Self {
         RetryPolicy {
             timeout,
             max_retries: 3,
             backoff_base: SimDuration(timeout.nanos() / 4),
             backoff_mult: 2.0,
+            max_backoff: timeout.mul_f64(8.0),
             unreachable_after: 2,
         }
     }
@@ -320,11 +374,20 @@ impl RetryPolicy {
     }
 
     /// Backoff before retry number `attempt` (1-based: the first retry is
-    /// attempt 1 and waits `backoff_base`).
+    /// attempt 1 and waits `backoff_base`). Saturates at `max_backoff`:
+    /// each step multiplies saturatingly, and the loop exits as soon as
+    /// the cap is reached, so arbitrarily large attempt counts are O(1)
+    /// past the cap and can never overflow.
     pub fn backoff_for(&self, attempt: u32) -> SimDuration {
-        let mut d = self.backoff_base;
+        let mut d = self.backoff_base.min(self.max_backoff);
+        if self.backoff_mult <= 1.0 {
+            return d;
+        }
         for _ in 1..attempt {
-            d = d.mul_f64(self.backoff_mult);
+            if d >= self.max_backoff {
+                return self.max_backoff;
+            }
+            d = d.mul_f64(self.backoff_mult).min(self.max_backoff);
         }
         d
     }
@@ -510,7 +573,10 @@ mod tests {
         let plan = FaultPlan::default();
         assert!(plan.is_empty());
         assert!(plan.validate().is_ok());
-        assert_eq!(plan.loss_probability(None, None, FaultOp::Socket), 0.0);
+        assert_eq!(
+            plan.loss_probability(None, None, FaultOp::Socket, SimTime(5)),
+            0.0
+        );
         assert!(!plan.crashed(NodeId(0), SimTime(5)));
         assert_eq!(plan.latency_mult(SimTime(5)), 1.0);
         assert_eq!(plan.stall_extra(NodeId(0), SimTime(5)), SimDuration::ZERO);
@@ -521,21 +587,34 @@ mod tests {
         let plan = FaultPlan::new(1)
             .lossy_all(0.5)
             .lossy_link(NodeId(0), NodeId(1), 0.5);
-        let p = plan.loss_probability(Some(NodeId(0)), Some(NodeId(1)), FaultOp::Socket);
+        let p = plan.loss_probability(
+            Some(NodeId(0)),
+            Some(NodeId(1)),
+            FaultOp::Socket,
+            SimTime(5),
+        );
         assert!((p - 0.75).abs() < 1e-12);
         // Other links only see the wildcard rule.
-        let p = plan.loss_probability(Some(NodeId(2)), Some(NodeId(1)), FaultOp::Socket);
+        let p = plan.loss_probability(
+            Some(NodeId(2)),
+            Some(NodeId(1)),
+            FaultOp::Socket,
+            SimTime(5),
+        );
         assert!((p - 0.5).abs() < 1e-12);
         // Unknown endpoints match wildcards but not the directed rule.
-        let p = plan.loss_probability(None, None, FaultOp::RdmaRead);
+        let p = plan.loss_probability(None, None, FaultOp::RdmaRead, SimTime(5));
         assert!((p - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn op_filter_applies() {
         let plan = FaultPlan::new(1).lossy_op(FaultOp::Socket, 0.9);
-        assert!(plan.loss_probability(None, None, FaultOp::Socket) > 0.0);
-        assert_eq!(plan.loss_probability(None, None, FaultOp::RdmaRead), 0.0);
+        assert!(plan.loss_probability(None, None, FaultOp::Socket, SimTime(5)) > 0.0);
+        assert_eq!(
+            plan.loss_probability(None, None, FaultOp::RdmaRead, SimTime(5)),
+            0.0
+        );
     }
 
     #[test]
@@ -584,6 +663,7 @@ mod tests {
             max_retries: 2,
             backoff_base: SimDuration(MS),
             backoff_mult: 2.0,
+            max_backoff: SimDuration::MAX,
             unreachable_after: 2,
         };
         let mut t = RetryTracker::new(pol);
@@ -601,6 +681,7 @@ mod tests {
             max_retries: 1,
             backoff_base: SimDuration(5),
             backoff_mult: 2.0,
+            max_backoff: SimDuration::MAX,
             unreachable_after: 1,
         };
         let mut t = RetryTracker::new(pol);
@@ -645,10 +726,52 @@ mod tests {
             max_retries: 3,
             backoff_base: SimDuration(8),
             backoff_mult: 2.0,
+            max_backoff: SimDuration::MAX,
             unreachable_after: u32::MAX,
         };
         assert_eq!(pol.backoff_for(1), SimDuration(8));
         assert_eq!(pol.backoff_for(2), SimDuration(16));
         assert_eq!(pol.backoff_for(3), SimDuration(32));
+    }
+
+    #[test]
+    fn backoff_saturates_at_cap_for_high_attempts() {
+        let pol = RetryPolicy {
+            timeout: SimDuration(100),
+            max_retries: u32::MAX,
+            backoff_base: SimDuration(8),
+            backoff_mult: 2.0,
+            max_backoff: SimDuration(1_000),
+            unreachable_after: u32::MAX,
+        };
+        // Growth is exponential below the cap, then pinned at it.
+        assert_eq!(pol.backoff_for(5), SimDuration(128));
+        assert_eq!(pol.backoff_for(8), SimDuration(1_000));
+        // High attempt counts neither overflow nor take O(attempt) time:
+        // once the cap is hit the loop exits immediately.
+        assert_eq!(pol.backoff_for(10_000), SimDuration(1_000));
+        assert_eq!(pol.backoff_for(u32::MAX), SimDuration(1_000));
+
+        // Without a cap the product saturates at SimDuration::MAX instead
+        // of wrapping.
+        let uncapped = RetryPolicy {
+            max_backoff: SimDuration::MAX,
+            ..pol
+        };
+        assert_eq!(uncapped.backoff_for(200), SimDuration::MAX);
+
+        // A base already above the cap is clamped down to it.
+        let clamped = RetryPolicy {
+            backoff_base: SimDuration(5_000),
+            ..pol
+        };
+        assert_eq!(clamped.backoff_for(1), SimDuration(1_000));
+
+        // Non-growing multipliers return the base without looping.
+        let flat = RetryPolicy {
+            backoff_mult: 1.0,
+            ..pol
+        };
+        assert_eq!(flat.backoff_for(u32::MAX), SimDuration(8));
     }
 }

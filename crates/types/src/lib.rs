@@ -6,6 +6,7 @@
 
 pub mod config;
 pub mod fault;
+pub mod health;
 pub mod ids;
 pub mod load;
 pub mod msg;
@@ -17,6 +18,10 @@ pub use config::{CostModel, MonitorConfig, NetConfig, OsConfig};
 pub use fault::{
     CongestionWindow, CrashWindow, FaultOp, FaultPlan, LossRule, NicStall, ReplyOutcome,
     RetryPolicy, RetryTracker, TimeoutAction,
+};
+pub use health::{
+    BreakerConfig, BreakerEvent, BreakerState, ChannelHealthStats, CircuitBreaker, FenceGate,
+    FenceVerdict, RecordFence,
 };
 pub use ids::{ConnId, McastGroup, NodeId, RegionId, ReqId, ServiceSlot, ThreadId};
 pub use load::{LoadSnapshot, LoadWeights, NodeCapacity, MAX_CPUS};

@@ -5,6 +5,7 @@
 //! NIC wire, implemented in `fgmon-net`). [`Msg`] is the union type the
 //! engine is instantiated with.
 
+use crate::health::RecordFence;
 use crate::ids::{ConnId, McastGroup, NodeId, RegionId, ReqId, ServiceSlot, ThreadId};
 use crate::load::LoadSnapshot;
 use crate::payload::Payload;
@@ -33,11 +34,22 @@ pub enum RegionData {
 /// Completion status of an RDMA work request, delivered to the initiator.
 #[derive(Clone, Debug)]
 pub enum RdmaResult {
-    ReadOk(RegionData),
+    /// Read served; `fence` stamps the producing node's boot generation
+    /// and the region's write sequence so consumers can reject records
+    /// from before a restart.
+    ReadOk {
+        data: RegionData,
+        fence: RecordFence,
+    },
     WriteOk,
     /// The target NIC refused the access (unknown region, or a write to a
     /// read-only region — the paper's §6 security discussion).
     AccessDenied,
+    /// The region belongs to an earlier boot generation: the node
+    /// restarted and re-registered its memory, so this pinning is dead.
+    /// The initiator must re-learn the region (re-registration handshake)
+    /// before its reads can succeed again.
+    RegionInvalidated,
 }
 
 /// Events handled by a node actor.
@@ -45,6 +57,11 @@ pub enum RdmaResult {
 pub enum NodeMsg {
     /// Boot signal: services' `on_start` hooks run.
     Boot,
+    /// Crash-recovery signal at the end of a fail-stop window: the boot
+    /// generation bumps (invalidating every previously registered region)
+    /// and services' `on_restart` hooks run to re-register and
+    /// re-advertise state.
+    Restart,
     /// A CPU's scheduling quantum expired (generation-guarded).
     QuantumEnd { cpu: u8, gen: u64 },
     /// A CPU finished servicing a batch of interrupts (generation-guarded).

@@ -1,6 +1,7 @@
 //! Application-level message payloads carried by packets and RDMA results.
 
-use crate::ids::NodeId;
+use crate::health::RecordFence;
+use crate::ids::{NodeId, RegionId};
 use crate::load::LoadSnapshot;
 use crate::scheme::Scheme;
 
@@ -74,8 +75,27 @@ pub enum Payload {
         req: u64,
     },
     /// Back-end → front-end socket reply with load info; `req` echoes the
-    /// request's correlation id.
-    MonitorReply { snap: LoadSnapshot, req: u64 },
+    /// request's correlation id. `fence` stamps the reply with the
+    /// back-end's boot generation so pre-restart stragglers are provably
+    /// stale.
+    MonitorReply {
+        snap: LoadSnapshot,
+        req: u64,
+        fence: RecordFence,
+    },
+    /// Front-end → back-end: "which region should I read, and what is
+    /// your boot generation?" — the recovery backstop when reads come
+    /// back `RegionInvalidated` and no advertisement has arrived.
+    RegionQuery { req: u64 },
+    /// Back-end → front-end: advertise the currently registered
+    /// monitoring region and its boot generation (sent on restart and in
+    /// answer to [`Payload::RegionQuery`]). The front-end re-pins its
+    /// handle to `region` and fences out older generations.
+    RegionAdvertise {
+        region: RegionId,
+        generation: u32,
+        req: u64,
+    },
     /// Client → front-end, or front-end → back-end work request.
     HttpRequest { req_id: u64, kind: RequestKind },
     /// Back-end → front-end, or front-end → client response.
@@ -99,6 +119,8 @@ impl Payload {
         match self {
             Payload::MonitorRequest { .. } => 64,
             Payload::MonitorReply { .. } => 256,
+            Payload::RegionQuery { .. } => 64,
+            Payload::RegionAdvertise { .. } => 64,
             Payload::HttpRequest { .. } => 512,
             Payload::HttpResponse { bytes, .. } => 256 + bytes,
             Payload::GangliaMetric { .. } => 128,
@@ -143,7 +165,8 @@ mod tests {
             .wire_size()
                 < Payload::MonitorReply {
                     snap: LoadSnapshot::zero(),
-                    req: 0
+                    req: 0,
+                    fence: RecordFence::default()
                 }
                 .wire_size()
         );

@@ -6,7 +6,8 @@
 
 use fgmon_sim::{DetRng, SimDuration, SimTime};
 use fgmon_types::{
-    FaultOp, FaultPlan, NodeId, QueryClass, ReplyOutcome, RetryPolicy, RetryTracker, TimeoutAction,
+    BreakerConfig, BreakerEvent, BreakerState, CircuitBreaker, FaultOp, FaultPlan, NodeId,
+    QueryClass, ReplyOutcome, RetryPolicy, RetryTracker, TimeoutAction,
 };
 use proptest::prelude::*;
 
@@ -87,6 +88,7 @@ proptest! {
             max_retries,
             backoff_base: SimDuration::from_millis(1),
             backoff_mult: 2.0,
+            max_backoff: SimDuration::MAX,
             unreachable_after: 2,
         };
         let mut t = RetryTracker::new(policy);
@@ -147,6 +149,7 @@ proptest! {
             max_retries: 0,
             backoff_base: SimDuration::from_millis(1),
             backoff_mult: 2.0,
+            max_backoff: SimDuration::MAX,
             unreachable_after: u32::MAX,
         };
         let mut t = RetryTracker::new(policy);
@@ -190,7 +193,7 @@ proptest! {
         prop_assert!(plan.validate().is_ok());
 
         for op in [FaultOp::Socket, FaultOp::RdmaRead, FaultOp::RdmaWrite, FaultOp::Mcast] {
-            let p = plan.loss_probability(Some(NodeId(0)), Some(NodeId(1)), op);
+            let p = plan.loss_probability(Some(NodeId(0)), Some(NodeId(1)), op, SimTime(at));
             prop_assert!((0.0..=1.0).contains(&p));
             let strongest = probs.iter().copied().fold(0.0f64, f64::max);
             prop_assert!(p >= strongest - 1e-12,
@@ -211,5 +214,100 @@ proptest! {
         // Malformed probabilities are rejected, not silently clamped.
         prop_assert!(FaultPlan::new(0).lossy_all(1.5).validate().is_err());
         prop_assert!(FaultPlan::new(0).congested(SimTime(0), SimTime(1), 0.5).validate().is_err());
+    }
+
+    /// The circuit breaker trips exactly at `trip_after` *consecutive*
+    /// failures — any interleaved success resets the streak — and once
+    /// open it ignores both successes and failures and keeps the primary
+    /// path blocked until the cool-down elapses: no flapping within the
+    /// window.
+    #[test]
+    fn breaker_trips_only_after_streak_and_never_flaps(
+        trip_after in 1u32..6,
+        cooldown_ms in 1u64..50,
+        outcomes in prop::collection::vec(any::<bool>(), 1..64),
+    ) {
+        let cfg = BreakerConfig {
+            trip_after,
+            cooldown: SimDuration::from_millis(cooldown_ms),
+            cooldown_mult: 2.0,
+            max_cooldown: SimDuration::from_millis(cooldown_ms * 8),
+            probe_successes: 1,
+        };
+        prop_assert!(cfg.validate().is_ok());
+        let mut b = CircuitBreaker::new(cfg);
+        let mut now = SimTime::ZERO;
+        let mut streak = 0u32;
+        for &ok in &outcomes {
+            if !b.is_closed() {
+                break;
+            }
+            now += SimDuration::from_millis(1);
+            if ok {
+                prop_assert_eq!(b.on_success(now), BreakerEvent::None);
+                streak = 0;
+            } else {
+                streak += 1;
+                let ev = b.on_failure(now, 1.0);
+                if streak == trip_after {
+                    prop_assert_eq!(ev, BreakerEvent::Tripped);
+                } else {
+                    prop_assert!(streak < trip_after, "missed trip at streak {}", streak);
+                    prop_assert_eq!(ev, BreakerEvent::None);
+                }
+            }
+        }
+        if let BreakerState::Open { until } = b.state() {
+            // While open, completions of any kind change nothing.
+            prop_assert_eq!(b.on_success(now), BreakerEvent::None);
+            prop_assert_eq!(b.on_failure(now, 1.0), BreakerEvent::None);
+            prop_assert_eq!(b.state(), BreakerState::Open { until });
+            // Blocked strictly inside the window, probing at its end.
+            let just_before = SimTime(until.nanos() - 1);
+            if just_before >= now {
+                prop_assert_eq!(b.allow_primary(just_before), (false, false));
+            }
+            prop_assert_eq!(b.allow_primary(until), (true, true));
+            prop_assert_eq!(b.state(), BreakerState::HalfOpen);
+        }
+    }
+
+    /// Failed half-open probes re-open with a geometrically grown
+    /// cool-down that restarts from the failure instant and saturates at
+    /// `max_cooldown`; a successful probe closes the breaker and resets
+    /// the growth for the next outage.
+    #[test]
+    fn breaker_probe_failure_reopens_and_restore_resets_cooldown(
+        reopen_count in 1u32..8,
+        cooldown_ms in 1u64..20,
+    ) {
+        let c = SimDuration::from_millis(cooldown_ms);
+        let cfg = BreakerConfig {
+            trip_after: 1,
+            cooldown: c,
+            cooldown_mult: 2.0,
+            max_cooldown: c.mul_f64(8.0),
+            probe_successes: 1,
+        };
+        let mut b = CircuitBreaker::new(cfg);
+        prop_assert_eq!(b.on_failure(SimTime::ZERO, 1.0), BreakerEvent::Tripped);
+        let mut expected = c;
+        let mut until = SimTime(expected.nanos());
+        prop_assert_eq!(b.state(), BreakerState::Open { until });
+        for _ in 0..reopen_count {
+            prop_assert_eq!(b.allow_primary(until), (true, true));
+            expected = expected.mul_f64(2.0).min(cfg.max_cooldown);
+            let now = until;
+            prop_assert_eq!(b.on_failure(now, 1.0), BreakerEvent::Reopened);
+            until = now + expected;
+            prop_assert_eq!(b.state(), BreakerState::Open { until });
+        }
+        // Restoration closes the breaker and resets the cool-down, so the
+        // next outage starts from the base window again.
+        prop_assert_eq!(b.allow_primary(until), (true, true));
+        prop_assert_eq!(b.on_success(until), BreakerEvent::Restored);
+        prop_assert!(b.is_closed());
+        prop_assert_eq!(b.on_failure(until, 1.0), BreakerEvent::Tripped);
+        prop_assert_eq!(b.state(), BreakerState::Open { until: until + c });
     }
 }

@@ -68,7 +68,11 @@ impl Service for HybridBackend {
         // Encode the app-level signal into a snapshot's spare field.
         let mut snap = os.proc_snapshot(false);
         snap.active_conns = self.app_queue_depth;
-        os.send(tid, conn, Payload::MonitorReply { snap, req });
+        let fence = fgmon_types::RecordFence {
+            generation: os.boot_generation(),
+            seq: self.extended_served,
+        };
+        os.send(tid, conn, Payload::MonitorReply { snap, req, fence });
     }
 }
 
@@ -114,7 +118,11 @@ impl Service for HybridFrontend {
     }
 
     fn on_rdma_complete(&mut self, _token: u64, result: RdmaResult, os: &mut OsApi<'_, '_>) {
-        if let RdmaResult::ReadOk(RegionData::Snapshot(snap)) = result {
+        if let RdmaResult::ReadOk {
+            data: RegionData::Snapshot(snap),
+            ..
+        } = result
+        {
             let now = os.now();
             os.recorder()
                 .series("hybrid/kernel_util")

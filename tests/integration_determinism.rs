@@ -1,9 +1,11 @@
 //! Integration: a (seed, config) pair fully determines every output.
 
 use fgmon_balancer::Dispatcher;
-use fgmon_cluster::{fault_compare_world_raced, micro_latency, rubis_world, RubisWorldCfg};
+use fgmon_cluster::{
+    crash_restart_recovery, fault_compare_world_raced, micro_latency, rubis_world, RubisWorldCfg,
+};
 use fgmon_sim::{SimDuration, SimTime};
-use fgmon_types::{FaultPlan, OsConfig, RaceMode, RetryPolicy, Scheme};
+use fgmon_types::{ChannelHealthStats, FaultPlan, OsConfig, RaceMode, RetryPolicy, Scheme};
 use fgmon_workload::RubisClient;
 
 fn fingerprint(seed: u64) -> (u64, u64, Vec<u64>, u64) {
@@ -98,6 +100,40 @@ fn race_sanitizer_runs_are_bitwise_identical() {
     assert_eq!(ev_a, ev_b);
     assert_eq!(race_a.mode, RaceMode::Strict);
     assert!(race_a.reads_tracked > 0, "the RDMA poller must be tracked");
+}
+
+#[test]
+fn crash_restart_health_stats_bitwise_deterministic() {
+    // The self-healing machinery (breaker trips, fallback polls, fence
+    // rejections, re-pins) is driven entirely by the seeded simulation:
+    // two runs of the crash-restart scenario with the same seed must
+    // produce bit-identical per-backend health counters and consume the
+    // exact same number of events.
+    let run = |seed| {
+        let w = crash_restart_recovery(Scheme::RdmaSync, seed);
+        let mut world = w.world;
+        world.cluster.run_for(SimDuration::from_secs(9));
+        let disp: &Dispatcher = world.cluster.service(world.frontend, world.dispatcher_slot);
+        let per: Vec<ChannelHealthStats> = (0..disp.monitor.backend_count())
+            .map(|i| *disp.monitor.health_of(i))
+            .collect();
+        let gens: Vec<Option<u32>> = (0..disp.monitor.backend_count())
+            .map(|i| disp.monitor.generation_of(i))
+            .collect();
+        (
+            per,
+            gens,
+            disp.monitor.health_total(),
+            world.cluster.eng.events_processed(),
+        )
+    };
+    let a = run(33);
+    let b = run(33);
+    assert_eq!(a, b, "crash-restart health stats must be bitwise stable");
+    assert!(
+        a.2.any_activity(),
+        "the scenario must actually exercise the health machinery"
+    );
 }
 
 #[test]

@@ -1,0 +1,149 @@
+//! Integration: self-healing monitoring channels.
+//!
+//! Drives the two recovery scenarios end to end and asserts the tentpole
+//! guarantees: a flaky RDMA transport trips the per-backend circuit
+//! breaker, polls divert to the socket fallback, and every tripped
+//! channel is restored (`HalfOpen → Closed`) once the transport heals; a
+//! crashed-and-restarted back-end is re-admitted under a fresh boot
+//! generation with stale-generation records fenced out. Everything is
+//! asserted across two seeds so the behaviour is a property of the
+//! design, not of one lucky schedule.
+
+use fgmon_balancer::Dispatcher;
+use fgmon_cluster::{crash_restart_recovery, flaky_rdma_failover};
+use fgmon_sim::SimDuration;
+use fgmon_types::{BreakerState, Scheme};
+
+const ONE_SIDED: [Scheme; 3] = [Scheme::RdmaSync, Scheme::RdmaAsync, Scheme::ERdmaSync];
+
+#[test]
+fn flaky_rdma_trips_breakers_falls_back_and_restores() {
+    for scheme in ONE_SIDED {
+        for seed in [11, 42] {
+            let w = flaky_rdma_failover(scheme, seed);
+            let mut world = w.world;
+            // Flaky window is [1 s, 4 s); run well past it so every
+            // breaker gets its post-outage probe.
+            world.cluster.run_for(SimDuration::from_secs(8));
+            let disp: &Dispatcher = world.cluster.service(world.frontend, world.dispatcher_slot);
+            let mon = &disp.monitor;
+            let mut tripped = 0;
+            for i in 0..mon.backend_count() {
+                let h = mon.health_of(i);
+                if h.trips == 0 {
+                    continue;
+                }
+                tripped += 1;
+                // Failover: polls kept flowing over the socket path while
+                // the RDMA channel was open.
+                assert!(
+                    h.fallback_polls > 0,
+                    "{scheme:?} seed {seed} backend {i}: tripped without fallback polls: {h:?}"
+                );
+                // Recovery: every tripped channel probed the primary path
+                // and was restored at least once.
+                assert!(
+                    h.probes > 0 && h.restorations >= 1,
+                    "{scheme:?} seed {seed} backend {i}: tripped but never restored: {h:?}"
+                );
+                assert_eq!(
+                    mon.breaker_state(i),
+                    Some(BreakerState::Closed),
+                    "{scheme:?} seed {seed} backend {i}: breaker still open 4 s after the outage"
+                );
+            }
+            assert!(
+                tripped > 0,
+                "{scheme:?} seed {seed}: a 90%-loss RDMA window must trip at least one breaker"
+            );
+            // The cluster never lost its monitoring: every backend has a
+            // live, reachable view at the end.
+            let now = world.cluster.eng.now();
+            for (i, v) in mon.views().iter().enumerate() {
+                assert!(!v.unreachable, "{scheme:?} backend {i} still unreachable");
+                let age = v.info_age(now).expect("view populated");
+                assert!(
+                    age < SimDuration::from_millis(500),
+                    "{scheme:?} backend {i}: stale view ({age}) after recovery"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn two_sided_schemes_ignore_rdma_outage() {
+    // The same flaky-RDMA world under Socket-Async: nothing to trip, no
+    // fallback, monitoring simply keeps working.
+    let w = flaky_rdma_failover(Scheme::SocketAsync, 11);
+    let mut world = w.world;
+    world.cluster.run_for(SimDuration::from_secs(8));
+    let disp: &Dispatcher = world.cluster.service(world.frontend, world.dispatcher_slot);
+    let total = disp.monitor.health_total();
+    assert_eq!(total.trips, 0);
+    assert_eq!(total.fallback_polls, 0);
+    let now = world.cluster.eng.now();
+    for v in disp.monitor.views() {
+        assert!(!v.unreachable);
+        assert!(v.info_age(now).expect("view populated") < SimDuration::from_millis(500));
+    }
+}
+
+#[test]
+fn crash_restart_readmits_under_fresh_generation() {
+    for scheme in ONE_SIDED {
+        for seed in [5, 23] {
+            let w = crash_restart_recovery(scheme, seed);
+            let victim = w.victim;
+            let mut world = w.world;
+            // Crash window is [2 s, 5 s); run to 9 s so re-registration,
+            // re-pinning, and fresh polls all land.
+            world.cluster.run_for(SimDuration::from_secs(9));
+            let disp: &Dispatcher = world.cluster.service(world.frontend, world.dispatcher_slot);
+            let mon = &disp.monitor;
+            let idx = (0..mon.backend_count())
+                .find(|&i| mon.backend_node(i) == victim)
+                .expect("victim is monitored");
+            // Re-admitted under the restarted node's bumped generation —
+            // the fence gate's high-water mark proves no stale-generation
+            // record was ever accepted after the advance.
+            assert_eq!(
+                mon.generation_of(idx),
+                Some(2),
+                "{scheme:?} seed {seed}: victim must come back under boot generation 2"
+            );
+            let h = mon.health_of(idx);
+            assert!(
+                h.generation_advances >= 1,
+                "{scheme:?} seed {seed}: no generation advance recorded: {h:?}"
+            );
+            // The re-registration handshake re-pinned the region.
+            assert!(
+                h.repins >= 1,
+                "{scheme:?} seed {seed}: restart advertisement never re-pinned: {h:?}"
+            );
+            // Monitoring of the victim resumed for real.
+            let now = world.cluster.eng.now();
+            let v = &mon.views()[idx];
+            assert!(
+                !v.unreachable,
+                "{scheme:?} seed {seed}: victim stuck unreachable"
+            );
+            assert!(
+                v.info_age(now).expect("view populated") < SimDuration::from_millis(500),
+                "{scheme:?} seed {seed}: victim view stale after recovery"
+            );
+            // Survivors never saw a restart: their generation stays 1.
+            for i in 0..mon.backend_count() {
+                if i != idx {
+                    assert_eq!(mon.generation_of(i), Some(1));
+                }
+            }
+            // And the dispatcher routes traffic to the victim again.
+            assert!(
+                disp.stats.per_backend[idx] > 0,
+                "{scheme:?} seed {seed}: no requests ever routed to the victim"
+            );
+        }
+    }
+}
