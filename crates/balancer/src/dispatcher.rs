@@ -7,7 +7,7 @@
 //! least-loaded server exceeds the overload threshold, the request is
 //! rejected immediately.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use fgmon_core::{BackendHandle, MonitorClient};
 
@@ -16,7 +16,7 @@ use fgmon_os::{OsApi, Service};
 use fgmon_sim::{SimDuration, SimTime};
 use fgmon_types::{
     BreakerConfig, ConnId, LoadWeights, McastGroup, NodeCapacity, NodeId, Payload, RdmaResult,
-    RetryPolicy, Scheme, ThreadId,
+    RetryPolicy, Scheme, SharedPayload, ThreadId,
 };
 
 const TOK_POLL: u64 = 0xD15B_0001;
@@ -121,8 +121,15 @@ pub struct Dispatcher {
     backends: Vec<(NodeId, ConnId)>,
     backend_conn_set: BTreeSet<ConnId>,
     client_conns: Vec<ConnId>,
-    inflight: BTreeMap<u64, Pending>,
+    /// Outstanding forwarded requests as `(fe_id, pending)` rows. Bounded
+    /// by the closed-loop session count, so a linear scan beats map node
+    /// churn on the per-request hot path; the Vec keeps its capacity, so
+    /// steady-state forwarding never allocates.
+    inflight: Vec<(u64, Pending)>,
     outstanding: Vec<u32>,
+    /// Routing scratch buffers reused across `choose` calls.
+    cand_scratch: Vec<usize>,
+    weight_scratch: Vec<f64>,
     next_id: u64,
     rr: usize,
     /// Optional shared-data-center partition manager (paper §7 future
@@ -156,8 +163,10 @@ impl Dispatcher {
             backends,
             backend_conn_set,
             client_conns,
-            inflight: BTreeMap::new(),
+            inflight: Vec::new(),
             outstanding: vec![0; n],
+            cand_scratch: Vec::with_capacity(n),
+            weight_scratch: Vec::with_capacity(n),
             next_id: 1,
             rr: 0,
             reconfig: None,
@@ -180,21 +189,14 @@ impl Dispatcher {
         monitored + self.cfg.local_conn_weight * self.outstanding[idx] as f64
     }
 
-    /// Back-ends eligible for a request of `class` under the current
-    /// partition (all of them when reconfiguration is off).
-    fn candidates(&self, class: ServiceClass) -> Vec<usize> {
+    /// Is back-end `i` eligible for `class` under the current partition?
+    /// `class_empty` marks a partition with no back-end for the class, in
+    /// which case every back-end is eligible (all of them are when
+    /// reconfiguration is off).
+    fn eligible(&self, i: usize, class: ServiceClass, class_empty: bool) -> bool {
         match &self.reconfig {
-            Some(r) => {
-                let c: Vec<usize> = (0..self.backends.len())
-                    .filter(|&i| r.class_of(i) == class)
-                    .collect();
-                if c.is_empty() {
-                    (0..self.backends.len()).collect()
-                } else {
-                    c
-                }
-            }
-            None => (0..self.backends.len()).collect(),
+            Some(r) if !class_empty => r.class_of(i) == class,
+            _ => true,
         }
     }
 
@@ -212,20 +214,38 @@ impl Dispatcher {
     }
 
     /// Pick a back-end for the next request; `None` means reject.
+    /// Candidate and weight buffers live on the dispatcher so steady-state
+    /// routing never allocates.
     fn choose(&mut self, class: ServiceClass, os: &mut OsApi<'_, '_>) -> Option<usize> {
-        let all = self.candidates(class);
         let now = os.now();
-        let cands: Vec<usize> = all
-            .iter()
-            .copied()
-            .filter(|&i| self.healthy(i, now))
-            .collect();
-        self.stats.degraded_exclusions += (all.len() - cands.len()) as u64;
+        let class_empty = match &self.reconfig {
+            Some(r) => !(0..self.backends.len()).any(|i| r.class_of(i) == class),
+            None => false,
+        };
+        let mut cands = std::mem::take(&mut self.cand_scratch);
+        cands.clear();
+        let mut eligible_count = 0u64;
+        for i in 0..self.backends.len() {
+            if self.eligible(i, class, class_empty) {
+                eligible_count += 1;
+                if self.healthy(i, now) {
+                    cands.push(i);
+                }
+            }
+        }
+        self.stats.degraded_exclusions += eligible_count - cands.len() as u64;
         // Degraded mode: if *every* candidate looks dead or stale, route on
         // whatever we have rather than rejecting the whole class.
-        let cands = if cands.is_empty() { all } else { cands };
+        if cands.is_empty() {
+            for i in 0..self.backends.len() {
+                if self.eligible(i, class, class_empty) {
+                    cands.push(i);
+                }
+            }
+        }
         let n = cands.len();
         if n == 0 {
+            self.cand_scratch = cands;
             return None;
         }
         let idx = match self.cfg.policy {
@@ -260,10 +280,14 @@ impl Dispatcher {
                 // WebSphere-style weighted routing: share of traffic
                 // proportional to headroom below the most-loaded server,
                 // with a floor so no server leaves the rotation entirely.
-                let idxs: Vec<f64> = cands.iter().map(|&i| self.index_of(i)).collect();
-                let max = idxs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut weights = std::mem::take(&mut self.weight_scratch);
+                weights.clear();
+                weights.extend(cands.iter().map(|&i| self.index_of(i)));
+                let max = weights.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                 let floor = 0.15 * max.max(0.3);
-                let weights: Vec<f64> = idxs.iter().map(|&v| (max - v) + floor).collect();
+                for w in weights.iter_mut() {
+                    *w = (max - *w) + floor;
+                }
                 let total: f64 = weights.iter().sum();
                 let mut draw = os.rng().f64() * total;
                 let mut pick = cands[n - 1];
@@ -274,9 +298,11 @@ impl Dispatcher {
                         break;
                     }
                 }
+                self.weight_scratch = weights;
                 pick
             }
         };
+        self.cand_scratch = cands;
         if let Some(threshold) = self.cfg.admission_threshold {
             if self.index_of(idx) > threshold {
                 return None;
@@ -297,14 +323,14 @@ impl Dispatcher {
             Some(b) => {
                 let fe_id = self.next_id;
                 self.next_id += 1;
-                self.inflight.insert(
+                self.inflight.push((
                     fe_id,
                     Pending {
                         client_conn,
                         client_req_id: req_id,
                         backend_idx: b,
                     },
-                );
+                ));
                 self.outstanding[b] += 1;
                 self.stats.forwarded += 1;
                 self.stats.per_backend[b] += 1;
@@ -327,9 +353,10 @@ impl Dispatcher {
     }
 
     fn handle_backend_response(&mut self, fe_id: u64, bytes: u32, os: &mut OsApi<'_, '_>) {
-        let Some(p) = self.inflight.remove(&fe_id) else {
+        let Some(pos) = self.inflight.iter().position(|&(id, _)| id == fe_id) else {
             return;
         };
+        let (_, p) = self.inflight.swap_remove(pos);
         self.outstanding[p.backend_idx] = self.outstanding[p.backend_idx].saturating_sub(1);
         self.stats.completed += 1;
         os.send_direct(
@@ -406,7 +433,7 @@ impl Service for Dispatcher {
         self.monitor.on_rdma_complete(token, &result, os);
     }
 
-    fn on_mcast(&mut self, _group: McastGroup, payload: Payload, os: &mut OsApi<'_, '_>) {
+    fn on_mcast(&mut self, _group: McastGroup, payload: SharedPayload, os: &mut OsApi<'_, '_>) {
         self.monitor.on_mcast(&payload, os);
     }
 }

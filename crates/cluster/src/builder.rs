@@ -125,6 +125,12 @@ impl ClusterBuilder {
     /// Finish assembly: install the fabric, schedule boot events, and
     /// start the ground-truth probe on the given nodes.
     pub fn finish(mut self, ground_truth: &[(NodeId, SimDuration)]) -> Cluster {
+        // Pre-size the engine from the known topology: one actor per node
+        // plus the fabric, and an event-pool hint proportional to fan-out
+        // (each node keeps a handful of timers, packets, and IRQ events in
+        // flight), so steady-state scheduling never grows the queue slab.
+        self.eng
+            .reserve_capacity(self.nodes.len() + 1, 64 * self.nodes.len().max(1));
         let mut fabric = self.fabric;
         fabric.set_node_actors(self.nodes.clone());
         if let Some(race) = &self.race {

@@ -2,6 +2,8 @@
 //! quality, and per-node OS counters of a finished run into one report —
 //! what an operator would want on one screen.
 
+use std::fmt::Write as _;
+
 use fgmon_balancer::Dispatcher;
 use fgmon_core::{scheme_quality, MonitorClient};
 use fgmon_sim::{Histogram, SimTime};
@@ -33,16 +35,18 @@ pub struct NodeSummary {
 /// Pool the response-time histograms under `prefix` (e.g. `"rubis"`).
 pub fn pooled_responses(cluster: &Cluster, prefix: &str) -> Option<ResponseSummary> {
     let mut pooled = Histogram::new();
+    let mut key = String::new();
     for class in QueryClass::ALL {
-        if let Some(h) = cluster
-            .recorder()
-            .get_histogram(&format!("{prefix}/resp/{}", class.label()))
-        {
+        key.clear();
+        let _ = write!(key, "{prefix}/resp/{}", class.label());
+        if let Some(h) = cluster.recorder().get_histogram(&key) {
             pooled.merge(h);
         }
     }
     // Static-content services record one flat histogram.
-    if let Some(h) = cluster.recorder().get_histogram(&format!("{prefix}/resp")) {
+    key.clear();
+    let _ = write!(key, "{prefix}/resp");
+    if let Some(h) = cluster.recorder().get_histogram(&key) {
         pooled.merge(h);
     }
     if pooled.is_empty() {
@@ -104,9 +108,10 @@ pub fn channel_health_section(client: &MonitorClient) -> Option<String> {
             .map(|g| g.to_string())
             .unwrap_or_else(|| "-".into());
         let h = client.health_of(i);
-        out.push_str(&format!(
+        let _ = writeln!(
+            out,
             "  {}: breaker {} path {} gen {} — trips {} reopens {} restorations {} \
-             probes {} fallback-polls {} stale-rejected {} repins {}\n",
+             probes {} fallback-polls {} stale-rejected {} repins {}",
             client.backend_node(i),
             state,
             path,
@@ -118,7 +123,7 @@ pub fn channel_health_section(client: &MonitorClient) -> Option<String> {
             h.fallback_polls,
             h.stale_gen_rejected,
             h.repins,
-        ));
+        );
     }
     Some(out)
 }
@@ -126,41 +131,42 @@ pub fn channel_health_section(client: &MonitorClient) -> Option<String> {
 /// Render a one-screen report of a finished run.
 pub fn render_report(cluster: &mut Cluster, scheme: Scheme, now: SimTime) -> String {
     let mut out = String::new();
-    out.push_str(&format!(
-        "run summary at {now} — scheme {}\n\n",
-        scheme.label()
-    ));
+    let _ = writeln!(out, "run summary at {now} — scheme {}\n", scheme.label());
 
     if let Some(resp) = pooled_responses(cluster, "rubis") {
-        out.push_str(&format!(
-            "rubis responses: n={} mean={:.1}ms p50={:.1}ms p99={:.1}ms max={:.1}ms\n",
+        let _ = writeln!(
+            out,
+            "rubis responses: n={} mean={:.1}ms p50={:.1}ms p99={:.1}ms max={:.1}ms",
             resp.count, resp.mean_ms, resp.p50_ms, resp.p99_ms, resp.max_ms
-        ));
+        );
     }
     if let Some(resp) = pooled_responses(cluster, "zipf") {
-        out.push_str(&format!(
-            "zipf responses:  n={} mean={:.1}ms p50={:.1}ms p99={:.1}ms max={:.1}ms\n",
+        let _ = writeln!(
+            out,
+            "zipf responses:  n={} mean={:.1}ms p50={:.1}ms p99={:.1}ms max={:.1}ms",
             resp.count, resp.mean_ms, resp.p50_ms, resp.p99_ms, resp.max_ms
-        ));
+        );
     }
     if let Some(q) = scheme_quality(cluster.recorder(), scheme) {
-        out.push_str(&format!(
-            "monitoring:      latency mean {:.1}µs max {:.1}µs, staleness mean {:.2}ms\n",
+        let _ = writeln!(
+            out,
+            "monitoring:      latency mean {:.1}µs max {:.1}µs, staleness mean {:.2}ms",
             q.latency_mean_us, q.latency_max_us, q.staleness_mean_ms
-        ));
+        );
     }
     let race = cluster.race_report();
     if race.mode != fgmon_types::RaceMode::Off {
-        out.push_str(&format!(
+        let _ = writeln!(
+            out,
             "race check:      mode {} — {} reads tracked, {} host writes, \
-             {} torn, {} seqlock retries ({} exhausted)\n",
+             {} torn, {} seqlock retries ({} exhausted)",
             race.mode.label(),
             race.reads_tracked,
             race.host_writes,
             race.torn_total,
             race.seqlock_retries,
             race.seqlock_exhausted
-        ));
+        );
     }
     // Channel health of every dispatcher's monitor (usually one, on the
     // front-end).

@@ -22,7 +22,7 @@
 use std::collections::BTreeMap;
 
 use fgmon_os::OsApi;
-use fgmon_sim::SimTime;
+use fgmon_sim::{HistogramId, SeriesId, SimTime};
 use fgmon_types::{
     BreakerConfig, BreakerEvent, BreakerState, ChannelHealthStats, CircuitBreaker, ConnId,
     FenceGate, FenceVerdict, LoadSnapshot, McastGroup, NodeId, Payload, RdmaResult, RecordFence,
@@ -83,8 +83,11 @@ impl BackendView {
 /// in the token), so matching is exact even under loss and reordering.
 struct Inflight {
     tracker: RetryTracker,
-    /// Send timestamps by correlation id, for latency accounting.
-    sent: BTreeMap<u64, SimTime>,
+    /// Send timestamps as `(correlation id, at)` rows, for latency
+    /// accounting. At most `max_outstanding` (~16) are in flight per
+    /// back-end, so a capacity-retaining Vec with a linear scan beats
+    /// per-poll map node churn.
+    sent: Vec<(u64, SimTime)>,
     next_seq: u32,
 }
 
@@ -92,13 +95,22 @@ impl Inflight {
     fn new(policy: RetryPolicy) -> Self {
         Inflight {
             tracker: RetryTracker::new(policy),
-            sent: BTreeMap::new(),
+            sent: Vec::new(),
             next_seq: 0,
         }
     }
 
     fn count(&self) -> usize {
         self.tracker.outstanding()
+    }
+
+    fn note_sent(&mut self, req: u64, at: SimTime) {
+        self.sent.push((req, at));
+    }
+
+    fn take_sent(&mut self, req: u64) -> Option<SimTime> {
+        let pos = self.sent.iter().position(|&(r, _)| r == req)?;
+        Some(self.sent.swap_remove(pos).1)
     }
 }
 
@@ -152,6 +164,9 @@ pub struct MonitorClient {
     next_req: u64,
     /// Retries waiting out their backoff.
     pending_retries: Vec<PendingRetry>,
+    /// Scratch buffers reused by [`MonitorClient::check_timeouts`].
+    timeout_scratch: Vec<TimeoutAction>,
+    retry_scratch: Vec<PendingRetry>,
     /// Per-backend channel-health state (breaker + fence + counters).
     channels: Vec<Channel>,
     /// Breaker thresholds installed via [`MonitorClient::set_breaker`].
@@ -161,11 +176,30 @@ pub struct MonitorClient {
     /// Push per-backend reported-value series into the recorder (accuracy
     /// experiments); off by default to keep large runs lean.
     pub record_series: bool,
+    /// Interned latency/staleness histogram handles (lazy, so the key set
+    /// matches per-sample formatting exactly).
+    lat_id: Option<HistogramId>,
+    stale_id: Option<HistogramId>,
+    /// Per-backend interned series handles, parallel to `backends`.
+    series_ids: Vec<Option<MonSeriesIds>>,
+}
+
+/// Interned handles for one back-end's reported-value series; formatted
+/// once per backend instead of once per accepted reply.
+#[derive(Clone, Copy)]
+struct MonSeriesIds {
+    nthreads: SeriesId,
+    cpu_util: SeriesId,
+    run_queue: SeriesId,
+    pending_irqs: SeriesId,
+    pending_cpu: [SeriesId; 2],
+    irq_total_cpu: [SeriesId; 2],
 }
 
 impl MonitorClient {
     pub fn new(scheme: Scheme, want_detail: bool, backends: Vec<BackendHandle>) -> Self {
         let views = vec![BackendView::default(); backends.len()];
+        let series_ids = vec![None; backends.len()];
         let channels = backends.iter().map(|_| Channel::new(None)).collect();
         let inflight = backends
             .iter()
@@ -194,10 +228,15 @@ impl MonitorClient {
             policy: RetryPolicy::OFF,
             next_req: 0,
             pending_retries: Vec::new(),
+            timeout_scratch: Vec::new(),
+            retry_scratch: Vec::new(),
             channels,
             breaker_cfg: None,
             max_outstanding: 16,
             record_series: false,
+            lat_id: None,
+            stale_id: None,
+            series_ids,
         }
     }
 
@@ -433,7 +472,7 @@ impl MonitorClient {
         } else {
             self.inflight[idx].tracker.begin_retry(req, attempt, now);
         }
-        self.inflight[idx].sent.insert(req, now);
+        self.inflight[idx].note_sent(req, now);
         self.sync_view(idx);
     }
 
@@ -446,15 +485,20 @@ impl MonitorClient {
             return;
         }
         let now = os.now();
+        let mut actions = std::mem::take(&mut self.timeout_scratch);
         for idx in 0..self.backends.len() {
-            for action in self.inflight[idx].tracker.poll_timeouts(now) {
+            actions.clear();
+            self.inflight[idx]
+                .tracker
+                .poll_timeouts_into(now, &mut actions);
+            for &action in &actions {
                 match action {
                     TimeoutAction::Retry {
                         req,
                         attempt,
                         backoff,
                     } => {
-                        self.inflight[idx].sent.remove(&req);
+                        self.inflight[idx].take_sent(req);
                         self.pending_retries.push(PendingRetry {
                             idx,
                             attempt,
@@ -462,7 +506,7 @@ impl MonitorClient {
                         });
                     }
                     TimeoutAction::GiveUp { req } => {
-                        self.inflight[idx].sent.remove(&req);
+                        self.inflight[idx].take_sent(req);
                         // Only primary-path (RDMA-token) give-ups judge the
                         // primary channel; a fallback socket give-up says
                         // nothing about the RDMA path.
@@ -474,17 +518,24 @@ impl MonitorClient {
             }
             self.sync_view(idx);
         }
-        let due: Vec<PendingRetry> = {
-            let (due, later): (Vec<_>, Vec<_>) = self
-                .pending_retries
-                .drain(..)
-                .partition(|p| p.not_before <= now);
-            self.pending_retries = later;
-            due
-        };
-        for p in due {
+        self.timeout_scratch = actions;
+        // Split out the retries whose backoff has elapsed, preserving
+        // order on both sides (issue order is part of the deterministic
+        // event schedule).
+        let mut due = std::mem::take(&mut self.retry_scratch);
+        due.clear();
+        self.pending_retries.retain(|p| {
+            if p.not_before <= now {
+                due.push(*p);
+                false
+            } else {
+                true
+            }
+        });
+        for p in &due {
             self.issue_poll(p.idx, p.attempt, os);
         }
+        self.retry_scratch = due;
     }
 
     /// Mirror the tracker's counters into the public view.
@@ -508,35 +559,43 @@ impl MonitorClient {
     ) {
         let now = os.now();
         let label = self.scheme.label();
+        let r = os.recorder();
         if let Some(sent) = sent {
-            os.recorder()
-                .histogram(&format!("mon/latency/{label}"))
-                .record(now.since(sent).nanos());
+            let lat = *self
+                .lat_id
+                .get_or_insert_with(|| r.histogram_id(&format!("mon/latency/{label}")));
+            r.histogram_at(lat).record(now.since(sent).nanos());
         }
-        os.recorder()
-            .histogram(&format!("mon/staleness/{label}"))
+        let stale = *self
+            .stale_id
+            .get_or_insert_with(|| r.histogram_id(&format!("mon/staleness/{label}")));
+        r.histogram_at(stale)
             .record(now.since(snap.measured_at).nanos());
         if self.record_series {
             // Fig. 5 semantics: the reply answers "what was the load when I
             // asked" — timestamp reported values at request time.
             let at = sent.unwrap_or(now);
             let node = self.backends[idx].node;
-            let r = os.recorder();
-            r.series(&format!("mon/{label}/{node}/nthreads"))
-                .push(at, snap.nthreads as f64);
-            r.series(&format!("mon/{label}/{node}/cpu_util"))
-                .push(at, snap.cpu_util);
-            r.series(&format!("mon/{label}/{node}/run_queue"))
-                .push(at, snap.run_queue as f64);
-            r.series(&format!("mon/{label}/{node}/pending_irqs"))
+            let ids = *self.series_ids[idx].get_or_insert_with(|| MonSeriesIds {
+                nthreads: r.series_id(&format!("mon/{label}/{node}/nthreads")),
+                cpu_util: r.series_id(&format!("mon/{label}/{node}/cpu_util")),
+                run_queue: r.series_id(&format!("mon/{label}/{node}/run_queue")),
+                pending_irqs: r.series_id(&format!("mon/{label}/{node}/pending_irqs")),
+                pending_cpu: [0, 1]
+                    .map(|cpu| r.series_id(&format!("mon/{label}/{node}/pending_irqs_cpu{cpu}"))),
+                irq_total_cpu: [0, 1]
+                    .map(|cpu| r.series_id(&format!("mon/{label}/{node}/irq_total_cpu{cpu}"))),
+            });
+            r.series_at(ids.nthreads).push(at, snap.nthreads as f64);
+            r.series_at(ids.cpu_util).push(at, snap.cpu_util);
+            r.series_at(ids.run_queue).push(at, snap.run_queue as f64);
+            r.series_at(ids.pending_irqs)
                 .push(at, snap.pending_irqs_total() as f64);
             for (cpu, &p) in snap.pending_irqs.iter().enumerate().take(2) {
-                r.series(&format!("mon/{label}/{node}/pending_irqs_cpu{cpu}"))
-                    .push(at, p as f64);
+                r.series_at(ids.pending_cpu[cpu]).push(at, p as f64);
             }
             for (cpu, &t) in snap.irq_total.iter().enumerate().take(2) {
-                r.series(&format!("mon/{label}/{node}/irq_total_cpu{cpu}"))
-                    .push(at, t as f64);
+                r.series_at(ids.irq_total_cpu[cpu]).push(at, t as f64);
             }
         }
         self.views[idx].latest = Some(snap);
@@ -552,7 +611,7 @@ impl MonitorClient {
                 let Some(&idx) = self.conn_to_idx.get(&conn) else {
                     return false;
                 };
-                let sent = self.inflight[idx].sent.remove(req);
+                let sent = self.inflight[idx].take_sent(*req);
                 match self.inflight[idx].tracker.on_reply(*req) {
                     ReplyOutcome::Accepted => match self.channels[idx].fence.admit(*fence) {
                         FenceVerdict::StaleGeneration => {
@@ -619,7 +678,7 @@ impl MonitorClient {
         if idx >= self.backends.len() {
             return false;
         }
-        let sent = self.inflight[idx].sent.remove(&token);
+        let sent = self.inflight[idx].take_sent(token);
         match self.inflight[idx].tracker.on_reply(token) {
             ReplyOutcome::Accepted => match result {
                 RdmaResult::ReadOk { data, fence } => {

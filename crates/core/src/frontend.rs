@@ -6,7 +6,7 @@
 
 use fgmon_os::{OsApi, Service};
 use fgmon_sim::SimDuration;
-use fgmon_types::{ConnId, McastGroup, Payload, RdmaResult, ThreadId};
+use fgmon_types::{ConnId, McastGroup, Payload, RdmaResult, SharedPayload, ThreadId};
 
 use crate::client::{BackendHandle, MonitorClient};
 
@@ -89,7 +89,7 @@ impl Service for MonitorFrontendService {
         self.client.on_rdma_complete(token, &result, os);
     }
 
-    fn on_mcast(&mut self, _group: McastGroup, payload: Payload, os: &mut OsApi<'_, '_>) {
+    fn on_mcast(&mut self, _group: McastGroup, payload: SharedPayload, os: &mut OsApi<'_, '_>) {
         self.client.on_mcast(&payload, os);
     }
 }

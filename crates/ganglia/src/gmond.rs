@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 
 use fgmon_os::{OsApi, Service};
 use fgmon_sim::{SimDuration, SimTime};
-use fgmon_types::{ConnId, McastGroup, NodeId, Payload, ThreadId};
+use fgmon_types::{ConnId, McastGroup, NodeId, Payload, SharedPayload, ThreadId};
 
 const TOK_COLLECT: u64 = 0x6A_0001;
 const TOK_WAKE: u64 = 0x6A_0002;
@@ -149,12 +149,12 @@ impl Service for Gmond {
         }
     }
 
-    fn on_mcast(&mut self, _group: McastGroup, payload: Payload, os: &mut OsApi<'_, '_>) {
+    fn on_mcast(&mut self, _group: McastGroup, payload: SharedPayload, os: &mut OsApi<'_, '_>) {
         if let Payload::GangliaMetric {
             origin,
             name,
             value,
-        } = payload
+        } = *payload
         {
             self.samples_heard += 1;
             self.view.insert(

@@ -15,7 +15,7 @@
 use fgmon_core::{BackendHandle, MonitorClient};
 use fgmon_os::{OsApi, Service};
 use fgmon_sim::SimDuration;
-use fgmon_types::{ConnId, McastGroup, Payload, RdmaResult, Scheme, ThreadId};
+use fgmon_types::{ConnId, McastGroup, Payload, RdmaResult, Scheme, SharedPayload, ThreadId};
 
 use crate::gmond::GANGLIA_GROUP;
 
@@ -102,7 +102,7 @@ impl Service for GmetricPublisher {
         self.client.on_rdma_complete(token, &result, os);
     }
 
-    fn on_mcast(&mut self, group: McastGroup, payload: Payload, os: &mut OsApi<'_, '_>) {
+    fn on_mcast(&mut self, group: McastGroup, payload: SharedPayload, os: &mut OsApi<'_, '_>) {
         if group == GANGLIA_GROUP {
             return; // our own published traffic
         }

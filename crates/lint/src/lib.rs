@@ -93,6 +93,24 @@ pub const RULES: &[Rule] = &[
                      every stream derives from the world seed",
     },
     Rule {
+        id: "payload-clone",
+        summary: "payload-carrying value cloned on the simulation path",
+        needles: &[
+            "payload.clone()",
+            "payload().clone()",
+            "Payload::clone",
+            "SharedPayload::clone",
+            "msg.clone()",
+            "Msg::clone",
+            "frame.clone()",
+        ],
+        allow_paths: &[],
+        suggestion: "deep-copying a payload on the hot path defeats the \
+                     zero-copy delivery design; share it (`SharedPayload` \
+                     is an `Rc`), move it, or justify the copy with a \
+                     `// lint: payload-clone` comment",
+    },
+    Rule {
         id: "allow-attr",
         summary: "#[allow(..)] without a recorded justification",
         needles: &["#[allow(", "#![allow("],
@@ -567,6 +585,26 @@ let r = DetRng::new(seed);
         // Suppression does not leak past non-comment lines.
         let gap = "// lint: rng-construction — stale\nlet x = 1;\nlet r = DetRng::new(seed);\n";
         assert_eq!(rules_hit(gap), vec!["rng-construction"]);
+    }
+
+    #[test]
+    fn payload_clones_need_justification() {
+        assert_eq!(
+            rules_hit("let copy = packet.payload.clone();"),
+            vec!["payload-clone"]
+        );
+        assert_eq!(rules_hit("send(msg.clone());"), vec!["payload-clone"]);
+        // Receiver names that merely *contain* payload still count.
+        assert_eq!(
+            rules_hit("let p = shared_payload.clone();"),
+            vec!["payload-clone"]
+        );
+        assert!(
+            rules_hit("let p = payload.clone(); // lint: payload-clone — Rc refcount bump")
+                .is_empty()
+        );
+        // Unrelated clones stay legal.
+        assert!(rules_hit("let v = views.clone();").is_empty());
     }
 
     #[test]

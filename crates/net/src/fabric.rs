@@ -448,9 +448,16 @@ impl Actor<Msg> for Fabric {
                 size,
                 payload,
             } => {
-                let members = self.mcast.get(&group).cloned().unwrap_or_default();
+                // The membership list is taken out (not cloned) for the
+                // duration of the fan-out and put back afterwards, so the
+                // hot path never copies it.
+                let members = self
+                    .mcast
+                    .get_mut(&group)
+                    .map(std::mem::take)
+                    .unwrap_or_default();
                 let mut rank = 0u64;
-                for node in members {
+                for &node in &members {
                     if node == src {
                         continue;
                     }
@@ -476,9 +483,14 @@ impl Actor<Msg> for Fabric {
                         Msg::Node(NodeMsg::McastDeliver {
                             group,
                             size,
-                            payload: payload.clone(),
+                            // Refcount bump, not a deep copy: every replica
+                            // shares the sender's immutable body.
+                            payload: payload.clone(), // lint: payload-clone — Rc refcount bump
                         }),
                     );
+                }
+                if let Some(slot) = self.mcast.get_mut(&group) {
+                    *slot = members;
                 }
             }
         }

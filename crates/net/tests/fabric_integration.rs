@@ -6,6 +6,7 @@ use fgmon_os::{NodeActor, OsApi, OsCore, Service};
 use fgmon_sim::{ActorId, DetRng, Engine, SimDuration, SimTime};
 use fgmon_types::{
     ConnId, McastGroup, Msg, NetConfig, NodeId, NodeMsg, OsConfig, Payload, ServiceSlot,
+    SharedPayload,
 };
 
 /// Records every packet/mcast arrival with its timestamp.
@@ -43,7 +44,7 @@ impl Service for Sniffer {
         };
         self.packets.push((os.now(), conn, tag));
     }
-    fn on_mcast(&mut self, group: McastGroup, _payload: Payload, os: &mut OsApi<'_, '_>) {
+    fn on_mcast(&mut self, group: McastGroup, _payload: SharedPayload, os: &mut OsApi<'_, '_>) {
         self.mcasts.push((os.now(), group));
     }
 }

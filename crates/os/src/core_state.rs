@@ -103,9 +103,12 @@ pub struct OsCore {
     pub stats: KernelStats,
     regions: Vec<Region>,
     user_snapshots: Vec<Option<LoadSnapshot>>,
-    /// Outstanding RDMA work requests this node initiated.
-    /// `BTreeMap` keeps any iteration deterministic (fgmon-lint rule).
-    pub rdma_pending: BTreeMap<u64, (ServiceSlot, u64)>,
+    /// Outstanding RDMA work requests this node initiated, as
+    /// `(req_id, owner, token)` rows. A handful are ever in flight, so a
+    /// linear-scanned `Vec` beats map node churn on the completion hot
+    /// path (and retains its capacity across requests); iteration order is
+    /// insertion order, which is deterministic.
+    pub rdma_pending: Vec<(u64, ServiceSlot, u64)>,
     next_req: u64,
     pub listeners: BTreeMap<ConnId, (ServiceSlot, ListenMode)>,
     pub mcast_subs: BTreeMap<McastGroup, ServiceSlot>,
@@ -142,7 +145,7 @@ impl OsCore {
             stats: KernelStats::new(),
             regions: Vec::new(),
             user_snapshots: Vec::new(),
-            rdma_pending: BTreeMap::new(),
+            rdma_pending: Vec::new(),
             next_req: 0,
             listeners: BTreeMap::new(),
             mcast_subs: BTreeMap::new(),
@@ -310,8 +313,17 @@ impl OsCore {
     pub fn alloc_req(&mut self, slot: ServiceSlot, token: u64) -> ReqId {
         let id = self.next_req;
         self.next_req += 1;
-        self.rdma_pending.insert(id, (slot, token));
+        self.rdma_pending.push((id, slot, token));
         ReqId(id)
+    }
+
+    /// Retire an outstanding RDMA work request, returning its owner and
+    /// completion token. `swap_remove` keeps this O(1); order is
+    /// irrelevant because the table is only ever probed by request id.
+    pub fn take_rdma_pending(&mut self, req: u64) -> Option<(ServiceSlot, u64)> {
+        let pos = self.rdma_pending.iter().position(|&(id, _, _)| id == req)?;
+        let (_, slot, token) = self.rdma_pending.swap_remove(pos);
+        Some((slot, token))
     }
 
     /// CPU cost of one user-space `/proc` scan on this node right now.
@@ -508,9 +520,12 @@ mod tests {
         let mut c = core();
         let r = c.alloc_req(ServiceSlot(3), 99);
         assert_eq!(r, ReqId(0));
-        assert_eq!(c.rdma_pending.get(&0), Some(&(ServiceSlot(3), 99)));
+        assert_eq!(c.rdma_pending, vec![(0, ServiceSlot(3), 99)]);
         let r2 = c.alloc_req(ServiceSlot(3), 100);
         assert_eq!(r2, ReqId(1));
+        assert_eq!(c.take_rdma_pending(0), Some((ServiceSlot(3), 99)));
+        assert_eq!(c.take_rdma_pending(0), None);
+        assert_eq!(c.take_rdma_pending(1), Some((ServiceSlot(3), 100)));
     }
 
     #[test]

@@ -12,19 +12,26 @@
 //! runs once the backlog has (by scheduling priority) already drained —
 //! the mechanism behind the paper's Figure 6.
 
-use fgmon_types::{ConnId, Payload, ServiceSlot};
+use fgmon_types::{ConnId, McastGroup, Payload, ServiceSlot, SharedPayload};
 
-/// A packet waiting for its bottom half to finish before it can be
+/// A frame waiting for its bottom half to finish before it can be
 /// delivered to the destination thread/service.
 #[derive(Debug)]
-pub struct PendingDelivery {
-    pub conn: ConnId,
-    pub dst_service: ServiceSlot,
-    pub size: u32,
-    pub payload: Payload,
-    /// True when this entry is a multicast frame (routed via the mcast
-    /// subscription table rather than a connection listener).
-    pub mcast: Option<fgmon_types::McastGroup>,
+pub enum PendingDelivery {
+    /// A unicast packet bound for a connection listener.
+    Packet {
+        conn: ConnId,
+        dst_service: ServiceSlot,
+        size: u32,
+        payload: Payload,
+    },
+    /// A multicast frame routed via the subscription table; the body is
+    /// shared with every other recipient of the same transmission.
+    Mcast {
+        group: McastGroup,
+        size: u32,
+        payload: SharedPayload,
+    },
 }
 
 /// Interrupt bookkeeping for one CPU.
@@ -64,16 +71,20 @@ impl CpuIrq {
         self.pending_soft = 0;
         self.batch_hw = hw;
         self.batch_soft = soft;
-        self.in_batch = std::mem::take(&mut self.queued);
+        // `in_batch` is empty here (the previous batch drained it), so the
+        // swap recycles both buffers' capacity instead of reallocating.
+        debug_assert!(self.in_batch.is_empty());
+        std::mem::swap(&mut self.in_batch, &mut self.queued);
         (hw, soft)
     }
 
-    /// Finish the current batch; returns the deliveries to perform.
-    pub fn finish_batch(&mut self) -> Vec<PendingDelivery> {
+    /// Finish the current batch, appending the deliveries to perform onto
+    /// `out` (a caller-owned scratch buffer, reused across batches).
+    pub fn finish_batch_into(&mut self, out: &mut Vec<PendingDelivery>) {
         self.total += (self.batch_hw + self.batch_soft) as u64;
         self.batch_hw = 0;
         self.batch_soft = 0;
-        std::mem::take(&mut self.in_batch)
+        out.append(&mut self.in_batch);
     }
 
     #[inline]
@@ -88,12 +99,11 @@ mod tests {
     use super::*;
 
     fn delivery() -> PendingDelivery {
-        PendingDelivery {
+        PendingDelivery::Packet {
             conn: ConnId(1),
             dst_service: ServiceSlot(0),
             size: 64,
             payload: Payload::Opaque { tag: 0 },
-            mcast: None,
         }
     }
 
@@ -118,17 +128,36 @@ mod tests {
         irq.queued.push(delivery());
         assert_eq!(irq.visible_pending(), 7);
 
-        let delivered = irq.finish_batch();
+        let mut delivered = Vec::new();
+        irq.finish_batch_into(&mut delivered);
         assert_eq!(delivered.len(), 1);
         assert_eq!(irq.total, 6);
         assert_eq!(irq.visible_pending(), 1);
 
         let (hw, soft) = irq.begin_batch();
         assert_eq!((hw, soft), (1, 0));
-        let delivered = irq.finish_batch();
+        delivered.clear();
+        irq.finish_batch_into(&mut delivered);
         assert_eq!(delivered.len(), 1);
         assert_eq!(irq.total, 7);
         assert_eq!(irq.visible_pending(), 0);
+    }
+
+    #[test]
+    fn batch_buffers_recycle_capacity() {
+        let mut irq = CpuIrq::default();
+        let mut scratch = Vec::new();
+        for _ in 0..50 {
+            irq.queued.push(delivery());
+            irq.pending_hw += 1;
+            irq.begin_batch();
+            scratch.clear();
+            irq.finish_batch_into(&mut scratch);
+            assert_eq!(scratch.len(), 1);
+        }
+        // Both internal buffers kept their capacity across the swaps.
+        assert!(irq.queued.capacity() >= 1);
+        assert!(irq.in_batch.capacity() + irq.queued.capacity() >= 2);
     }
 
     #[test]

@@ -18,10 +18,9 @@
 
 use std::any::Any;
 
-use fgmon_sim::{Actor, ActorId, Ctx, SimDuration, SimTime};
+use fgmon_sim::{Actor, ActorId, Ctx, SeriesId, SimDuration, SimTime};
 use fgmon_types::{
-    ConnId, Msg, NetMsg, NodeId, NodeMsg, RdmaResult, RegionData, RegionId, ReqId, ServiceSlot,
-    ThreadId,
+    Msg, NetMsg, NodeId, NodeMsg, RdmaResult, RegionData, RegionId, ReqId, ServiceSlot, ThreadId,
 };
 
 use crate::core_state::{CpuRt, ListenMode, OsCore, RegionKind};
@@ -39,10 +38,26 @@ enum Ensure {
     Blocked,
 }
 
+/// Interned recorder handles for the ground-truth series this node emits
+/// every tick; formatting the keys once makes the tick allocation-free.
+struct GtSeries {
+    nthreads: SeriesId,
+    cpu_util: SeriesId,
+    run_queue: SeriesId,
+    loadavg1: SeriesId,
+    pending_irqs: SeriesId,
+    per_cpu_pending: Vec<SeriesId>,
+}
+
 /// One simulated machine: kernel state plus hosted services.
 pub struct NodeActor {
     core: OsCore,
     services: Vec<Option<Box<dyn Service>>>,
+    /// Reused buffer for draining IRQ delivery batches (capacity persists
+    /// across batches so the hot path never reallocates).
+    delivery_scratch: Vec<PendingDelivery>,
+    /// Lazily interned ground-truth metric handles.
+    gt_series: Option<GtSeries>,
 }
 
 impl NodeActor {
@@ -50,6 +65,8 @@ impl NodeActor {
         NodeActor {
             core,
             services: Vec::new(),
+            delivery_scratch: Vec::new(),
+            gt_series: None,
         }
     }
 
@@ -483,10 +500,12 @@ impl NodeActor {
             CpuRt::Irq { gen: g, resume } if g == gen => resume,
             _ => return, // stale
         };
-        let deliveries = self.core.irq[cpu as usize].finish_batch();
-        for d in deliveries {
+        let mut deliveries = std::mem::take(&mut self.delivery_scratch);
+        self.core.irq[cpu as usize].finish_batch_into(&mut deliveries);
+        for d in deliveries.drain(..) {
             self.route_delivery(now, ctx, d);
         }
+        self.delivery_scratch = deliveries;
         // More interrupts arrived during the batch?
         if self.core.irq[cpu as usize].visible_pending() > 0 {
             self.start_irq_batch(now, ctx, cpu, resume);
@@ -522,22 +541,30 @@ impl NodeActor {
     }
 
     fn route_delivery(&mut self, now: SimTime, ctx: &mut Ctx<'_, Msg>, d: PendingDelivery) {
-        if let Some(group) = d.mcast {
-            if let Some(&slot) = self.core.mcast_subs.get(&group) {
-                self.call_service(ctx, slot, |svc, os| svc.on_mcast(group, d.payload, os));
-            } else {
-                ctx.recorder().counter("os/mcast_dropped").inc();
+        let (conn, size, payload) = match d {
+            PendingDelivery::Mcast { group, payload, .. } => {
+                if let Some(&slot) = self.core.mcast_subs.get(&group) {
+                    self.call_service(ctx, slot, |svc, os| svc.on_mcast(group, payload, os));
+                } else {
+                    ctx.recorder().counter("os/mcast_dropped").inc();
+                }
+                return;
             }
-            return;
-        }
-        match self.core.listeners.get(&d.conn).copied() {
+            PendingDelivery::Packet {
+                conn,
+                size,
+                payload,
+                ..
+            } => (conn, size, payload),
+        };
+        match self.core.listeners.get(&conn).copied() {
             Some((slot, ListenMode::Thread(tid))) => {
                 if self.core.threads.get(tid).is_alive() {
                     self.core
                         .threads
                         .get_mut(tid)
                         .inbox
-                        .push_back((d.conn, d.size, d.payload));
+                        .push_back((conn, size, payload));
                     self.core.make_runnable(now, tid, true);
                 } else {
                     ctx.recorder().counter("os/pkt_dropped_dead_thread").inc();
@@ -546,7 +573,7 @@ impl NodeActor {
             }
             Some((slot, ListenMode::Direct)) => {
                 self.call_service(ctx, slot, |svc, os| {
-                    svc.on_packet(None, d.conn, d.size, d.payload, os)
+                    svc.on_packet(None, conn, size, payload, os)
                 });
             }
             None => {
@@ -640,7 +667,7 @@ impl NodeActor {
     }
 
     fn on_rdma_completion(&mut self, ctx: &mut Ctx<'_, Msg>, req_id: ReqId, result: RdmaResult) {
-        if let Some((slot, token)) = self.core.rdma_pending.remove(&req_id.0) {
+        if let Some((slot, token)) = self.core.take_rdma_pending(req_id.0) {
             self.call_service(ctx, slot, |svc, os| svc.on_rdma_complete(token, result, os));
         }
     }
@@ -648,20 +675,26 @@ impl NodeActor {
     fn record_ground_truth(&mut self, now: SimTime, ctx: &mut Ctx<'_, Msg>, period_nanos: u64) {
         let snap = self.core.snapshot(now, true);
         let node = self.core.node;
+        let ncpus = self.core.ncpus();
         let r = ctx.recorder();
-        r.series(&format!("gt/{node}/nthreads"))
-            .push(now, snap.nthreads as f64);
-        r.series(&format!("gt/{node}/cpu_util"))
-            .push(now, snap.cpu_util);
-        r.series(&format!("gt/{node}/run_queue"))
-            .push(now, snap.run_queue as f64);
-        r.series(&format!("gt/{node}/loadavg1"))
-            .push(now, snap.loadavg1);
-        r.series(&format!("gt/{node}/pending_irqs"))
+        let ids = self.gt_series.get_or_insert_with(|| GtSeries {
+            nthreads: r.series_id(&format!("gt/{node}/nthreads")),
+            cpu_util: r.series_id(&format!("gt/{node}/cpu_util")),
+            run_queue: r.series_id(&format!("gt/{node}/run_queue")),
+            loadavg1: r.series_id(&format!("gt/{node}/loadavg1")),
+            pending_irqs: r.series_id(&format!("gt/{node}/pending_irqs")),
+            per_cpu_pending: (0..ncpus)
+                .map(|cpu| r.series_id(&format!("gt/{node}/pending_irqs_cpu{cpu}")))
+                .collect(),
+        });
+        r.series_at(ids.nthreads).push(now, snap.nthreads as f64);
+        r.series_at(ids.cpu_util).push(now, snap.cpu_util);
+        r.series_at(ids.run_queue).push(now, snap.run_queue as f64);
+        r.series_at(ids.loadavg1).push(now, snap.loadavg1);
+        r.series_at(ids.pending_irqs)
             .push(now, snap.pending_irqs_total() as f64);
-        for (cpu, &p) in snap.pending_irqs.iter().enumerate().take(self.core.ncpus()) {
-            r.series(&format!("gt/{node}/pending_irqs_cpu{cpu}"))
-                .push(now, p as f64);
+        for (&id, &p) in ids.per_cpu_pending.iter().zip(snap.pending_irqs.iter()) {
+            r.series_at(id).push(now, p as f64);
         }
         let me = self.core.self_actor;
         ctx.send_in(
@@ -711,12 +744,11 @@ impl Actor<Msg> for NodeActor {
                 self.raise_irq(
                     now,
                     ctx,
-                    Some(PendingDelivery {
+                    Some(PendingDelivery::Packet {
                         conn,
                         dst_service,
                         size,
                         payload,
-                        mcast: None,
                     }),
                     1,
                     1,
@@ -731,12 +763,10 @@ impl Actor<Msg> for NodeActor {
                 self.raise_irq(
                     now,
                     ctx,
-                    Some(PendingDelivery {
-                        conn: ConnId(u64::MAX),
-                        dst_service: ServiceSlot(u16::MAX),
+                    Some(PendingDelivery::Mcast {
+                        group,
                         size,
                         payload,
-                        mcast: Some(group),
                     }),
                     1,
                     1,

@@ -11,7 +11,7 @@ use std::any::Any;
 use fgmon_sim::{Ctx, DetRng, SimDuration, SimTime};
 use fgmon_types::{
     ConnId, LoadSnapshot, McastGroup, Msg, NetMsg, NodeId, NodeMsg, Payload, RdmaResult,
-    RegionData, RegionId, ServiceSlot, ThreadId,
+    RegionData, RegionId, ServiceSlot, SharedPayload, ThreadId,
 };
 
 use crate::core_state::{ListenMode, OsCore, RegionKind};
@@ -67,7 +67,7 @@ pub trait Service: Any {
     fn on_rdma_complete(&mut self, token: u64, result: RdmaResult, os: &mut OsApi<'_, '_>) {
         let _ = (token, result, os);
     }
-    fn on_mcast(&mut self, group: McastGroup, payload: Payload, os: &mut OsApi<'_, '_>) {
+    fn on_mcast(&mut self, group: McastGroup, payload: SharedPayload, os: &mut OsApi<'_, '_>) {
         let _ = (group, payload, os);
     }
 }
@@ -125,6 +125,11 @@ impl OsApi<'_, '_> {
         let prior = {
             let t = self.core.threads.get_mut(tid);
             let prior = t.state;
+            if prior == ThreadState::Dead {
+                // Double-exit: the slot is already released (and possibly
+                // reused); touching it again would corrupt the free list.
+                return;
+            }
             t.state = ThreadState::Dead;
             t.bump_gen();
             t.ops.clear();
@@ -152,6 +157,7 @@ impl OsApi<'_, '_> {
             }
             _ => {}
         }
+        self.core.threads.release(tid);
     }
 
     /// Make a blocked thread runnable, delivering `token` via `on_wake`
@@ -197,9 +203,16 @@ impl OsApi<'_, '_> {
         self.push_op(tid, ThreadOp::Send { conn, payload });
     }
 
-    /// Queue a hardware-multicast send from `tid`.
+    /// Queue a hardware-multicast send from `tid`. The body is allocated
+    /// once here and shared by reference with every recipient.
     pub fn mcast_send(&mut self, tid: ThreadId, group: McastGroup, payload: Payload) {
-        self.push_op(tid, ThreadOp::McastSend { group, payload });
+        self.push_op(
+            tid,
+            ThreadOp::McastSend {
+                group,
+                payload: SharedPayload::new(payload),
+            },
+        );
     }
 
     fn push_op(&mut self, tid: ThreadId, op: ThreadOp) {
@@ -270,7 +283,7 @@ impl OsApi<'_, '_> {
                 src,
                 group,
                 size,
-                payload,
+                payload: SharedPayload::new(payload),
             }),
         );
     }

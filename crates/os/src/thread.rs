@@ -9,7 +9,7 @@
 use std::collections::VecDeque;
 
 use fgmon_sim::{SimDuration, SimTime};
-use fgmon_types::{ConnId, McastGroup, Payload, ServiceSlot, ThreadId};
+use fgmon_types::{ConnId, McastGroup, Payload, ServiceSlot, SharedPayload, ThreadId};
 
 /// A queued unit of work for one thread.
 #[derive(Debug)]
@@ -30,8 +30,11 @@ pub enum ThreadOp {
     /// Consume the kernel send-path CPU cost, then emit the packet.
     Send { conn: ConnId, payload: Payload },
     /// Consume the kernel send-path CPU cost, then emit a hardware
-    /// multicast frame.
-    McastSend { group: McastGroup, payload: Payload },
+    /// multicast frame (body already shared for zero-copy fan-out).
+    McastSend {
+        group: McastGroup,
+        payload: SharedPayload,
+    },
 }
 
 /// Why the CPU is currently executing a burst for this thread.
@@ -45,7 +48,10 @@ pub enum BurstKind {
     /// Kernel send path; on completion the packet leaves the node.
     Send { conn: ConnId, payload: Payload },
     /// Kernel send path for a multicast frame.
-    McastSend { group: McastGroup, payload: Payload },
+    McastSend {
+        group: McastGroup,
+        payload: SharedPayload,
+    },
 }
 
 /// The in-progress burst of a running (or preempted) thread.
@@ -129,10 +135,15 @@ impl Thread {
     }
 }
 
-/// Slab of threads for one node.
+/// Slab of threads for one node. Dead slots are recycled (LIFO) so a
+/// service that churns short-lived workers — the web pool exits one per
+/// request once spares accumulate — neither grows the table without
+/// bound nor re-allocates per-thread op queues on every spawn.
 #[derive(Debug, Default)]
 pub struct ThreadTable {
     threads: Vec<Thread>,
+    /// Slots released by [`ThreadTable::release`], ready for reuse.
+    free: Vec<u32>,
 }
 
 impl ThreadTable {
@@ -141,9 +152,31 @@ impl ThreadTable {
     }
 
     pub fn spawn(&mut self, owner: ServiceSlot, name: &'static str) -> ThreadId {
+        if let Some(slot) = self.free.pop() {
+            let t = &mut self.threads[slot as usize];
+            debug_assert_eq!(t.state, ThreadState::Dead);
+            t.owner = owner;
+            t.name = name;
+            t.state = ThreadState::Idle;
+            // `gen` is deliberately NOT reset: it keeps growing across
+            // incarnations so events addressed to the previous occupant
+            // stay stale. `ops`/`inbox` keep their capacity.
+            t.burst = None;
+            t.pending_wake = None;
+            t.runnable_since = SimTime::ZERO;
+            return t.id;
+        }
         let id = ThreadId(self.threads.len() as u32);
         self.threads.push(Thread::new(id, owner, name));
         id
+    }
+
+    /// Return a dead thread's slot to the free list. The caller must have
+    /// already cleared its queues and bumped its generation (see
+    /// `OsApi::exit_thread`).
+    pub fn release(&mut self, id: ThreadId) {
+        debug_assert_eq!(self.threads[id.index()].state, ThreadState::Dead);
+        self.free.push(id.0);
     }
 
     #[inline]

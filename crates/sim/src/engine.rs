@@ -10,10 +10,9 @@
 //! deterministic for a given seed.
 
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 use crate::metrics::Recorder;
+use crate::queue::{Entry, EventQueue, QueueKind};
 use crate::time::{SimDuration, SimTime};
 
 /// Identifies an actor registered with an [`Engine`].
@@ -36,30 +35,6 @@ impl ActorId {
 pub trait Actor<M>: Any {
     /// Handle one event addressed to this actor at virtual time `now`.
     fn handle(&mut self, now: SimTime, msg: M, ctx: &mut Ctx<'_, M>);
-}
-
-struct Entry<M> {
-    time: SimTime,
-    seq: u64,
-    dst: ActorId,
-    msg: M,
-}
-
-impl<M> PartialEq for Entry<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for Entry<M> {}
-impl<M> PartialOrd for Entry<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Entry<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
 }
 
 /// Context handed to an actor while it handles an event.
@@ -133,7 +108,7 @@ pub enum RunOutcome {
 /// The discrete-event simulation engine.
 pub struct Engine<M> {
     actors: Vec<Option<Box<dyn Actor<M>>>>,
-    queue: BinaryHeap<Reverse<Entry<M>>>,
+    queue: EventQueue<M>,
     staging: Vec<(SimTime, ActorId, M)>,
     now: SimTime,
     seq: u64,
@@ -153,7 +128,7 @@ impl<M: 'static> Engine<M> {
     pub fn new() -> Self {
         Engine {
             actors: Vec::new(),
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(QueueKind::Wheel),
             staging: Vec::new(),
             now: SimTime::ZERO,
             seq: 0,
@@ -168,6 +143,39 @@ impl<M: 'static> Engine<M> {
     /// backstop against event loops that never settle).
     pub fn set_event_budget(&mut self, budget: u64) {
         self.event_budget = budget;
+    }
+
+    /// Which event-queue implementation is active.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
+    }
+
+    /// Switch the event-queue implementation, migrating every queued event
+    /// with its original `(time, seq)` key — the run is bitwise unaffected
+    /// by when (or whether) the switch happens.
+    pub fn set_queue_kind(&mut self, kind: QueueKind) {
+        if self.queue.kind() == kind {
+            return;
+        }
+        let mut next = EventQueue::new(kind);
+        next.reserve(self.queue.len());
+        while let Some(entry) = self.queue.pop() {
+            next.push(entry);
+        }
+        self.queue = next;
+    }
+
+    /// Capacity hint from world builders: pre-size the actor table for
+    /// `actors` registrations and the event structures for roughly
+    /// `events` concurrently outstanding events, so steady-state
+    /// scheduling never grows them.
+    pub fn reserve_capacity(&mut self, actors: usize, events: usize) {
+        self.actors
+            .reserve(actors.saturating_sub(self.actors.len()));
+        if self.staging.capacity() < 64 {
+            self.staging.reserve(64 - self.staging.capacity());
+        }
+        self.queue.reserve(events);
     }
 
     /// Register an actor and return its id.
@@ -231,12 +239,19 @@ impl<M: 'static> Engine<M> {
     pub fn schedule(&mut self, at: SimTime, dst: ActorId, msg: M) {
         let at = at.max(self.now);
         let seq = self.next_seq();
-        self.queue.push(Reverse(Entry {
-            time: at,
+        self.push_event(at, seq, dst, msg);
+    }
+
+    /// The single point where events enter the queue — both external
+    /// scheduling and the staged-send flush go through here.
+    #[inline]
+    fn push_event(&mut self, time: SimTime, seq: u64, dst: ActorId, msg: M) {
+        self.queue.push(Entry {
+            time,
             seq,
             dst,
             msg,
-        }));
+        });
     }
 
     /// Schedule an event `delay` after the current time.
@@ -277,14 +292,14 @@ impl<M: 'static> Engine<M> {
             if self.events_processed >= self.event_budget {
                 return RunOutcome::EventBudgetExhausted;
             }
-            let Some(Reverse(head)) = self.queue.peek() else {
+            let Some((head_time, _)) = self.queue.peek_key() else {
                 return RunOutcome::QueueDrained;
             };
-            if head.time > horizon {
+            if head_time > horizon {
                 self.now = horizon;
                 return RunOutcome::HorizonReached;
             }
-            let Reverse(entry) = self.queue.pop().expect("peeked entry vanished");
+            let entry = self.queue.pop().expect("peeked entry vanished");
             debug_assert!(entry.time >= self.now, "time went backwards");
             self.now = entry.time;
             self.events_processed += 1;
@@ -314,7 +329,7 @@ impl<M: 'static> Engine<M> {
         if self.events_processed >= self.event_budget {
             return false;
         }
-        let Some(Reverse(entry)) = self.queue.pop() else {
+        let Some(entry) = self.queue.pop() else {
             return false;
         };
         self.now = entry.time;
@@ -344,17 +359,20 @@ impl<M: 'static> Engine<M> {
             actor.handle(entry.time, entry.msg, &mut ctx);
         }
         self.actors[idx] = Some(actor);
-        // Flush staged sends into the queue in submission order.
+        self.flush_staging();
+    }
+
+    /// Flush staged sends into the queue in submission order. The staging
+    /// buffer is drained in place, so its capacity is reused across
+    /// dispatches and `Ctx::send_*` never reallocates in steady state.
+    fn flush_staging(&mut self) {
         let base_seq = self.seq;
         self.seq += self.staging.len() as u64;
-        for (i, (time, dst, msg)) in self.staging.drain(..).enumerate() {
-            self.queue.push(Reverse(Entry {
-                time,
-                seq: base_seq + i as u64,
-                dst,
-                msg,
-            }));
+        let mut staging = std::mem::take(&mut self.staging);
+        for (i, (time, dst, msg)) in staging.drain(..).enumerate() {
+            self.push_event(time, base_seq + i as u64, dst, msg);
         }
+        self.staging = staging;
     }
 }
 

@@ -23,10 +23,14 @@
 
 pub mod engine;
 pub mod metrics;
+pub mod queue;
 pub mod rng;
 pub mod time;
 
 pub use engine::{Actor, ActorId, Ctx, Engine, RunOutcome};
-pub use metrics::{Counter, Histogram, Recorder, Summary, TimeSeries};
+pub use metrics::{
+    Counter, CounterId, Histogram, HistogramId, Recorder, SeriesId, Summary, TimeSeries,
+};
+pub use queue::QueueKind;
 pub use rng::{DetRng, ZipfSampler};
 pub use time::{SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};

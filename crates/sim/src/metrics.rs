@@ -278,16 +278,34 @@ impl Counter {
     }
 }
 
+/// Stable handle to a [`Recorder`] histogram, valid for the recorder that
+/// issued it. Hot paths intern their key once and record through the
+/// handle, skipping the per-sample key formatting and map lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramId(u32);
+
+/// Stable handle to a [`Recorder`] time series (see [`HistogramId`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeriesId(u32);
+
+/// Stable handle to a [`Recorder`] counter (see [`HistogramId`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(u32);
+
 /// String-keyed metric registry shared by every actor in an engine run.
 ///
 /// Keys are hierarchical by convention, e.g. `"mon/latency/RdmaSync"` or
-/// `"rubis/resp/Browse"`. A `BTreeMap` keeps iteration order deterministic
-/// so reports are byte-stable across runs.
+/// `"rubis/resp/Browse"`. Metrics live in dense slabs addressed by interned
+/// ids; a `BTreeMap` name index keeps key iteration deterministic (sorted)
+/// so reports are byte-stable across runs regardless of insertion order.
 #[derive(Default)]
 pub struct Recorder {
-    histograms: BTreeMap<String, Histogram>,
-    series: BTreeMap<String, TimeSeries>,
-    counters: BTreeMap<String, Counter>,
+    histograms: Vec<Histogram>,
+    hist_index: BTreeMap<String, u32>,
+    series: Vec<TimeSeries>,
+    series_index: BTreeMap<String, u32>,
+    counters: Vec<Counter>,
+    counter_index: BTreeMap<String, u32>,
 }
 
 impl Recorder {
@@ -295,49 +313,101 @@ impl Recorder {
         Self::default()
     }
 
-    pub fn histogram(&mut self, key: &str) -> &mut Histogram {
-        if !self.histograms.contains_key(key) {
-            self.histograms.insert(key.to_owned(), Histogram::new());
+    /// Intern `key`, creating an empty histogram on first use. The returned
+    /// id stays valid for the lifetime of this recorder.
+    pub fn histogram_id(&mut self, key: &str) -> HistogramId {
+        if let Some(&i) = self.hist_index.get(key) {
+            return HistogramId(i);
         }
-        self.histograms.get_mut(key).expect("just inserted")
+        let i = self.histograms.len() as u32;
+        self.histograms.push(Histogram::new());
+        self.hist_index.insert(key.to_owned(), i);
+        HistogramId(i)
+    }
+
+    /// Intern `key`, creating an empty series on first use.
+    pub fn series_id(&mut self, key: &str) -> SeriesId {
+        if let Some(&i) = self.series_index.get(key) {
+            return SeriesId(i);
+        }
+        let i = self.series.len() as u32;
+        self.series.push(TimeSeries::new());
+        self.series_index.insert(key.to_owned(), i);
+        SeriesId(i)
+    }
+
+    /// Intern `key`, creating a zero counter on first use.
+    pub fn counter_id(&mut self, key: &str) -> CounterId {
+        if let Some(&i) = self.counter_index.get(key) {
+            return CounterId(i);
+        }
+        let i = self.counters.len() as u32;
+        self.counters.push(Counter::default());
+        self.counter_index.insert(key.to_owned(), i);
+        CounterId(i)
+    }
+
+    /// Allocation-free access via an interned handle.
+    #[inline]
+    pub fn histogram_at(&mut self, id: HistogramId) -> &mut Histogram {
+        &mut self.histograms[id.0 as usize]
+    }
+
+    /// Allocation-free access via an interned handle.
+    #[inline]
+    pub fn series_at(&mut self, id: SeriesId) -> &mut TimeSeries {
+        &mut self.series[id.0 as usize]
+    }
+
+    /// Allocation-free access via an interned handle.
+    #[inline]
+    pub fn counter_at(&mut self, id: CounterId) -> &mut Counter {
+        &mut self.counters[id.0 as usize]
+    }
+
+    pub fn histogram(&mut self, key: &str) -> &mut Histogram {
+        let id = self.histogram_id(key);
+        self.histogram_at(id)
     }
 
     pub fn series(&mut self, key: &str) -> &mut TimeSeries {
-        if !self.series.contains_key(key) {
-            self.series.insert(key.to_owned(), TimeSeries::new());
-        }
-        self.series.get_mut(key).expect("just inserted")
+        let id = self.series_id(key);
+        self.series_at(id)
     }
 
     pub fn counter(&mut self, key: &str) -> &mut Counter {
-        if !self.counters.contains_key(key) {
-            self.counters.insert(key.to_owned(), Counter::default());
-        }
-        self.counters.get_mut(key).expect("just inserted")
+        let id = self.counter_id(key);
+        self.counter_at(id)
     }
 
     pub fn get_histogram(&self, key: &str) -> Option<&Histogram> {
-        self.histograms.get(key)
+        self.hist_index
+            .get(key)
+            .map(|&i| &self.histograms[i as usize])
     }
 
     pub fn get_series(&self, key: &str) -> Option<&TimeSeries> {
-        self.series.get(key)
+        self.series_index
+            .get(key)
+            .map(|&i| &self.series[i as usize])
     }
 
     pub fn get_counter(&self, key: &str) -> Option<Counter> {
-        self.counters.get(key).copied()
+        self.counter_index
+            .get(key)
+            .map(|&i| self.counters[i as usize])
     }
 
     pub fn histogram_keys(&self) -> impl Iterator<Item = &str> {
-        self.histograms.keys().map(String::as_str)
+        self.hist_index.keys().map(String::as_str)
     }
 
     pub fn series_keys(&self) -> impl Iterator<Item = &str> {
-        self.series.keys().map(String::as_str)
+        self.series_index.keys().map(String::as_str)
     }
 
     pub fn counter_keys(&self) -> impl Iterator<Item = &str> {
-        self.counters.keys().map(String::as_str)
+        self.counter_index.keys().map(String::as_str)
     }
 }
 
@@ -468,6 +538,28 @@ mod tests {
         assert_eq!(r.get_counter("missing"), None);
         assert!(r.get_histogram("a/first").is_some());
         assert!(r.get_series("s").is_some());
+    }
+
+    #[test]
+    fn interned_ids_alias_string_keys() {
+        let mut r = Recorder::new();
+        let h = r.histogram_id("lat");
+        assert_eq!(h, r.histogram_id("lat"));
+        r.histogram_at(h).record(42);
+        r.histogram("lat").record(43);
+        assert_eq!(r.get_histogram("lat").unwrap().count(), 2);
+
+        let s = r.series_id("load");
+        r.series_at(s).push(SimTime(5), 1.5);
+        assert_eq!(r.get_series("load").unwrap().len(), 1);
+
+        let c = r.counter_id("done");
+        r.counter_at(c).inc();
+        r.counter("done").add(2);
+        assert_eq!(r.get_counter("done").unwrap().get(), 3);
+
+        // Ids are dense and distinct per kind.
+        assert_ne!(r.histogram_id("other"), h);
     }
 
     #[test]

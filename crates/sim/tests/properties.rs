@@ -1,7 +1,48 @@
 //! Property-based tests for the simulation engine's data structures.
 
-use fgmon_sim::{DetRng, Histogram, SimDuration, SimTime, TimeSeries, ZipfSampler};
+use fgmon_sim::{
+    Actor, ActorId, Ctx, DetRng, Engine, Histogram, QueueKind, SimDuration, SimTime, TimeSeries,
+    ZipfSampler,
+};
 use proptest::prelude::*;
+
+/// Test actor for the event-queue ordering property: records every
+/// delivery and schedules scripted follow-ups ("late inserts" landing at
+/// or after the current instant, the case a timing wheel gets wrong
+/// first).
+struct QueueProbe {
+    trace: Vec<(u64, u32)>,
+    /// For each received id: follow-ups to schedule as `(delay, new_id)`.
+    followups: Vec<Vec<(u64, u32)>>,
+}
+
+impl Actor<u32> for QueueProbe {
+    fn handle(&mut self, now: SimTime, msg: u32, ctx: &mut Ctx<'_, u32>) {
+        self.trace.push((now.nanos(), msg));
+        if let Some(fs) = self.followups.get(msg as usize) {
+            for &(delay, new_id) in fs {
+                ctx.send_in(SimDuration(delay), ctx.self_id, new_id);
+            }
+        }
+    }
+}
+
+/// Run the probe scenario on the given queue implementation and return
+/// the delivery trace.
+fn queue_trace(kind: QueueKind, times: &[u64], followups: &[Vec<(u64, u32)>]) -> Vec<(u64, u32)> {
+    let mut eng: Engine<u32> = Engine::new();
+    eng.set_queue_kind(kind);
+    let a: ActorId = eng.add_actor(Box::new(QueueProbe {
+        trace: Vec::new(),
+        followups: followups.to_vec(),
+    }));
+    for (id, &t) in times.iter().enumerate() {
+        eng.schedule(SimTime(t), a, id as u32);
+    }
+    eng.run_until(SimTime::MAX);
+    let probe: &QueueProbe = eng.actor(a).expect("probe");
+    probe.trace.clone()
+}
 
 proptest! {
     /// Histogram quantiles are bounded by min/max and monotone in q.
@@ -122,6 +163,52 @@ proptest! {
                 i
             );
         }
+    }
+
+    /// The engine dequeues in strict (time, seq) order on BOTH queue
+    /// implementations: delivery times never regress, same-time events
+    /// keep their scheduling (seq) order, and the timing wheel's trace is
+    /// identical to the reference binary heap's — including follow-ups
+    /// scheduled mid-run at arbitrary (possibly zero) delays, which land
+    /// below the wheel's cursor.
+    #[test]
+    fn event_queue_dequeues_in_time_seq_order(
+        times in prop::collection::vec(0u64..5_000, 1..60),
+        raw_followups in prop::collection::vec(
+            (0usize..60, 0u64..3_000),
+            0..40
+        ),
+    ) {
+        // Each follow-up hangs off one initial event (index wrapped into
+        // range) and gets a fresh id above the initial range.
+        let mut followups: Vec<Vec<(u64, u32)>> = vec![Vec::new(); times.len()];
+        for (k, &(target, delay)) in raw_followups.iter().enumerate() {
+            followups[target % times.len()].push((delay, (times.len() + k) as u32));
+        }
+
+        let heap = queue_trace(QueueKind::Heap, &times, &followups);
+        let wheel = queue_trace(QueueKind::Wheel, &times, &followups);
+
+        // Everything scheduled is delivered exactly once.
+        prop_assert_eq!(heap.len(), times.len() + raw_followups.len());
+
+        // Delivery time never regresses.
+        for w in heap.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time regressed: {:?} -> {:?}", w[0], w[1]);
+        }
+
+        // Same-time initial events keep scheduling order (seq order):
+        // their ids were assigned in schedule order.
+        for w in heap.windows(2) {
+            let (ta, ia) = w[0];
+            let (tb, ib) = w[1];
+            if ta == tb && (ia as usize) < times.len() && (ib as usize) < times.len() {
+                prop_assert!(ia < ib, "same-time FIFO violated: {} before {}", ia, ib);
+            }
+        }
+
+        // The wheel is bitwise order-equivalent to the reference heap.
+        prop_assert_eq!(heap, wheel);
     }
 
     /// TimeSeries::value_at returns the latest point at or before t.

@@ -507,8 +507,15 @@ impl RetryTracker {
     /// do about each. Call on a timer (or before issuing new polls).
     pub fn poll_timeouts(&mut self, now: SimTime) -> Vec<TimeoutAction> {
         let mut actions = Vec::new();
+        self.poll_timeouts_into(now, &mut actions);
+        actions
+    }
+
+    /// Like [`RetryTracker::poll_timeouts`], but appends into a
+    /// caller-owned buffer so steady-state timeout sweeps never allocate.
+    pub fn poll_timeouts_into(&mut self, now: SimTime, actions: &mut Vec<TimeoutAction>) {
         if !self.policy.enabled() {
-            return actions;
+            return;
         }
         let mut i = 0;
         while i < self.inflight.len() {
@@ -535,7 +542,6 @@ impl RetryTracker {
                 i += 1;
             }
         }
-        actions
     }
 
     /// Classify an arriving reply. An `Accepted` reply clears the failure

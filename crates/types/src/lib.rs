@@ -26,7 +26,7 @@ pub use health::{
 pub use ids::{ConnId, McastGroup, NodeId, RegionId, ReqId, ServiceSlot, ThreadId};
 pub use load::{LoadSnapshot, LoadWeights, NodeCapacity, MAX_CPUS};
 pub use msg::{Msg, NetMsg, NodeMsg, RdmaResult, RegionData};
-pub use payload::{Payload, QueryClass, RequestKind};
+pub use payload::{Payload, QueryClass, RequestKind, SharedPayload};
 pub use race::{
     RaceDetector, RaceMode, RaceReport, ReadVerdict, SharedRaceDetector, TornRead,
     MAX_TORN_DIAGNOSTICS, SEQLOCK_MAX_RETRIES,

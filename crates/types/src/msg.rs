@@ -8,7 +8,7 @@
 use crate::health::RecordFence;
 use crate::ids::{ConnId, McastGroup, NodeId, RegionId, ReqId, ServiceSlot, ThreadId};
 use crate::load::LoadSnapshot;
-use crate::payload::Payload;
+use crate::payload::{Payload, SharedPayload};
 
 /// Union of all event kinds in the simulation.
 #[derive(Debug)]
@@ -92,11 +92,12 @@ pub enum NodeMsg {
     },
     /// An RDMA work request this node posted has completed.
     RdmaCompletion { req_id: ReqId, result: RdmaResult },
-    /// A hardware-multicast frame reached this node's NIC.
+    /// A hardware-multicast frame reached this node's NIC. The body is
+    /// shared with every other recipient of the same transmission.
     McastDeliver {
         group: McastGroup,
         size: u32,
-        payload: Payload,
+        payload: SharedPayload,
     },
     /// Harness probe: record ground-truth load into the recorder and
     /// re-arm. Costs zero simulated CPU (the DES equivalent of the paper's
@@ -142,11 +143,13 @@ pub enum NetMsg {
         result: RdmaResult,
     },
     /// Hardware multicast transmission to every subscriber of `group`.
+    /// The body is allocated once at the sender and shared by reference
+    /// with every delivery the switch replicates.
     McastSend {
         src: NodeId,
         group: McastGroup,
         size: u32,
-        payload: Payload,
+        payload: SharedPayload,
     },
 }
 

@@ -62,6 +62,14 @@ pub enum RequestKind {
     Float { work_us: u64 },
 }
 
+/// A multicast payload body, shared by reference across every recipient.
+///
+/// The fabric replicates multicast frames in hardware; the simulation
+/// mirrors that by handing each recipient the *same* immutable body
+/// (`Rc` refcount bump) instead of a per-recipient deep clone. The engine
+/// is single-threaded, so `Rc` is safe and lint-clean.
+pub type SharedPayload = std::rc::Rc<Payload>;
+
 /// Application payloads.
 #[derive(Clone, Debug)]
 pub enum Payload {

@@ -3,7 +3,7 @@
 //! the cluster through the front-end).
 
 use fgmon_os::{OsApi, Service};
-use fgmon_sim::{SimDuration, SimTime};
+use fgmon_sim::{CounterId, HistogramId, SimDuration, SimTime};
 use fgmon_types::{ConnId, Payload, QueryClass, RequestKind, ThreadId};
 
 use crate::rubis::TransitionMatrix;
@@ -29,6 +29,17 @@ pub struct RubisClient {
     pub completed: u64,
     /// Metric namespace prefix.
     pub key_prefix: &'static str,
+    /// Interned per-class response histograms + completion counter,
+    /// formatted once so the per-response path is allocation-free. Each
+    /// key is interned on first use only, so the recorder's key set (and
+    /// thus report output) is identical to formatting per sample.
+    metric_ids: RubisMetricIds,
+}
+
+#[derive(Default)]
+struct RubisMetricIds {
+    resp: [Option<HistogramId>; QueryClass::ALL.len()],
+    completed: Option<CounterId>,
 }
 
 impl RubisClient {
@@ -41,6 +52,7 @@ impl RubisClient {
             state: Vec::new(),
             completed: 0,
             key_prefix: "rubis",
+            metric_ids: RubisMetricIds::default(),
         }
     }
 
@@ -116,10 +128,15 @@ impl Service for RubisClient {
         let class = sess.class;
         self.completed += 1;
         let prefix = self.key_prefix;
-        os.recorder()
-            .histogram(&format!("{prefix}/resp/{}", class.label()))
-            .record(rt.nanos());
-        os.recorder().counter(&format!("{prefix}/completed")).inc();
+        let r = os.recorder();
+        let hist = *self.metric_ids.resp[class as usize]
+            .get_or_insert_with(|| r.histogram_id(&format!("{prefix}/resp/{}", class.label())));
+        r.histogram_at(hist).record(rt.nanos());
+        let done = *self
+            .metric_ids
+            .completed
+            .get_or_insert_with(|| r.counter_id(&format!("{prefix}/completed")));
+        r.counter_at(done).inc();
         let think = SimDuration::from_secs_f64(os.rng().exp(self.think_mean.as_secs_f64()));
         os.set_timer(think, req_id);
     }
@@ -134,6 +151,10 @@ pub struct ZipfClient {
     state: Vec<SessionState>,
     pub completed: u64,
     pub key_prefix: &'static str,
+    /// Interned response histogram + completion counter (see
+    /// [`RubisMetricIds`] for the lazy-interning rationale).
+    resp_id: Option<HistogramId>,
+    completed_id: Option<CounterId>,
 }
 
 impl ZipfClient {
@@ -146,6 +167,8 @@ impl ZipfClient {
             state: Vec::new(),
             completed: 0,
             key_prefix: "zipf",
+            resp_id: None,
+            completed_id: None,
         }
     }
 
@@ -215,10 +238,15 @@ impl Service for ZipfClient {
         let rt = os.now().since(sess.sent_at);
         self.completed += 1;
         let prefix = self.key_prefix;
-        os.recorder()
-            .histogram(&format!("{prefix}/resp"))
-            .record(rt.nanos());
-        os.recorder().counter(&format!("{prefix}/completed")).inc();
+        let r = os.recorder();
+        let hist = *self
+            .resp_id
+            .get_or_insert_with(|| r.histogram_id(&format!("{prefix}/resp")));
+        r.histogram_at(hist).record(rt.nanos());
+        let done = *self
+            .completed_id
+            .get_or_insert_with(|| r.counter_id(&format!("{prefix}/completed")));
+        r.counter_at(done).inc();
         let think = SimDuration::from_secs_f64(os.rng().exp(self.think_mean.as_secs_f64()));
         os.set_timer(think, req_id);
     }

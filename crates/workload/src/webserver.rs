@@ -14,7 +14,7 @@
 //! live-thread count (a Fig. 5 ground-truth signal) tracks offered load,
 //! as with real prefork servers.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use fgmon_os::{OsApi, Service};
 use fgmon_sim::SimDuration;
@@ -54,7 +54,9 @@ pub struct WorkerPoolServer {
     idle: Vec<ThreadId>,
     worker_count: u32,
     backlog: VecDeque<Work>,
-    inflight: BTreeMap<u64, Work>,
+    /// Requests currently in their PHP or DB phase. Bounded by the pool
+    /// size, so a linear scan beats per-request map node churn.
+    inflight: Vec<(u64, Work)>,
     next_token: u64,
     /// Is the (per-node) database lock held?
     db_busy: bool,
@@ -84,7 +86,7 @@ impl WorkerPoolServer {
             idle: Vec::new(),
             worker_count: 0,
             backlog: VecDeque::new(),
-            inflight: BTreeMap::new(),
+            inflight: Vec::new(),
             next_token: 0,
             db_busy: false,
             db_waiters: VecDeque::new(),
@@ -160,15 +162,14 @@ impl WorkerPoolServer {
         let token = self.next_token;
         self.next_token += 1;
         work.worker = Some(worker);
-        self.inflight.insert(token, work);
+        self.inflight.push((token, work));
         os.burst(worker, php, token);
     }
 
     /// PHP phase finished: enter the DB phase (or finish if none).
     fn on_php_done(&mut self, worker: ThreadId, token: u64, os: &mut OsApi<'_, '_>) {
         let needs_db = self
-            .inflight
-            .get(&token)
+            .inflight_get(token)
             .map(|w| w.db_demand > SimDuration::ZERO)
             .unwrap_or(false);
         if !needs_db {
@@ -181,7 +182,7 @@ impl WorkerPoolServer {
             self.db_waiters.push_back(token);
         } else {
             self.db_busy = true;
-            let demand = self.inflight.get(&token).expect("inflight").db_demand;
+            let demand = self.inflight_get(token).expect("inflight").db_demand;
             os.burst(worker, demand, token | PHASE_DB);
         }
     }
@@ -190,7 +191,7 @@ impl WorkerPoolServer {
     fn on_db_done(&mut self, worker: ThreadId, token: u64, os: &mut OsApi<'_, '_>) {
         self.db_busy = false;
         if let Some(next) = self.db_waiters.pop_front() {
-            if let Some(w) = self.inflight.get(&next) {
+            if let Some(w) = self.inflight_get(next) {
                 let demand = w.db_demand;
                 if let Some(wtid) = w.worker {
                     self.db_busy = true;
@@ -201,10 +202,18 @@ impl WorkerPoolServer {
         self.finish(worker, token, os);
     }
 
+    fn inflight_get(&self, token: u64) -> Option<&Work> {
+        self.inflight
+            .iter()
+            .find(|&&(t, _)| t == token)
+            .map(|(_, w)| w)
+    }
+
     fn finish(&mut self, worker: ThreadId, token: u64, os: &mut OsApi<'_, '_>) {
-        let Some(work) = self.inflight.remove(&token) else {
+        let Some(pos) = self.inflight.iter().position(|&(t, _)| t == token) else {
             return;
         };
+        let (_, work) = self.inflight.swap_remove(pos);
         self.served += 1;
         os.send(
             worker,

@@ -4,7 +4,7 @@ use fgmon_balancer::Dispatcher;
 use fgmon_cluster::{
     crash_restart_recovery, fault_compare_world_raced, micro_latency, rubis_world, RubisWorldCfg,
 };
-use fgmon_sim::{SimDuration, SimTime};
+use fgmon_sim::{QueueKind, SimDuration, SimTime};
 use fgmon_types::{ChannelHealthStats, FaultPlan, OsConfig, RaceMode, RetryPolicy, Scheme};
 use fgmon_workload::RubisClient;
 
@@ -134,6 +134,55 @@ fn crash_restart_health_stats_bitwise_deterministic() {
         a.2.any_activity(),
         "the scenario must actually exercise the health machinery"
     );
+}
+
+#[test]
+fn timing_wheel_is_golden_equivalent_to_heap() {
+    // The timing wheel replaced the binary heap as the engine's event
+    // queue. Both implement the same total order on (time, seq), so the
+    // *entire observable output* of a run — fabric frame counters, the
+    // strict race report, event count, and every monitoring histogram —
+    // must be bitwise identical whichever queue is installed. Exercised
+    // on the adversarial fault world (congestion + loss + retries) where
+    // any ordering divergence would compound instantly.
+    let run = |seed: u64, queue: QueueKind| {
+        let plan = FaultPlan::new(seed ^ 0xD15C)
+            .congested(SimTime::ZERO, SimTime::MAX, 16.0)
+            .lossy_all(0.02);
+        let mut w = fault_compare_world_raced(
+            plan,
+            RetryPolicy::aggressive(SimDuration::from_millis(30)),
+            SimDuration::from_millis(5),
+            seed,
+            RaceMode::Strict,
+        );
+        w.cluster.eng.set_queue_kind(queue);
+        w.cluster.run_for(SimDuration::from_secs(3));
+        let hists: Vec<(String, u64, u64, u64)> = w
+            .cluster
+            .recorder()
+            .histogram_keys()
+            .map(|k| {
+                let h = w.cluster.recorder().get_histogram(k).expect("listed key");
+                (k.to_string(), h.count(), h.mean().to_bits(), h.max())
+            })
+            .collect();
+        (
+            w.cluster.fabric_stats(),
+            w.cluster.race_report(),
+            w.cluster.eng.events_processed(),
+            hists,
+        )
+    };
+    for seed in [11, 29, 4242] {
+        let heap = run(seed, QueueKind::Heap);
+        let wheel = run(seed, QueueKind::Wheel);
+        assert_eq!(
+            heap, wheel,
+            "heap and wheel queues diverged under seed {seed}"
+        );
+        assert!(heap.2 > 1_000, "world must actually run (seed {seed})");
+    }
 }
 
 #[test]
