@@ -1,7 +1,10 @@
 //! Hot-path performance harness: drives the standard scenarios under a
 //! counting allocator and reports events/sec, wall time, and allocation
 //! counts. `--write-json PATH` emits the machine-readable trajectory file
-//! (`BENCH_PR4.json` at the repo root is the committed baseline).
+//! (`BENCH_PR5.json` at the repo root is the committed baseline;
+//! `BENCH_PR4.json` is the previous one, kept for history). `--threads
+//! 1,2,4` additionally sweeps the big-cluster scenario through the
+//! bounded-lag sharded executor at each listed shard count.
 //!
 //! This binary lives outside the lint-guarded sim path on purpose: it is
 //! the one place in the workspace allowed to read the wall clock.
@@ -10,7 +13,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
-use fgmon_cluster::scenarios::{flaky_rdma_failover, rubis_world, torn_read_world, RubisWorldCfg};
+use fgmon_cluster::scenarios::{
+    big_cluster, flaky_rdma_failover, rubis_world, torn_read_world, RubisWorldCfg,
+};
 use fgmon_sim::{QueueKind, SimDuration};
 use fgmon_types::{RaceMode, Scheme};
 
@@ -92,6 +97,8 @@ struct Measurement {
     scenario: &'static str,
     queue: &'static str,
     backends: u16,
+    /// Worker shards the run was split across (1 = sequential engine).
+    threads: usize,
     virtual_secs: u64,
     events: u64,
     wall_secs: f64,
@@ -105,19 +112,41 @@ struct Measurement {
     peak_bytes: u64,
 }
 
-fn measure<W>(
+/// Identity of one benchmark point: what ran, how big, how sharded.
+#[derive(Clone, Copy)]
+struct Point {
     scenario: &'static str,
     queue: QueueKind,
     backends: u16,
+    threads: usize,
     virtual_secs: u64,
+}
+
+fn measure<W>(
+    point: Point,
     build: impl FnOnce() -> W,
     run: impl Fn(&mut W, SimDuration),
     events_of: impl Fn(&W) -> u64,
 ) -> Measurement {
-    eprintln!("[perfbench] {scenario}/{} b={backends}...", queue.label());
+    let Point {
+        scenario,
+        queue,
+        backends,
+        threads,
+        virtual_secs,
+    } = point;
+    eprintln!(
+        "[perfbench] {scenario}/{} b={backends} t={threads}...",
+        queue.label()
+    );
     let mut world = build();
     // Warm half: fills capacity-sized buffers, populates recorder keys.
     let half = SimDuration::from_secs(virtual_secs.div_ceil(2));
+    // Rebase the allocation high-water mark to what is live *now*, so
+    // `peak_bytes` reports this measurement's own peak rather than the
+    // largest world ever built in the process (earlier rows used to leak
+    // their footprint into every later one).
+    PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
     let before = alloc_snapshot();
     let start = Instant::now();
     run(&mut world, half);
@@ -134,6 +163,7 @@ fn measure<W>(
         scenario,
         queue: queue.label(),
         backends,
+        threads,
         virtual_secs,
         events,
         wall_secs: wall,
@@ -145,12 +175,32 @@ fn measure<W>(
     }
 }
 
-fn measure_rubis(queue: QueueKind, backends: u16, virtual_secs: u64, seed: u64) -> Measurement {
+/// Drive a cluster either sequentially or through the sharded executor;
+/// both paths are bitwise identical, so the measured trajectory is the
+/// same and only the wall clock differs.
+fn drive(cluster: &mut fgmon_cluster::Cluster, dur: SimDuration, threads: usize) {
+    if threads <= 1 {
+        cluster.run_for(dur);
+    } else {
+        cluster.run_parallel(dur, threads);
+    }
+}
+
+fn measure_rubis(
+    queue: QueueKind,
+    backends: u16,
+    threads: usize,
+    virtual_secs: u64,
+    seed: u64,
+) -> Measurement {
     measure(
-        "rubis",
-        queue,
-        backends,
-        virtual_secs,
+        Point {
+            scenario: "rubis",
+            queue,
+            backends,
+            threads,
+            virtual_secs,
+        },
         || {
             let cfg = RubisWorldCfg {
                 backends,
@@ -162,19 +212,20 @@ fn measure_rubis(queue: QueueKind, backends: u16, virtual_secs: u64, seed: u64) 
             w.cluster.eng.set_queue_kind(queue);
             w
         },
-        |w, dur| {
-            w.cluster.run_for(dur);
-        },
+        |w, dur| drive(&mut w.cluster, dur, threads),
         |w| w.cluster.eng.events_processed(),
     )
 }
 
 fn measure_torn_read(queue: QueueKind, virtual_secs: u64, seed: u64) -> Measurement {
     measure(
-        "torn_read_world",
-        queue,
-        3,
-        virtual_secs,
+        Point {
+            scenario: "torn_read_world",
+            queue,
+            backends: 3,
+            threads: 1,
+            virtual_secs,
+        },
         || {
             let mut w = torn_read_world(RaceMode::Strict, seed);
             w.cluster.eng.set_queue_kind(queue);
@@ -189,10 +240,13 @@ fn measure_torn_read(queue: QueueKind, virtual_secs: u64, seed: u64) -> Measurem
 
 fn measure_failover(queue: QueueKind, virtual_secs: u64, seed: u64) -> Measurement {
     measure(
-        "flaky_rdma_failover",
-        queue,
-        4,
-        virtual_secs,
+        Point {
+            scenario: "flaky_rdma_failover",
+            queue,
+            backends: 4,
+            threads: 1,
+            virtual_secs,
+        },
         || {
             let mut w = flaky_rdma_failover(Scheme::RdmaSync, seed);
             w.world.cluster.eng.set_queue_kind(queue);
@@ -205,12 +259,35 @@ fn measure_failover(queue: QueueKind, virtual_secs: u64, seed: u64) -> Measureme
     )
 }
 
+/// The thread-scaling target: hundreds of back-ends with east-west ring
+/// chatter, doorbell-batched RDMA polling from the front-end, and a
+/// closed-loop RUBiS client.
+fn measure_big_cluster(backends: u16, threads: usize, virtual_secs: u64, seed: u64) -> Measurement {
+    measure(
+        Point {
+            scenario: "big_cluster",
+            queue: QueueKind::Wheel,
+            backends,
+            threads,
+            virtual_secs,
+        },
+        || {
+            let mut w = big_cluster(backends, seed);
+            w.cluster.eng.set_queue_kind(QueueKind::Wheel);
+            w
+        },
+        |w, dur| drive(&mut w.cluster, dur, threads),
+        |w| w.cluster.eng.events_processed(),
+    )
+}
+
 fn print_table(rows: &[Measurement]) {
     println!(
-        "{:<22} {:<6} {:>8} {:>7} {:>12} {:>10} {:>12} {:>14} {:>13}",
+        "{:<22} {:<6} {:>8} {:>7} {:>7} {:>12} {:>10} {:>12} {:>14} {:>13}",
         "scenario",
         "queue",
         "backends",
+        "threads",
         "vsecs",
         "events",
         "wall (s)",
@@ -220,10 +297,11 @@ fn print_table(rows: &[Measurement]) {
     );
     for m in rows {
         println!(
-            "{:<22} {:<6} {:>8} {:>7} {:>12} {:>10.3} {:>12.0} {:>14} {:>13}",
+            "{:<22} {:<6} {:>8} {:>7} {:>7} {:>12} {:>10.3} {:>12.0} {:>14} {:>13}",
             m.scenario,
             m.queue,
             m.backends,
+            m.threads,
             m.virtual_secs,
             m.events,
             m.wall_secs,
@@ -246,10 +324,20 @@ const PRE_CHANGE_RUBIS_BASELINE: &[(u16, f64)] =
 
 fn json_escape_free(rows: &[Measurement], quick: bool) -> String {
     // All values are numbers or fixed identifiers; no escaping needed.
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut out = String::new();
     out.push_str("{\n  \"bench\": \"fgmon perf trajectory\",\n");
-    out.push_str("  \"pr\": 4,\n");
+    out.push_str("  \"pr\": 5,\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str(
+        "  \"parallel_note\": \"threads > 1 rows exercise the bounded-lag sharded \
+         executor (bitwise identical trajectory); wall-clock speedup requires as many \
+         physical cores as shards — on a single-core host the rows measure \
+         coordination overhead, not speedup\",\n",
+    );
     out.push_str(
         "  \"pre_change_baseline\": {\n    \"description\": \"rubis events/sec on the \
          pre-overhaul tree (BinaryHeap queue), best-of-5, 10 vsecs, seed 42\",\n    \
@@ -272,7 +360,9 @@ fn json_escape_free(rows: &[Measurement], quick: bool) -> String {
     // rubis/wheel row with a matching backend count.
     let improvements: Vec<(u16, f64)> = rows
         .iter()
-        .filter(|m| m.scenario == "rubis" && m.queue == "wheel" && m.virtual_secs == 10)
+        .filter(|m| {
+            m.scenario == "rubis" && m.queue == "wheel" && m.virtual_secs == 10 && m.threads == 1
+        })
         .filter_map(|m| {
             PRE_CHANGE_RUBIS_BASELINE
                 .iter()
@@ -292,16 +382,38 @@ fn json_escape_free(rows: &[Measurement], quick: bool) -> String {
         }
         out.push_str("  },\n");
     }
+    // Thread-scaling ratios on the big-cluster scenario: events/sec at
+    // each thread count over the same backend count's sequential rate.
+    let scaling: Vec<(u16, usize, f64)> = rows
+        .iter()
+        .filter(|m| m.scenario == "big_cluster" && m.threads > 1)
+        .filter_map(|m| {
+            rows.iter()
+                .find(|b| b.scenario == "big_cluster" && b.threads == 1 && b.backends == m.backends)
+                .map(|b| (m.backends, m.threads, m.events_per_sec / b.events_per_sec))
+        })
+        .collect();
+    if !scaling.is_empty() {
+        out.push_str("  \"big_cluster_scaling_vs_1_thread\": [\n");
+        for (i, (b, t, ratio)) in scaling.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"backends\": {b}, \"threads\": {t}, \"ratio\": {ratio:.2}}}{}\n",
+                if i + 1 == scaling.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+    }
     out.push_str("  \"measurements\": [\n");
     for (i, m) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"queue\": \"{}\", \"backends\": {}, \
-             \"virtual_secs\": {}, \"events\": {}, \"wall_secs\": {:.4}, \
+             \"threads\": {}, \"virtual_secs\": {}, \"events\": {}, \"wall_secs\": {:.4}, \
              \"events_per_sec\": {:.0}, \"run_allocs\": {}, \
              \"run_alloc_bytes\": {}, \"steady_allocs\": {}, \"peak_bytes\": {}}}{}\n",
             m.scenario,
             m.queue,
             m.backends,
+            m.threads,
             m.virtual_secs,
             m.events,
             m.wall_secs,
@@ -328,9 +440,9 @@ fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     Some(rest[..end].trim().trim_matches('"'))
 }
 
-/// A committed reference point: (scenario, queue, backends, events/sec,
-/// steady allocs).
-type CommittedRow = (String, String, u16, f64, u64);
+/// A committed reference point: (scenario, queue, backends, threads,
+/// events/sec, steady allocs).
+type CommittedRow = (String, String, u16, usize, f64, u64);
 
 fn load_committed(path: &str) -> Vec<CommittedRow> {
     let text = std::fs::read_to_string(path)
@@ -345,6 +457,9 @@ fn load_committed(path: &str) -> Vec<CommittedRow> {
                 get("scenario").to_string(),
                 get("queue").to_string(),
                 get("backends").parse().expect("backends"),
+                // Pre-parallel baselines carry no threads field; they were
+                // all sequential runs.
+                json_field(l, "threads").map_or(1, |v| v.parse().expect("threads")),
                 get("events_per_sec").parse().expect("events_per_sec"),
                 get("steady_allocs").parse().expect("steady_allocs"),
             )
@@ -354,8 +469,11 @@ fn load_committed(path: &str) -> Vec<CommittedRow> {
 
 /// CI perf smoke: every scenario measured in this run must reach at least
 /// `MIN_RATIO` of the committed events/sec for the same (scenario, queue,
-/// backends) point, and must not allocate more in steady state than the
-/// committed run did. Events/sec is a rate, so quick runs (fewer virtual
+/// backends, threads) point, and must not allocate more in steady state
+/// than the committed run did. Rows compare only against the *same*
+/// thread count — a 2-shard run on a 1-core host is slower than
+/// sequential by design, so cross-thread comparisons would say nothing
+/// about regressions. Events/sec is a rate, so quick runs (fewer virtual
 /// seconds) compare meaningfully against the committed full run. The
 /// steady-alloc budget gets a small fixed slack: the residual allocations
 /// are one-off buffer doublings whose placement shifts with run length,
@@ -366,9 +484,10 @@ fn check_against(rows: &[Measurement], committed: &[CommittedRow]) -> bool {
     let mut ok = true;
     let mut compared = 0;
     for m in rows {
-        let Some((_, _, _, base_eps, base_steady)) = committed
-            .iter()
-            .find(|(s, q, b, _, _)| s == m.scenario && q == m.queue && *b == m.backends)
+        let Some((_, _, _, _, base_eps, base_steady)) =
+            committed.iter().find(|(s, q, b, t, _, _)| {
+                s == m.scenario && q == m.queue && *b == m.backends && *t == m.threads
+            })
         else {
             continue;
         };
@@ -423,11 +542,22 @@ fn main() {
     let mut seed = 42u64;
     let mut heap_only = false;
     let mut repeat = 0u32;
+    let mut threads: Vec<usize> = vec![1];
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
             "--heap-only" => heap_only = true,
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .expect("--threads LIST")
+                    .split(',')
+                    .map(|v| v.parse().expect("--threads takes 1 or 1,2,4"))
+                    .collect();
+                assert!(!threads.is_empty(), "--threads LIST must be non-empty");
+            }
             "--write-json" => {
                 i += 1;
                 write_json = Some(args.get(i).expect("--write-json PATH").clone());
@@ -450,7 +580,7 @@ fn main() {
             other => {
                 eprintln!("unknown flag {other}");
                 eprintln!(
-                    "usage: perfbench [--quick] [--heap-only] [--seed N] \
+                    "usage: perfbench [--quick] [--heap-only] [--seed N] [--threads LIST] \
                      [--repeat N] [--write-json PATH] [--check PATH]"
                 );
                 std::process::exit(2);
@@ -467,16 +597,17 @@ fn main() {
     let mut rows = Vec::new();
 
     // The old binary-heap queue first: the pre-overhaul baseline every
-    // later number is compared against.
+    // later number is compared against. The classic scenarios always run
+    // sequentially — they guard the single-thread hot path.
     for &b in sizes {
         rows.push(best_of(repeat, || {
-            measure_rubis(QueueKind::Heap, b, vsecs, seed)
+            measure_rubis(QueueKind::Heap, b, 1, vsecs, seed)
         }));
     }
     if !heap_only {
         for &b in sizes {
             rows.push(best_of(repeat, || {
-                measure_rubis(QueueKind::Wheel, b, vsecs, seed)
+                measure_rubis(QueueKind::Wheel, b, 1, vsecs, seed)
             }));
         }
         rows.push(best_of(repeat, || {
@@ -491,6 +622,19 @@ fn main() {
         rows.push(best_of(repeat, || {
             measure_failover(QueueKind::Wheel, vsecs, seed)
         }));
+        // The thread-scaling sweep: every requested shard count over the
+        // large-cluster scenario. Big worlds are expensive, so fewer
+        // virtual seconds and repeats than the hot-path rows.
+        let big_sizes: &[u16] = if quick { &[64] } else { &[64, 128, 256] };
+        let big_vsecs = if quick { 1 } else { 3 };
+        let big_repeat = repeat.min(3);
+        for &t in &threads {
+            for &b in big_sizes {
+                rows.push(best_of(big_repeat, || {
+                    measure_big_cluster(b, t, big_vsecs, seed)
+                }));
+            }
+        }
     }
 
     print_table(&rows);

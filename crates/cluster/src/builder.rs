@@ -1,9 +1,14 @@
 //! Cluster assembly: build an engine populated with nodes, a fabric, and
 //! services, mirroring the paper's 8-back-end + front-end testbed.
 
+use std::any::Any;
+
 use fgmon_net::Fabric;
 use fgmon_os::{NodeActor, OsCore, Service};
-use fgmon_sim::{ActorId, DetRng, Engine, RunOutcome, SimDuration, SimTime};
+use fgmon_sim::{
+    run_sharded, Actor, ActorId, DetRng, Engine, ReplicaSet, RunOutcome, ShardPlan, SimDuration,
+    SimTime,
+};
 use fgmon_types::{
     ConnId, FaultPlan, McastGroup, Msg, NetConfig, NodeId, NodeMsg, OsConfig, RaceDetector,
     RaceMode, RaceReport, ServiceSlot, SharedRaceDetector,
@@ -147,6 +152,9 @@ impl ClusterBuilder {
             .filter(|c| c.until < SimTime::MAX)
             .map(|c| (c.until, c.node))
             .collect();
+        // The fabric is the one actor every node talks to; parallel runs
+        // replicate it into each shard instead of assigning it to one.
+        self.eng.mark_replicated(self.fabric_slot);
         self.eng.install(self.fabric_slot, Box::new(fabric));
         for &actor in &self.nodes {
             self.eng
@@ -187,6 +195,66 @@ impl Cluster {
     /// Run for `dur` of virtual time.
     pub fn run_for(&mut self, dur: SimDuration) -> RunOutcome {
         self.eng.run_for(dur)
+    }
+
+    /// Run for `dur` of virtual time across `threads` worker shards.
+    ///
+    /// Bitwise identical to [`Cluster::run_for`]: nodes are dealt
+    /// round-robin onto shards, the fabric is replicated into every
+    /// shard, and the bounded-lag window width comes from the fabric's
+    /// minimum cross-shard latency. Falls back to the sequential engine
+    /// when fewer than two shards are possible.
+    pub fn run_parallel(&mut self, dur: SimDuration, threads: usize) -> RunOutcome {
+        let lookahead = self
+            .eng
+            .actor::<Fabric>(self.fabric)
+            .expect("fabric actor")
+            .lookahead();
+        let shards = threads.min(self.nodes.len());
+        if shards < 2 || lookahead == SimDuration::ZERO {
+            return self.run_for(dur);
+        }
+        let horizon = self.eng.now() + dur;
+        let mut shard_of = vec![0u16; self.eng.actor_count()];
+        shard_of[self.fabric.index()] = ShardPlan::REPLICATED;
+        for (i, actor) in self.nodes.iter().enumerate() {
+            shard_of[actor.index()] = (i % shards) as u16;
+        }
+        let plan = ShardPlan { shard_of, shards };
+        let fabric_replicas = self
+            .eng
+            .actor::<Fabric>(self.fabric)
+            .expect("fabric actor")
+            .split_for_shards(shards);
+        let replicas = vec![ReplicaSet {
+            id: self.fabric,
+            replicas: fabric_replicas
+                .into_iter()
+                .map(|f| Box::new(f) as Box<dyn Actor<Msg>>)
+                .collect(),
+        }];
+        let returned = run_sharded(&mut self.eng, horizon, lookahead, &plan, replicas);
+        // Fold every replica's traffic counters back into the main
+        // fabric so `fabric_stats` reports the whole run.
+        let mut total = fgmon_net::FabricStats::default();
+        for set in &returned {
+            for r in &set.replicas {
+                let f = (r.as_ref() as &dyn Any)
+                    .downcast_ref::<Fabric>()
+                    .expect("fabric replica");
+                total.absorb(&f.stats);
+            }
+        }
+        self.eng
+            .actor_mut::<Fabric>(self.fabric)
+            .expect("fabric actor")
+            .stats
+            .absorb(&total);
+        if self.eng.queue_len() > 0 {
+            RunOutcome::HorizonReached
+        } else {
+            RunOutcome::QueueDrained
+        }
     }
 
     /// Engine actor id of a node.

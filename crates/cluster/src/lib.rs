@@ -32,11 +32,11 @@ pub mod sweep;
 pub use builder::{Cluster, ClusterBuilder};
 pub use report::Table;
 pub use scenarios::{
-    accuracy_world, congested_switch, crash_during_burst, crash_restart_recovery,
+    accuracy_world, big_cluster, congested_switch, crash_during_burst, crash_restart_recovery,
     fault_compare_world, fault_compare_world_raced, flaky_rdma_failover, float_granularity,
     ganglia_world, lossy_fabric, micro_latency, rubis_world, torn_read_world, AccuracyWorld,
-    CrashWorld, FailoverWorld, FaultCompareWorld, FloatWorld, GangliaWorld, MicroWorld, RubisWorld,
-    RubisWorldCfg, TornReadWorld, GT_PERIOD,
+    BigClusterWorld, CrashWorld, FailoverWorld, FaultCompareWorld, FloatWorld, GangliaWorld,
+    MicroWorld, RubisWorld, RubisWorldCfg, TornReadWorld, GT_PERIOD,
 };
 pub use summary::{
     channel_health_section, node_summaries, pooled_responses, render_report, NodeSummary,

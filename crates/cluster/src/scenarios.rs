@@ -973,3 +973,116 @@ pub fn ganglia_world(
         publisher_slot,
     }
 }
+
+// ---------------------------------------------------------------------------
+// Large-cluster scaling scenario — the parallel-executor workload
+// ---------------------------------------------------------------------------
+
+/// The assembled large-cluster world.
+pub struct BigClusterWorld {
+    pub cluster: Cluster,
+    pub frontend: NodeId,
+    pub client_node: NodeId,
+    pub backends: Vec<NodeId>,
+    pub dispatcher_slot: ServiceSlot,
+    pub rubis_client_slot: ServiceSlot,
+}
+
+/// A cluster far past the paper's 8-node testbed (64–256 back-ends): one
+/// dispatcher polling every back-end over RDMA-Sync at a tight
+/// granularity, a closed-loop RUBiS client driving web traffic, and
+/// east-west chatter on a ring (each back-end streams frames to its
+/// successor) so event load spreads over *every* node rather than
+/// concentrating on the front-end. This is the workload the sharded
+/// executor is measured on: with round-robin node placement the ring
+/// chatter makes nearly all traffic cross shards.
+pub fn big_cluster(backend_count: u16, seed: u64) -> BigClusterWorld {
+    let mut b = ClusterBuilder::new(seed, NetConfig::default());
+    let frontend = b.add_node(OsConfig::frontend());
+    let client_node = b.add_node(OsConfig::frontend());
+    let backends: Vec<NodeId> = (0..backend_count)
+        .map(|_| b.add_node(OsConfig::default()))
+        .collect();
+
+    let granularity = SimDuration::from_millis(10);
+    let bcfg = BackendConfig {
+        calc_interval: granularity,
+        via_kernel_module: false,
+        mcast_group: McastGroup(0),
+        push_target: None,
+        fallback_reporter: false,
+    };
+
+    // Back-ends: slot 0 = monitor backend, slot 1 = web server,
+    // slot 2 = ring chatter source, slot 3 = ring chatter sink.
+    let mut monitor_handles = Vec::new();
+    let mut work_conns = Vec::new();
+    for &be in &backends {
+        let handle = wire_monitoring(
+            &mut b,
+            Scheme::RdmaSync,
+            bcfg,
+            frontend,
+            ServiceSlot(0),
+            be,
+            0,
+        );
+        monitor_handles.push(handle);
+        let mut server = WorkerPoolServer::new();
+        let conn = b.connect(frontend, ServiceSlot(0), be, ServiceSlot(1));
+        server.conns.push(conn);
+        b.add_service(be, Box::new(server));
+        work_conns.push((be, conn));
+    }
+    // East-west ring: back-end i streams to back-end i+1. Staggered
+    // periods (all well above the wire latency) keep senders from
+    // phase-locking into one synchronized burst per interval. Connections
+    // are registered first so each node can then receive its source
+    // (slot 2) and sink (slot 3) in a fixed order.
+    let n = backends.len();
+    let ring_conns: Vec<_> = (0..n)
+        .map(|i| {
+            b.connect(
+                backends[i],
+                ServiceSlot(2),
+                backends[(i + 1) % n],
+                ServiceSlot(3),
+            )
+        })
+        .collect();
+    for (i, &be) in backends.iter().enumerate() {
+        let period = SimDuration::from_micros(150 + (i as u64 % 7) * 10);
+        b.add_service(be, Box::new(CommLoad::new(ring_conns[i], period)));
+        b.add_service(
+            be,
+            Box::new(fgmon_workload::CommSink::new(
+                ring_conns[(i + n - 1) % n],
+                false,
+            )),
+        );
+    }
+
+    let rubis_conn = b.connect(client_node, ServiceSlot(0), frontend, ServiceSlot(0));
+    let dcfg = DispatcherConfig::for_scheme(Scheme::RdmaSync, granularity);
+    let dispatcher = Dispatcher::new(dcfg, work_conns, monitor_handles, vec![rubis_conn]);
+    let dispatcher_slot = b.add_service(frontend, Box::new(dispatcher));
+
+    let rubis_client_slot = b.add_service(
+        client_node,
+        Box::new(RubisClient::new(
+            rubis_conn,
+            4 * backend_count as u32,
+            SimDuration::from_millis(300),
+        )),
+    );
+
+    let cluster = b.finish(&[]);
+    BigClusterWorld {
+        cluster,
+        frontend,
+        client_node,
+        backends,
+        dispatcher_slot,
+        rubis_client_slot,
+    }
+}

@@ -22,7 +22,7 @@
 use std::collections::BTreeMap;
 
 use fgmon_os::OsApi;
-use fgmon_sim::{HistogramId, SeriesId, SimTime};
+use fgmon_sim::{HistogramId, Recorder, SeriesId, SimTime};
 use fgmon_types::{
     BreakerConfig, BreakerEvent, BreakerState, ChannelHealthStats, CircuitBreaker, ConnId,
     FenceGate, FenceVerdict, LoadSnapshot, McastGroup, NodeId, Payload, RdmaResult, RecordFence,
@@ -182,6 +182,9 @@ pub struct MonitorClient {
     stale_id: Option<HistogramId>,
     /// Per-backend interned series handles, parallel to `backends`.
     series_ids: Vec<Option<MonSeriesIds>>,
+    /// Scratch buffer for coalescing one poll round's RDMA reads into a
+    /// single doorbell batch (capacity persists across rounds).
+    batch_scratch: Vec<(NodeId, RegionId, u64)>,
 }
 
 /// Interned handles for one back-end's reported-value series; formatted
@@ -237,6 +240,7 @@ impl MonitorClient {
             lat_id: None,
             stale_id: None,
             series_ids,
+            batch_scratch: Vec::new(),
         }
     }
 
@@ -368,6 +372,36 @@ impl MonitorClient {
                 .map(|_| Some(os.register_user_region(true)))
                 .collect();
         }
+        self.intern_metrics(os.recorder());
+    }
+
+    /// Intern every metric handle this client will ever record into.
+    /// Runs from [`MonitorClient::start`], after the embedder has decided
+    /// `record_series`: parallel windows forbid interning new keys
+    /// mid-run, and eager interning also keeps the steady-state reply
+    /// path free of key formatting.
+    pub fn intern_metrics(&mut self, r: &mut Recorder) {
+        let label = self.scheme.label();
+        self.lat_id
+            .get_or_insert_with(|| r.histogram_id(&format!("mon/latency/{label}")));
+        self.stale_id
+            .get_or_insert_with(|| r.histogram_id(&format!("mon/staleness/{label}")));
+        if self.record_series {
+            for (idx, b) in self.backends.iter().enumerate() {
+                let node = b.node;
+                self.series_ids[idx].get_or_insert_with(|| MonSeriesIds {
+                    nthreads: r.series_id(&format!("mon/{label}/{node}/nthreads")),
+                    cpu_util: r.series_id(&format!("mon/{label}/{node}/cpu_util")),
+                    run_queue: r.series_id(&format!("mon/{label}/{node}/run_queue")),
+                    pending_irqs: r.series_id(&format!("mon/{label}/{node}/pending_irqs")),
+                    pending_cpu: [0, 1].map(|cpu| {
+                        r.series_id(&format!("mon/{label}/{node}/pending_irqs_cpu{cpu}"))
+                    }),
+                    irq_total_cpu: [0, 1]
+                        .map(|cpu| r.series_id(&format!("mon/{label}/{node}/irq_total_cpu{cpu}"))),
+                });
+            }
+        }
     }
 
     /// The local buffer registered for the i-th backend (push scheme).
@@ -402,14 +436,32 @@ impl MonitorClient {
             }
             return;
         }
+        // Coalesce the round's RDMA reads into one doorbell batch
+        // (RDMAbox-style request merging): the NIC charges a single post
+        // for the list instead of one per backend. Socket polls and
+        // breaker-fallback polls still go out inline.
+        let mut batch = std::mem::take(&mut self.batch_scratch);
+        batch.clear();
         for idx in 0..self.backends.len() {
             if self.inflight[idx].count() >= self.max_outstanding {
                 self.views[idx].skipped += 1;
                 continue;
             }
             self.views[idx].polls += 1;
-            self.issue_poll(idx, 0, os);
+            self.issue_poll_to(idx, 0, os, Some(&mut batch));
         }
+        match batch.len() {
+            0 => {}
+            // A lone read gains nothing from the batch path; keep the
+            // single-post shape (and its stats) identical to before.
+            1 => {
+                let (node, region, token) = batch[0];
+                os.rdma_read(node, region, token);
+            }
+            _ => os.rdma_read_batch(&batch),
+        }
+        batch.clear();
+        self.batch_scratch = batch;
     }
 
     /// Send one poll request to backend `idx`; `attempt > 0` marks a retry
@@ -421,6 +473,18 @@ impl MonitorClient {
     /// the next poll doubles as the half-open probe over the primary
     /// RDMA path. Only primary-path completions can close the breaker.
     fn issue_poll(&mut self, idx: usize, attempt: u32, os: &mut OsApi<'_, '_>) {
+        self.issue_poll_to(idx, attempt, os, None);
+    }
+
+    /// [`issue_poll`](Self::issue_poll), optionally deferring an RDMA
+    /// read into `batch` for a coalesced doorbell post by the caller.
+    fn issue_poll_to(
+        &mut self,
+        idx: usize,
+        attempt: u32,
+        os: &mut OsApi<'_, '_>,
+        batch: Option<&mut Vec<(NodeId, RegionId, u64)>>,
+    ) {
         let now = os.now();
         let b = self.backends[idx];
         let use_rdma = if self.scheme.is_one_sided() {
@@ -451,7 +515,10 @@ impl MonitorClient {
             let seq = self.inflight[idx].next_seq;
             self.inflight[idx].next_seq = seq.wrapping_add(1);
             let token = MON_TOKEN_BASE | ((idx as u64) << 32) | seq as u64;
-            os.rdma_read(b.node, region, token);
+            match batch {
+                Some(buf) => buf.push((b.node, region, token)),
+                None => os.rdma_read(b.node, region, token),
+            }
             token
         } else {
             let conn = b.conn.expect("socket path needs a connection");

@@ -77,6 +77,30 @@ pub const RULES: &[Rule] = &[
                      parallelism with a `// lint: thread-spawn` comment",
     },
     Rule {
+        id: "sync-primitive",
+        summary: "shared-memory synchronization inside the simulation",
+        needles: &[
+            "Mutex",
+            "RwLock",
+            "Condvar",
+            "mpsc",
+            "AtomicBool",
+            "AtomicU32",
+            "AtomicU64",
+            "AtomicUsize",
+            "AtomicI64",
+            "parking_lot",
+            "crossbeam",
+        ],
+        allow_paths: &["crates/sim/src/parallel.rs", "crates/cluster/src/sweep.rs"],
+        suggestion: "determinism comes from the engine's total event order, \
+                     not from locks; actors already run with exclusive \
+                     access. Shared-memory coordination belongs only to the \
+                     sharded executor (`sim/parallel.rs`) and the sweep \
+                     runner, or behind a justified `// lint: sync-primitive` \
+                     comment",
+    },
+    Rule {
         id: "hash-collections",
         summary: "hash-based collection with nondeterministic iteration order",
         needles: &["HashMap", "HashSet"],
@@ -623,6 +647,39 @@ let r = DetRng::new(seed);
         let src = "pub fn new(seed: u64) -> DetRng { DetRng::new(seed) }";
         assert!(scan_source("crates/sim/src/rng.rs", src).is_empty());
         assert!(!scan_source("crates/os/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sync_primitives_are_confined_to_the_executor() {
+        assert_eq!(
+            rules_hit("let m = Mutex::new(queue);"),
+            vec!["sync-primitive"]
+        );
+        assert_eq!(
+            rules_hit("let n = AtomicU64::new(0);"),
+            vec!["sync-primitive"]
+        );
+        assert_eq!(
+            rules_hit("let (tx, rx) = std::sync::mpsc::channel();"),
+            vec!["sync-primitive"]
+        );
+        // The executor and the sweep runner are the sanctioned homes.
+        let src = "let heads: Vec<AtomicU64> = Vec::new();";
+        assert!(scan_source("crates/sim/src/parallel.rs", src).is_empty());
+        assert!(scan_source("crates/cluster/src/sweep.rs", src).is_empty());
+        assert!(!scan_source("crates/net/src/fabric.rs", src).is_empty());
+        // A justified suppression is honored anywhere...
+        let justified = "\
+// lint: sync-primitive — result slot written once, read after join
+let slot = Mutex::new(None);
+";
+        assert!(rules_hit(justified).is_empty());
+        // ...but a justification for a different rule is not.
+        let wrong = "// lint: thread-spawn — nope\nlet slot = Mutex::new(None);\n";
+        assert_eq!(rules_hit(wrong), vec!["sync-primitive"]);
+        // Token boundaries: `MutexGuard`-like lookalikes in *other* words
+        // do not fire.
+        assert!(rules_hit("fn mpscale(x: f64) -> f64 { x }").is_empty());
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use std::collections::BTreeMap;
 
-use fgmon_sim::{Actor, ActorId, Ctx, DetRng, SimDuration, SimTime};
+use fgmon_sim::{Actor, ActorId, Ctx, SimDuration, SimTime};
 use fgmon_types::{
     ConnId, FaultOp, FaultPlan, McastGroup, Msg, NetConfig, NetMsg, NodeId, NodeMsg, Payload,
     RdmaResult, ReadVerdict, ServiceSlot, SharedRaceDetector,
@@ -55,6 +55,32 @@ pub struct FabricStats {
     /// Read completions answered `RegionInvalidated` (stale registration
     /// after a target restart).
     pub region_invalidated: u64,
+    /// Reads that traveled inside a coalesced doorbell batch
+    /// ([`NetMsg::RdmaReadBatch`]); also counted in `rdma_reads`.
+    pub rdma_batched_reads: u64,
+    /// Doorbell batches posted (one per `RdmaReadBatch` frame).
+    pub rdma_batch_posts: u64,
+}
+
+impl FabricStats {
+    /// Fold another stats block into this one (shard-replica merge).
+    pub fn absorb(&mut self, o: &FabricStats) {
+        self.socket_frames += o.socket_frames;
+        self.socket_bytes += o.socket_bytes;
+        self.rdma_reads += o.rdma_reads;
+        self.rdma_writes += o.rdma_writes;
+        self.mcast_frames += o.mcast_frames;
+        self.dropped += o.dropped;
+        self.fault_checks += o.fault_checks;
+        self.fault_dropped += o.fault_dropped;
+        self.fault_crash_dropped += o.fault_crash_dropped;
+        self.fault_delayed += o.fault_delayed;
+        self.torn_reads += o.torn_reads;
+        self.seqlock_retries += o.seqlock_retries;
+        self.region_invalidated += o.region_invalidated;
+        self.rdma_batched_reads += o.rdma_batched_reads;
+        self.rdma_batch_posts += o.rdma_batch_posts;
+    }
 }
 
 /// The switch + wires actor.
@@ -64,15 +90,37 @@ pub struct Fabric {
     node_actors: Vec<ActorId>,
     conns: Vec<ConnEntry>,
     mcast: BTreeMap<McastGroup, Vec<NodeId>>,
-    /// Fault schedule; `fault_rng` is `Some` iff the plan has rules, so
-    /// fault-free runs draw zero random numbers and stay bit-identical
-    /// to builds that predate fault injection.
+    /// Fault schedule; `fault_active` is true iff the plan has rules, so
+    /// fault-free runs evaluate zero fates and stay bit-identical to
+    /// builds that predate fault injection.
     plan: FaultPlan,
-    fault_rng: Option<DetRng>,
+    fault_active: bool,
+    /// Per-event fate counter: reset when an event arrives, bumped per
+    /// fate evaluation. Makes every fate a pure function of
+    /// `(plan seed, event time, event seq, check index)` — the same on
+    /// whichever shard's replica handles the event.
+    fault_check_index: u32,
     /// Shadow-state torn-read detector, shared with every node's OS core;
     /// `None` when race checking is off (zero overhead).
     race: Option<SharedRaceDetector>,
     pub stats: FabricStats,
+}
+
+/// `splitmix64` finalizer: a full-avalanche 64-bit mix.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform fate draw in `[0, 1)` as a pure function of the plan seed and
+/// the handling event's engine key. Replaces a sequential RNG stream so
+/// fates do not depend on how events interleave across shards.
+#[inline]
+fn fate_u(seed: u64, now: SimTime, seq: u64, idx: u32) -> f64 {
+    let h = mix64(seed ^ mix64(now.0 ^ mix64(seq ^ mix64(idx as u64 ^ 0x9E37_79B9_7F4A_7C15))));
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 impl Fabric {
@@ -83,10 +131,41 @@ impl Fabric {
             conns: Vec::new(),
             mcast: BTreeMap::new(),
             plan: FaultPlan::default(),
-            fault_rng: None,
+            fault_active: false,
+            fault_check_index: 0,
             race: None,
             stats: FabricStats::default(),
         }
+    }
+
+    /// Build per-shard replicas for the parallel executor. Replicas share
+    /// the immutable routing state (connection table, multicast
+    /// membership, node table, fault plan, race-detector handle) and
+    /// start with fresh counters; fault fates are a pure function of the
+    /// plan seed and each event's engine key, so every replica decides
+    /// identical fates for identical events.
+    pub fn split_for_shards(&self, shards: usize) -> Vec<Fabric> {
+        (0..shards)
+            .map(|_| Fabric {
+                cfg: self.cfg,
+                node_actors: self.node_actors.clone(),
+                conns: self.conns.clone(),
+                mcast: self.mcast.clone(),
+                plan: self.plan.clone(),
+                fault_active: self.fault_active,
+                fault_check_index: 0,
+                race: self.race.clone(),
+                stats: FabricStats::default(),
+            })
+            .collect()
+    }
+
+    /// Static lower bound on every fabric→node delivery latency: all
+    /// delivery legs include at least one wire crossing, congestion
+    /// multipliers are validated `>= 1`, and NIC stalls only add delay.
+    /// The parallel executor uses this as its bounded-lag lookahead.
+    pub fn lookahead(&self) -> SimDuration {
+        self.cfg.wire_latency
     }
 
     pub fn cfg(&self) -> &NetConfig {
@@ -105,9 +184,10 @@ impl Fabric {
         self.stats = FabricStats::default();
     }
 
-    /// Install a fault schedule. The fault RNG is forked from the plan's
-    /// own seed, so identical (seed, plan) pairs replay identical fates
-    /// regardless of what the rest of the simulation draws.
+    /// Install a fault schedule. Fate draws hash the plan's own seed with
+    /// each event's engine key, so identical (seed, plan) pairs replay
+    /// identical fates regardless of what the rest of the simulation
+    /// draws — and regardless of event interleaving across shards.
     ///
     /// # Panics
     /// Panics if the plan fails [`FaultPlan::validate`].
@@ -115,14 +195,7 @@ impl Fabric {
         if let Err(e) = plan.validate() {
             panic!("invalid fault plan: {e}");
         }
-        self.fault_rng = if plan.is_empty() {
-            None
-        } else {
-            // lint: rng-construction — derived from the plan's own seed so
-            // fault fates replay per (seed, plan), independent of the rest
-            // of the simulation's draws.
-            Some(DetRng::new(plan.seed).fork("fabric-faults"))
-        };
+        self.fault_active = !plan.is_empty();
         self.plan = plan;
     }
 
@@ -135,21 +208,27 @@ impl Fabric {
     ///
     /// Completion legs (read-data, write-ack) only carry the initiator,
     /// so the unknown endpoint is passed as `None` and matches wildcard
-    /// rules only. Exactly one RNG draw happens per checked frame, which
-    /// keeps fault fates independent of how many rules match.
+    /// rules only. Exactly one fate draw happens per checked frame, which
+    /// keeps fault fates independent of how many rules match. `seq` is
+    /// the engine key of the event being handled; together with the
+    /// per-event check counter it makes each draw a pure function of the
+    /// event, not of the fabric's history.
     fn apply_faults(
         &mut self,
         now: SimTime,
+        seq: u64,
         src: Option<NodeId>,
         dst: Option<NodeId>,
         op: FaultOp,
         base: SimDuration,
     ) -> Option<SimDuration> {
-        let Some(rng) = self.fault_rng.as_mut() else {
+        if !self.fault_active {
             return Some(base);
-        };
+        }
         self.stats.fault_checks += 1;
-        let u = rng.f64();
+        let idx = self.fault_check_index;
+        self.fault_check_index += 1;
+        let u = fate_u(self.plan.seed, now, seq, idx);
         if src.is_some_and(|n| self.plan.crashed(n, now))
             || dst.is_some_and(|n| self.plan.crashed(n, now))
         {
@@ -222,7 +301,8 @@ impl Fabric {
     fn deliver_socket(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
-        now: SimTime,
+        // `(now, seq)` of the send event — the fault-fate key.
+        (now, seq): (SimTime, u64),
         src: NodeId,
         conn: ConnId,
         size: u32,
@@ -244,7 +324,7 @@ impl Fabric {
         self.stats.socket_frames += 1;
         self.stats.socket_bytes += size as u64;
         let base = self.frame_latency(size);
-        let Some(delay) = self.apply_faults(now, Some(src), Some(dst), FaultOp::Socket, base)
+        let Some(delay) = self.apply_faults(now, seq, Some(src), Some(dst), FaultOp::Socket, base)
         else {
             return;
         };
@@ -267,13 +347,17 @@ impl Actor<Msg> for Fabric {
             debug_assert!(false, "fabric received a node message");
             return;
         };
+        // Fate draws are keyed by this event; restart the per-event
+        // check counter (see `apply_faults`).
+        self.fault_check_index = 0;
+        let seq = ctx.event_seq;
         match msg {
             NetMsg::SocketSend {
                 src,
                 conn,
                 size,
                 payload,
-            } => self.deliver_socket(ctx, now, src, conn, size, payload),
+            } => self.deliver_socket(ctx, (now, seq), src, conn, size, payload),
 
             NetMsg::RdmaRead {
                 src,
@@ -289,16 +373,13 @@ impl Actor<Msg> for Fabric {
                 // Initiator post overhead + request flight.
                 let base = self.cfg.rdma_post + self.cfg.wire_latency;
                 let Some(delay) =
-                    self.apply_faults(now, Some(src), Some(dst), FaultOp::RdmaRead, base)
+                    self.apply_faults(now, seq, Some(src), Some(dst), FaultOp::RdmaRead, base)
                 else {
                     return;
                 };
-                // Open the shadow read window: epoch sampled at post time.
-                // (Lost frames above never open one.)
-                if let Some(race) = &self.race {
-                    race.borrow_mut()
-                        .on_read_start(src, req_id, dst, region, now);
-                }
+                // The post's engine key rides along; the target opens the
+                // shadow read window on arrival, reconstructing the epoch
+                // as of this key. (Lost frames never open a window.)
                 ctx.send_in(
                     delay,
                     dst_actor,
@@ -306,8 +387,47 @@ impl Actor<Msg> for Fabric {
                         initiator: src,
                         region,
                         req_id,
+                        posted: (now, seq),
                     }),
                 );
+            }
+
+            NetMsg::RdmaReadBatch { src, reads } => {
+                // One doorbell ring posts the whole batch (RDMAbox-style
+                // request merging): the initiator paid `rdma_post` once,
+                // and the simulator pays one fabric event instead of one
+                // per read. Each read then flies and is served
+                // independently, with its own fate draw.
+                self.stats.rdma_batch_posts += 1;
+                for r in reads {
+                    let Some(dst_actor) = self.actor_of(r.dst) else {
+                        self.stats.dropped += 1;
+                        continue;
+                    };
+                    self.stats.rdma_reads += 1;
+                    self.stats.rdma_batched_reads += 1;
+                    let base = self.cfg.rdma_post + self.cfg.wire_latency;
+                    let Some(delay) = self.apply_faults(
+                        now,
+                        seq,
+                        Some(src),
+                        Some(r.dst),
+                        FaultOp::RdmaRead,
+                        base,
+                    ) else {
+                        continue;
+                    };
+                    ctx.send_in(
+                        delay,
+                        dst_actor,
+                        Msg::Node(NodeMsg::RdmaReadArrive {
+                            initiator: src,
+                            region: r.region,
+                            req_id: r.req_id,
+                            posted: (now, seq),
+                        }),
+                    );
+                }
             }
 
             NetMsg::RdmaWrite {
@@ -324,7 +444,7 @@ impl Actor<Msg> for Fabric {
                 self.stats.rdma_writes += 1;
                 let base = self.cfg.rdma_post + self.cfg.wire_latency;
                 let Some(delay) =
-                    self.apply_faults(now, Some(src), Some(dst), FaultOp::RdmaWrite, base)
+                    self.apply_faults(now, seq, Some(src), Some(dst), FaultOp::RdmaWrite, base)
                 else {
                     return;
                 };
@@ -344,6 +464,9 @@ impl Actor<Msg> for Fabric {
                 initiator,
                 req_id,
                 result,
+                target,
+                region,
+                posted: _,
             } => {
                 let Some(dst_actor) = self.actor_of(initiator) else {
                     self.stats.dropped += 1;
@@ -354,8 +477,17 @@ impl Actor<Msg> for Fabric {
                 }
                 // Close the shadow read window: the data just left the
                 // target NIC, so any host write since the post tore it.
+                // This event was sent by the target node same-instant, so
+                // it runs on the target's shard — the detector state for
+                // (target, region) is only ever touched from there.
                 let verdict = match &self.race {
-                    Some(race) => race.borrow_mut().on_read_complete(initiator, req_id, now),
+                    Some(race) => race.borrow_mut().on_read_complete(
+                        initiator,
+                        req_id,
+                        target,
+                        region,
+                        (now, seq),
+                    ),
                     None => ReadVerdict::Clean,
                 };
                 // A version-check retry only makes sense on data that was
@@ -365,10 +497,11 @@ impl Actor<Msg> for Fabric {
                 if !matches!(result, RdmaResult::ReadOk { .. }) {
                     if matches!(verdict, ReadVerdict::Retry { .. }) {
                         if let Some(race) = &self.race {
-                            race.borrow_mut().on_read_drop(initiator, req_id);
+                            race.borrow_mut()
+                                .on_read_drop(initiator, req_id, target, region);
                         }
                     }
-                } else if let ReadVerdict::Retry { target, region, .. } = verdict {
+                } else if let ReadVerdict::Retry { .. } = verdict {
                     self.stats.seqlock_retries += 1;
                     let Some(target_actor) = self.actor_of(target) else {
                         self.stats.dropped += 1;
@@ -377,14 +510,22 @@ impl Actor<Msg> for Fabric {
                     // Reader-side seqlock retry: the torn data still flies
                     // back (full return leg), the reader's version check
                     // rejects it, and a fresh read is posted — one extra
-                    // round trip plus the modeled check per attempt.
+                    // round trip plus the modeled check per attempt. The
+                    // re-armed window was stamped with this event's key.
                     let base = self.cfg.nic_read
                         + self.cfg.wire_latency
                         + self.cfg.completion_poll
                         + self.cfg.seqlock_check
                         + self.cfg.rdma_post
                         + self.cfg.wire_latency;
-                    match self.apply_faults(now, None, Some(initiator), FaultOp::RdmaRead, base) {
+                    match self.apply_faults(
+                        now,
+                        seq,
+                        None,
+                        Some(initiator),
+                        FaultOp::RdmaRead,
+                        base,
+                    ) {
                         Some(delay) => ctx.send_in(
                             delay,
                             target_actor,
@@ -392,12 +533,14 @@ impl Actor<Msg> for Fabric {
                                 initiator,
                                 region,
                                 req_id,
+                                posted: (now, seq),
                             }),
                         ),
                         None => {
                             // The retry was lost: close the re-armed window.
                             if let Some(race) = &self.race {
-                                race.borrow_mut().on_read_drop(initiator, req_id);
+                                race.borrow_mut()
+                                    .on_read_drop(initiator, req_id, target, region);
                             }
                         }
                     }
@@ -409,7 +552,7 @@ impl Actor<Msg> for Fabric {
                 // Target-NIC DMA read + reply flight + initiator CQ poll.
                 let base = self.cfg.nic_read + self.cfg.wire_latency + self.cfg.completion_poll;
                 let Some(delay) =
-                    self.apply_faults(now, None, Some(initiator), FaultOp::RdmaRead, base)
+                    self.apply_faults(now, seq, None, Some(initiator), FaultOp::RdmaRead, base)
                 else {
                     return;
                 };
@@ -431,7 +574,7 @@ impl Actor<Msg> for Fabric {
                 };
                 let base = self.cfg.nic_read + self.cfg.wire_latency + self.cfg.completion_poll;
                 let Some(delay) =
-                    self.apply_faults(now, None, Some(initiator), FaultOp::RdmaWrite, base)
+                    self.apply_faults(now, seq, None, Some(initiator), FaultOp::RdmaWrite, base)
                 else {
                     return;
                 };
@@ -473,7 +616,7 @@ impl Actor<Msg> for Fabric {
                         + SimDuration(self.cfg.mcast_fanout.nanos() * rank);
                     rank += 1;
                     let Some(delay) =
-                        self.apply_faults(now, Some(src), Some(node), FaultOp::Mcast, base)
+                        self.apply_faults(now, seq, Some(src), Some(node), FaultOp::Mcast, base)
                     else {
                         continue;
                     };
@@ -485,7 +628,7 @@ impl Actor<Msg> for Fabric {
                             size,
                             // Refcount bump, not a deep copy: every replica
                             // shares the sender's immutable body.
-                            payload: payload.clone(), // lint: payload-clone — Rc refcount bump
+                            payload: payload.clone(), // lint: payload-clone — Arc refcount bump
                         }),
                     );
                 }
@@ -539,6 +682,7 @@ mod tests {
         let base = SimDuration(100);
         let d = f.apply_faults(
             SimTime(0),
+            0,
             Some(NodeId(0)),
             Some(NodeId(1)),
             FaultOp::Socket,
@@ -555,6 +699,7 @@ mod tests {
         let base = SimDuration(10);
         let during = f.apply_faults(
             SimTime(50),
+            0,
             Some(NodeId(0)),
             Some(NodeId(1)),
             FaultOp::Socket,
@@ -563,6 +708,7 @@ mod tests {
         assert_eq!(during, None);
         let after = f.apply_faults(
             SimTime(150),
+            1,
             Some(NodeId(0)),
             Some(NodeId(1)),
             FaultOp::Socket,
@@ -572,6 +718,7 @@ mod tests {
         // Frames *from* the crashed node vanish too.
         let from = f.apply_faults(
             SimTime(50),
+            2,
             Some(NodeId(1)),
             Some(NodeId(2)),
             FaultOp::Socket,
@@ -591,6 +738,7 @@ mod tests {
                 .map(|i| {
                     f.apply_faults(
                         SimTime(i),
+                        i,
                         Some(NodeId(0)),
                         Some(NodeId(1)),
                         FaultOp::Socket,
@@ -611,12 +759,83 @@ mod tests {
     }
 
     #[test]
+    fn fate_draws_are_pure_functions_of_the_event_key() {
+        // The fate hash must not depend on evaluation order or fabric
+        // history — that is what lets shard replicas agree with a
+        // sequential fabric. Each argument must also actually matter.
+        let u = fate_u(42, SimTime(1000), 7, 0);
+        assert_eq!(u, fate_u(42, SimTime(1000), 7, 0));
+        assert!((0.0..1.0).contains(&u));
+        assert_ne!(u, fate_u(43, SimTime(1000), 7, 0), "seed ignored");
+        assert_ne!(u, fate_u(42, SimTime(1001), 7, 0), "time ignored");
+        assert_ne!(u, fate_u(42, SimTime(1000), 8, 0), "seq ignored");
+        assert_ne!(u, fate_u(42, SimTime(1000), 7, 1), "check index ignored");
+    }
+
+    #[test]
+    fn shard_replicas_decide_identical_fates() {
+        let mut a = Fabric::new(NetConfig::default(), vec![]);
+        a.set_fault_plan(FaultPlan::new(9).lossy_all(0.5));
+        let mut replicas = a.split_for_shards(2);
+        let keys: Vec<(u64, u64)> = (0..32).map(|i| (i * 10, i)).collect();
+        let fate = |f: &mut Fabric, k: &(u64, u64)| {
+            f.fault_check_index = 0; // what handle() does per event
+            f.apply_faults(
+                SimTime(k.0),
+                k.1,
+                Some(NodeId(0)),
+                Some(NodeId(1)),
+                FaultOp::Socket,
+                SimDuration(10),
+            )
+            .is_some()
+        };
+        // Replica 0 sees the even events, replica 1 the odd ones (a
+        // shard split); fates must match the sequential fabric's.
+        for (i, k) in keys.iter().enumerate() {
+            let seq_fate = fate(&mut a, k);
+            let shard_fate = fate(&mut replicas[i % 2], k);
+            assert_eq!(seq_fate, shard_fate, "event {i} fate diverged");
+        }
+        assert_eq!(
+            replicas[0].stats.fault_checks + replicas[1].stats.fault_checks,
+            a.stats.fault_checks
+        );
+        // Replicas share routing state but start with clean counters.
+        assert_eq!(
+            replicas[0].stats.fault_dropped + replicas[1].stats.fault_dropped,
+            a.stats.fault_dropped
+        );
+    }
+
+    #[test]
+    fn absorb_stats_sums_every_counter() {
+        let mut a = FabricStats::default();
+        let mut b = FabricStats::default();
+        a.rdma_reads = 3;
+        a.rdma_batched_reads = 2;
+        a.rdma_batch_posts = 1;
+        b.rdma_reads = 4;
+        b.socket_frames = 7;
+        b.torn_reads = 1;
+        let mut sum = FabricStats::default();
+        sum.absorb(&a);
+        sum.absorb(&b);
+        assert_eq!(sum.rdma_reads, 7);
+        assert_eq!(sum.rdma_batched_reads, 2);
+        assert_eq!(sum.rdma_batch_posts, 1);
+        assert_eq!(sum.socket_frames, 7);
+        assert_eq!(sum.torn_reads, 1);
+    }
+
+    #[test]
     fn reset_stats_clears_every_counter() {
         let mut f = Fabric::new(NetConfig::default(), vec![]);
         f.set_fault_plan(FaultPlan::new(3).lossy_all(0.5));
         for i in 0..32 {
             f.apply_faults(
                 SimTime(i),
+                i,
                 Some(NodeId(0)),
                 Some(NodeId(1)),
                 FaultOp::Socket,
@@ -629,8 +848,8 @@ mod tests {
         assert_ne!(f.stats, FabricStats::default());
         f.reset_stats();
         assert_eq!(f.stats, FabricStats::default());
-        // The fault plan and its RNG survive a stats reset: only the
-        // counters are scenario-scoped.
+        // The fault plan survives a stats reset: only the counters are
+        // scenario-scoped.
         assert!(!f.fault_plan().is_empty());
     }
 
@@ -646,6 +865,7 @@ mod tests {
         let d = f
             .apply_faults(
                 SimTime(10),
+                0,
                 Some(NodeId(0)),
                 Some(NodeId(1)),
                 FaultOp::RdmaRead,
@@ -656,6 +876,7 @@ mod tests {
         let d = f
             .apply_faults(
                 SimTime(200),
+                1,
                 Some(NodeId(0)),
                 Some(NodeId(1)),
                 FaultOp::RdmaRead,

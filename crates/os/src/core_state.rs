@@ -118,6 +118,12 @@ pub struct OsCore {
     /// Shadow-state race detector (shared with the fabric); `None` when
     /// race checking is off, so the hot paths below stay cost-free.
     race: Option<SharedRaceDetector>,
+    /// Engine `(time, seq)` key of the event currently being handled;
+    /// stamped by the node actor at dispatch so every host write the
+    /// handler performs is logged under the event that caused it. Keys
+    /// are lane-scoped and shard-invariant, which is what lets the race
+    /// detector produce identical reports under parallel execution.
+    event_seq: u64,
 }
 
 impl OsCore {
@@ -151,7 +157,14 @@ impl OsCore {
             mcast_subs: BTreeMap::new(),
             boot_gen: 1,
             race: None,
+            event_seq: 0,
         }
+    }
+
+    /// Stamp the engine sequence key of the event being handled (called
+    /// by the node actor before dispatching into kernel/service code).
+    pub fn set_event_seq(&mut self, seq: u64) {
+        self.event_seq = seq;
     }
 
     /// Current boot generation (1 until the first restart).
@@ -229,9 +242,24 @@ impl OsCore {
         }
         for (i, r) in self.regions.iter().enumerate() {
             if matches!(r.kind, RegionKind::KernelLoad { .. }) {
-                race.note_host_write(self.node, RegionId(i as u32), now);
+                race.note_host_write(self.node, RegionId(i as u32), now, self.event_seq);
             }
         }
+    }
+
+    /// An RDMA read of `region` reached this node's NIC: open its race
+    /// window, keyed by the initiator-side posted key carried in the
+    /// request.
+    pub fn note_read_arrive(
+        &mut self,
+        initiator: NodeId,
+        req: ReqId,
+        region: RegionId,
+        posted: fgmon_types::PostedKey,
+    ) {
+        let Some(race) = &self.race else { return };
+        race.borrow_mut()
+            .on_read_arrive(initiator, req, self.node, region, posted);
     }
 
     /// Pick the CPU that services the next network interrupt. The paper's
@@ -300,7 +328,8 @@ impl OsCore {
             *slot = Some(snap);
             self.regions[id.0 as usize].seq += 1;
             if let Some(race) = &self.race {
-                race.borrow_mut().note_host_write(self.node, id, now);
+                race.borrow_mut()
+                    .note_host_write(self.node, id, now, self.event_seq);
             }
         }
     }

@@ -20,7 +20,8 @@ use std::any::Any;
 
 use fgmon_sim::{Actor, ActorId, Ctx, SeriesId, SimDuration, SimTime};
 use fgmon_types::{
-    Msg, NetMsg, NodeId, NodeMsg, RdmaResult, RegionData, RegionId, ReqId, ServiceSlot, ThreadId,
+    Msg, NetMsg, NodeId, NodeMsg, PostedKey, RdmaResult, RegionData, RegionId, ReqId, ServiceSlot,
+    ThreadId,
 };
 
 use crate::core_state::{CpuRt, ListenMode, OsCore, RegionKind};
@@ -594,6 +595,7 @@ impl NodeActor {
         initiator: NodeId,
         region: RegionId,
         req_id: ReqId,
+        posted: PostedKey,
     ) {
         let result = match self.core.region(region).copied() {
             // A registration from a previous boot generation is dead: the
@@ -621,7 +623,14 @@ impl NodeActor {
             },
             None => RdmaResult::AccessDenied,
         };
+        // Only successful region reads open a race window: denied or
+        // fenced-off requests return no region data, so nothing can tear.
+        if matches!(result, RdmaResult::ReadOk { .. }) {
+            self.core
+                .note_read_arrive(initiator, req_id, region, posted);
+        }
         self.core.stats.net.add(now, 256);
+        let target = self.core.node;
         let fabric = self.core.fabric;
         ctx.send_now(
             fabric,
@@ -629,6 +638,9 @@ impl NodeActor {
                 initiator,
                 req_id,
                 result,
+                target,
+                region,
+                posted,
             }),
         );
     }
@@ -711,6 +723,9 @@ impl Actor<Msg> for NodeActor {
             debug_assert!(false, "node actor received a fabric message");
             return;
         };
+        // Stamp the engine key of this event so every host write the
+        // handler performs is logged against it in the race detector.
+        self.core.set_event_seq(ctx.event_seq);
         match msg {
             NodeMsg::Boot => {
                 for i in 0..self.services.len() {
@@ -776,7 +791,8 @@ impl Actor<Msg> for NodeActor {
                 initiator,
                 region,
                 req_id,
-            } => self.serve_rdma_read(now, ctx, initiator, region, req_id),
+                posted,
+            } => self.serve_rdma_read(now, ctx, initiator, region, req_id, posted),
             NodeMsg::RdmaWriteArrive {
                 initiator,
                 region,

@@ -10,8 +10,8 @@ use std::any::Any;
 
 use fgmon_sim::{Ctx, DetRng, SimDuration, SimTime};
 use fgmon_types::{
-    ConnId, LoadSnapshot, McastGroup, Msg, NetMsg, NodeId, NodeMsg, Payload, RdmaResult,
-    RegionData, RegionId, ServiceSlot, SharedPayload, ThreadId,
+    BatchedRead, ConnId, LoadSnapshot, McastGroup, Msg, NetMsg, NodeId, NodeMsg, Payload,
+    RdmaResult, RegionData, RegionId, ServiceSlot, SharedPayload, ThreadId,
 };
 
 use crate::core_state::{ListenMode, OsCore, RegionKind};
@@ -33,7 +33,7 @@ use crate::thread::{ThreadOp, ThreadState};
 /// * `on_mcast` — a multicast frame arrived (direct delivery);
 /// * `on_timer` — a zero-cost service-level timer (driver convenience;
 ///   *simulated* code paths should sleep a thread instead).
-pub trait Service: Any {
+pub trait Service: Any + Send {
     fn name(&self) -> &'static str;
 
     fn on_start(&mut self, os: &mut OsApi<'_, '_>) {
@@ -388,6 +388,31 @@ impl OsApi<'_, '_> {
                 region,
                 req_id: req,
             }),
+        );
+    }
+
+    /// Post several one-sided reads with one doorbell ring (RDMAbox-style
+    /// request merging). The NIC charges a single post overhead for the
+    /// whole batch instead of one per read; each read then traverses the
+    /// fabric and completes individually via `on_rdma_complete`, exactly
+    /// as if posted with [`OsApi::rdma_read`].
+    pub fn rdma_read_batch(&mut self, reads: &[(NodeId, RegionId, u64)]) {
+        if reads.is_empty() {
+            return;
+        }
+        let batch: Vec<BatchedRead> = reads
+            .iter()
+            .map(|&(dst, region, token)| BatchedRead {
+                dst,
+                region,
+                req_id: self.core.alloc_req(self.slot, token),
+            })
+            .collect();
+        let src = self.core.node;
+        let fabric = self.core.fabric;
+        self.ctx.send_now(
+            fabric,
+            Msg::Net(NetMsg::RdmaReadBatch { src, reads: batch }),
         );
     }
 

@@ -47,8 +47,22 @@ impl Actor<Msg> for TestFabric {
                         initiator: src,
                         region,
                         req_id,
+                        posted: (_now, ctx.event_seq),
                     }),
                 );
+            }
+            NetMsg::RdmaReadBatch { src, reads } => {
+                for r in reads {
+                    ctx.send_now(
+                        self.nodes[r.dst.index()],
+                        Msg::Node(NodeMsg::RdmaReadArrive {
+                            initiator: src,
+                            region: r.region,
+                            req_id: r.req_id,
+                            posted: (_now, ctx.event_seq),
+                        }),
+                    );
+                }
             }
             NetMsg::RdmaWrite {
                 src,
@@ -71,6 +85,7 @@ impl Actor<Msg> for TestFabric {
                 initiator,
                 req_id,
                 result,
+                ..
             }
             | NetMsg::RdmaWriteAck {
                 initiator,

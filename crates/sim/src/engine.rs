@@ -5,15 +5,42 @@
 //! addressed to one actor. Handling an event may enqueue further events via
 //! the [`Ctx`] handed to the actor.
 //!
-//! Events at equal timestamps are delivered in insertion order (a strictly
-//! monotonic sequence number breaks ties), which makes runs fully
-//! deterministic for a given seed.
+//! Events at equal timestamps are delivered in sequence-number order, which
+//! makes runs fully deterministic for a given seed.
+//!
+//! ## Lane-structured sequence numbers
+//!
+//! Tie-breaking sequence numbers are not a single global counter: they are
+//! `lane << 40 | counter`, where the *lane* identifies the deterministic
+//! stream that produced the event and the counter counts within it:
+//!
+//! * lane `0` — events scheduled from outside any actor ([`Engine::schedule`]);
+//! * lane `2A+1` — events staged by regular actor `A` while handling;
+//! * lane `l+1` — events staged by a *replicated* actor (see
+//!   [`Engine::mark_replicated`]) while handling an event of lane `l`
+//!   (so fabric traffic caused by node `A` lands in lane `2A+2`).
+//!
+//! Each lane is advanced by exactly one actor's handling stream, so the key
+//! assigned to any event is a pure function of that actor's deterministic
+//! event sequence — independent of how actors are interleaved across
+//! shards. That is what makes the parallel executor ([`crate::parallel`])
+//! bitwise identical to a sequential run: both assign identical `(time,
+//! seq)` keys, and the queue orders on nothing else.
 
 use std::any::Any;
 
 use crate::metrics::Recorder;
 use crate::queue::{Entry, EventQueue, QueueKind};
 use crate::time::{SimDuration, SimTime};
+
+/// Bit position splitting a sequence number into `lane | counter`.
+pub(crate) const LANE_SHIFT: u32 = 40;
+
+/// The lane component of a sequence key.
+#[inline]
+pub(crate) fn lane_of(seq: u64) -> u64 {
+    seq >> LANE_SHIFT
+}
 
 /// Identifies an actor registered with an [`Engine`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -31,8 +58,11 @@ impl ActorId {
 /// Actors are single-threaded state machines: the engine calls
 /// [`Actor::handle`] with exclusive access, so no internal locking is ever
 /// needed. The `Any` supertrait lets experiment harnesses downcast actors
-/// back to their concrete types to extract results after a run.
-pub trait Actor<M>: Any {
+/// back to their concrete types to extract results after a run. The `Send`
+/// supertrait lets the parallel executor move whole shards (actors and
+/// their pending events) onto worker threads — actors still never run
+/// concurrently with anything that can observe them.
+pub trait Actor<M>: Any + Send {
     /// Handle one event addressed to this actor at virtual time `now`.
     fn handle(&mut self, now: SimTime, msg: M, ctx: &mut Ctx<'_, M>);
 }
@@ -47,6 +77,10 @@ pub struct Ctx<'a, M> {
     pub now: SimTime,
     /// The actor currently being run.
     pub self_id: ActorId,
+    /// Sequence key of the event being handled. Together with `now` this
+    /// is the engine-wide total order position of the current event —
+    /// used by the race sanitizer to order reads against host writes.
+    pub event_seq: u64,
     out: &'a mut Vec<(SimTime, ActorId, M)>,
     recorder: &'a mut Recorder,
     stop_requested: &'a mut bool,
@@ -108,14 +142,23 @@ pub enum RunOutcome {
 /// The discrete-event simulation engine.
 pub struct Engine<M> {
     actors: Vec<Option<Box<dyn Actor<M>>>>,
+    /// Actors that exist once per shard in a parallel run (the fabric):
+    /// their staged sends take the incoming event's lane + 1 instead of a
+    /// lane of their own, keeping keys shard-invariant.
+    replicated: Vec<bool>,
     queue: EventQueue<M>,
     staging: Vec<(SimTime, ActorId, M)>,
     now: SimTime,
-    seq: u64,
+    /// Per-lane tie-break counters (see the module docs).
+    lanes: Vec<u64>,
     events_processed: u64,
     event_budget: u64,
     recorder: Recorder,
     stop_requested: bool,
+    /// Parallel-run support: when set, staged events whose destination is
+    /// not marked local divert to `foreign` instead of the queue.
+    local_mask: Option<Vec<bool>>,
+    foreign: Vec<Entry<M>>,
 }
 
 impl<M: 'static> Default for Engine<M> {
@@ -128,14 +171,17 @@ impl<M: 'static> Engine<M> {
     pub fn new() -> Self {
         Engine {
             actors: Vec::new(),
+            replicated: Vec::new(),
             queue: EventQueue::new(QueueKind::Wheel),
             staging: Vec::new(),
             now: SimTime::ZERO,
-            seq: 0,
+            lanes: Vec::new(),
             events_processed: 0,
             event_budget: u64::MAX,
             recorder: Recorder::new(),
             stop_requested: false,
+            local_mask: None,
+            foreign: Vec::new(),
         }
     }
 
@@ -235,10 +281,29 @@ impl<M: 'static> Engine<M> {
         &mut self.recorder
     }
 
+    /// Mark an actor as replicated (one instance per shard in a parallel
+    /// run). Its staged sends inherit the incoming event's lane + 1.
+    pub fn mark_replicated(&mut self, id: ActorId) {
+        if self.replicated.len() <= id.index() {
+            self.replicated.resize(id.index() + 1, false);
+        }
+        self.replicated[id.index()] = true;
+    }
+
+    /// Whether an actor was marked replicated.
+    pub fn is_replicated(&self, id: ActorId) -> bool {
+        self.replicated.get(id.index()).copied().unwrap_or(false)
+    }
+
     /// Schedule an event from outside any actor (experiment setup).
     pub fn schedule(&mut self, at: SimTime, dst: ActorId, msg: M) {
+        debug_assert!(
+            !self.is_replicated(dst),
+            "external events must not target a replicated actor (lane 0 \
+             would collide with actor 0's staging lane)"
+        );
         let at = at.max(self.now);
-        let seq = self.next_seq();
+        let seq = self.alloc_lane(0, 1);
         self.push_event(at, seq, dst, msg);
     }
 
@@ -259,10 +324,17 @@ impl<M: 'static> Engine<M> {
         self.schedule(self.now + delay, dst, msg);
     }
 
-    fn next_seq(&mut self) -> u64 {
-        let s = self.seq;
-        self.seq += 1;
-        s
+    /// Claim `n` consecutive keys in `lane`, returning the first full
+    /// sequence key. Counters never reset, so keys are unique per lane.
+    fn alloc_lane(&mut self, lane: u64, n: u64) -> u64 {
+        let idx = lane as usize;
+        if self.lanes.len() <= idx {
+            self.lanes.resize(idx + 1, 0);
+        }
+        let counter = self.lanes[idx];
+        self.lanes[idx] = counter + n;
+        debug_assert!(counter + n < 1 << LANE_SHIFT, "lane counter overflow");
+        (lane << LANE_SHIFT) | counter
     }
 
     /// Immutable access to a concrete actor (for result extraction).
@@ -348,10 +420,23 @@ impl<M: 'static> Engine<M> {
             // this only happens in misconfigured test setups.
             None => return,
         };
+        let lane = if self.replicated.get(idx).copied().unwrap_or(false) {
+            // A replicated actor stages into the lane derived from the
+            // event it is handling — the same lane whichever shard's
+            // replica handles it.
+            debug_assert!(
+                lane_of(entry.seq) % 2 == 1,
+                "replicated actors may only receive actor-staged events"
+            );
+            lane_of(entry.seq) + 1
+        } else {
+            2 * idx as u64 + 1
+        };
         {
             let mut ctx = Ctx {
                 now: entry.time,
                 self_id: entry.dst,
+                event_seq: entry.seq,
                 out: &mut self.staging,
                 recorder: &mut self.recorder,
                 stop_requested: &mut self.stop_requested,
@@ -359,20 +444,143 @@ impl<M: 'static> Engine<M> {
             actor.handle(entry.time, entry.msg, &mut ctx);
         }
         self.actors[idx] = Some(actor);
-        self.flush_staging();
+        self.flush_staging(lane);
     }
 
-    /// Flush staged sends into the queue in submission order. The staging
-    /// buffer is drained in place, so its capacity is reused across
-    /// dispatches and `Ctx::send_*` never reallocates in steady state.
-    fn flush_staging(&mut self) {
-        let base_seq = self.seq;
-        self.seq += self.staging.len() as u64;
+    /// Flush staged sends into the queue in submission order, keyed in
+    /// `lane`. The staging buffer is drained in place, so its capacity is
+    /// reused across dispatches and `Ctx::send_*` never reallocates in
+    /// steady state. Under a local mask (parallel run), sends to non-local
+    /// actors divert to the foreign buffer with their keys intact.
+    fn flush_staging(&mut self, lane: u64) {
+        if self.staging.is_empty() {
+            return;
+        }
+        let base_seq = self.alloc_lane(lane, self.staging.len() as u64);
         let mut staging = std::mem::take(&mut self.staging);
-        for (i, (time, dst, msg)) in staging.drain(..).enumerate() {
-            self.push_event(time, base_seq + i as u64, dst, msg);
+        // The mask test is hoisted out of the loop: sequential runs (no
+        // mask) stay on a branch-free push path.
+        match &self.local_mask {
+            None => {
+                for (i, (time, dst, msg)) in staging.drain(..).enumerate() {
+                    self.queue.push(Entry {
+                        time,
+                        seq: base_seq + i as u64,
+                        dst,
+                        msg,
+                    });
+                }
+            }
+            Some(mask) => {
+                for (i, (time, dst, msg)) in staging.drain(..).enumerate() {
+                    let entry = Entry {
+                        time,
+                        seq: base_seq + i as u64,
+                        dst,
+                        msg,
+                    };
+                    if mask[dst.index()] {
+                        self.queue.push(entry);
+                    } else {
+                        self.foreign.push(entry);
+                    }
+                }
+            }
         }
         self.staging = staging;
+    }
+
+    // ---- parallel-executor support (crate-internal) -------------------
+
+    /// Remove an actor from its slot (parallel shard splitting; the slot
+    /// can be refilled with [`Engine::install`]).
+    pub fn take_actor(&mut self, id: ActorId) -> Option<Box<dyn Actor<M>>> {
+        self.actors.get_mut(id.index()).and_then(Option::take)
+    }
+
+    /// `(time, seq)` of the earliest pending event.
+    pub(crate) fn peek_head(&mut self) -> Option<(SimTime, u64)> {
+        self.queue.peek_key()
+    }
+
+    /// Pop the earliest pending event, key and all.
+    pub(crate) fn pop_entry(&mut self) -> Option<Entry<M>> {
+        self.queue.pop()
+    }
+
+    /// Insert an event with a pre-assigned key (cross-shard delivery and
+    /// shard splitting/rejoining; keys were allocated by `alloc_lane` on
+    /// whichever engine staged the event).
+    pub(crate) fn inject_entry(&mut self, entry: Entry<M>) {
+        self.queue.push(entry);
+    }
+
+    /// Process every pending event strictly before `bound`, leaving `now`
+    /// at the last processed event. Termination flags (stop requests,
+    /// event budgets) are not consulted — bounded-lag windows must drain
+    /// deterministically (documented in `parallel`).
+    pub(crate) fn run_window(&mut self, bound: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some((head_time, _)) = self.queue.peek_key() {
+            if head_time >= bound {
+                break;
+            }
+            let entry = self.queue.pop().expect("peeked entry vanished");
+            debug_assert!(entry.time >= self.now, "time went backwards");
+            self.now = entry.time;
+            self.events_processed += 1;
+            n += 1;
+            self.dispatch(entry);
+        }
+        n
+    }
+
+    /// Restrict staged sends to local destinations (see `flush_staging`).
+    pub(crate) fn set_local_mask(&mut self, mask: Option<Vec<bool>>) {
+        self.local_mask = mask;
+    }
+
+    /// Drain events staged for other shards since the last call.
+    pub(crate) fn take_foreign(&mut self) -> std::vec::Drain<'_, Entry<M>> {
+        self.foreign.drain(..)
+    }
+
+    pub(crate) fn set_now(&mut self, now: SimTime) {
+        debug_assert!(now >= self.now);
+        self.now = now;
+    }
+
+    pub(crate) fn add_events_processed(&mut self, n: u64) {
+        self.events_processed += n;
+    }
+
+    /// Snapshot of the per-lane counters (shard splitting).
+    pub(crate) fn lane_counters(&self) -> &[u64] {
+        &self.lanes
+    }
+
+    pub(crate) fn set_lane_counters(&mut self, lanes: Vec<u64>) {
+        self.lanes = lanes;
+    }
+
+    /// Fold a shard's counters back in. Every lane is advanced by exactly
+    /// one shard, so the elementwise max reassembles the sequential state.
+    pub(crate) fn merge_lane_counters(&mut self, other: &[u64]) {
+        if self.lanes.len() < other.len() {
+            self.lanes.resize(other.len(), 0);
+        }
+        for (mine, theirs) in self.lanes.iter_mut().zip(other) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    pub(crate) fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// Pending events in the queue (diagnostics and split assertions).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
     }
 }
 

@@ -13,16 +13,20 @@
 //! * **Virtual time only.** [`SimTime`] is nanoseconds since simulation
 //!   start; wall-clock never enters simulation logic, so a (seed, config)
 //!   pair fully determines every output byte.
-//! * **Deterministic ordering.** Ties at equal timestamps are broken by a
-//!   monotone sequence number (insertion order).
-//! * **Single-threaded engine.** Actors need no synchronization; parameter
-//!   sweeps parallelize by running independent engines on separate threads.
+//! * **Deterministic ordering.** Ties at equal timestamps are broken by
+//!   lane-structured sequence numbers (per-actor staging streams; see
+//!   [`engine`]'s module docs).
+//! * **Sequential semantics, optional parallelism.** Actors need no
+//!   synchronization: the engine is single-threaded, and the bounded-lag
+//!   sharded executor in [`parallel`] reproduces the sequential run
+//!   bitwise while spreading shards across worker threads.
 //! * **Self-contained metrics.** A log-bucketed [`metrics::Histogram`],
 //!   [`metrics::TimeSeries`] and counters live in a shared
 //!   [`metrics::Recorder`], avoiding external metric dependencies.
 
 pub mod engine;
 pub mod metrics;
+pub mod parallel;
 pub mod queue;
 pub mod rng;
 pub mod time;
@@ -31,6 +35,7 @@ pub use engine::{Actor, ActorId, Ctx, Engine, RunOutcome};
 pub use metrics::{
     Counter, CounterId, Histogram, HistogramId, Recorder, SeriesId, Summary, TimeSeries,
 };
+pub use parallel::{run_sharded, ReplicaSet, ShardPlan};
 pub use queue::QueueKind;
 pub use rng::{DetRng, ZipfSampler};
 pub use time::{SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};

@@ -298,7 +298,7 @@ pub struct CounterId(u32);
 /// `"rubis/resp/Browse"`. Metrics live in dense slabs addressed by interned
 /// ids; a `BTreeMap` name index keeps key iteration deterministic (sorted)
 /// so reports are byte-stable across runs regardless of insertion order.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Recorder {
     histograms: Vec<Histogram>,
     hist_index: BTreeMap<String, u32>,
@@ -408,6 +408,68 @@ impl Recorder {
 
     pub fn counter_keys(&self) -> impl Iterator<Item = &str> {
         self.counter_index.keys().map(String::as_str)
+    }
+
+    /// Fold one parallel shard's recording activity back into this
+    /// recorder. `shard` started the window as a clone of `base` (itself a
+    /// snapshot of this recorder at the split), so everything `shard` did
+    /// is the delta against `base`: histogram bins and counters subtract
+    /// out, and series grew by a suffix (each series has a single writing
+    /// actor, which lives on exactly one shard).
+    ///
+    /// # Panics
+    /// Panics if the shard interned new metric keys during the window.
+    /// Ids interned on a shard recorder would dangle after the merge, so
+    /// every metric must be interned before the parallel run — services
+    /// intern at `on_start`/first tick, which `parallel::run_sharded`
+    /// executes sequentially.
+    pub fn merge_shard_deltas(&mut self, base: &Recorder, shard: &Recorder) {
+        assert!(
+            shard.histograms.len() == base.histograms.len()
+                && shard.series.len() == base.series.len()
+                && shard.counters.len() == base.counters.len(),
+            "metric keys interned during a parallel window (intern at \
+             on_start instead, before shards split)"
+        );
+        for ((mine, b), s) in self
+            .histograms
+            .iter_mut()
+            .zip(&base.histograms)
+            .zip(&shard.histograms)
+        {
+            if s.count == b.count {
+                continue;
+            }
+            for (m, (sb, bb)) in mine
+                .buckets
+                .iter_mut()
+                .zip(s.buckets.iter().zip(&b.buckets))
+            {
+                *m += *sb - *bb;
+            }
+            mine.count += s.count - b.count;
+            mine.sum += s.sum - b.sum;
+            mine.min = mine.min.min(s.min);
+            mine.max = mine.max.max(s.max);
+        }
+        for ((mine, b), s) in self
+            .counters
+            .iter_mut()
+            .zip(&base.counters)
+            .zip(&shard.counters)
+        {
+            mine.0 += s.0 - b.0;
+        }
+        for ((mine, b), s) in self.series.iter_mut().zip(&base.series).zip(&shard.series) {
+            if s.points.len() == b.points.len() {
+                continue;
+            }
+            assert!(
+                mine.points.len() == b.points.len(),
+                "series written from two shards (series must be single-writer)"
+            );
+            mine.points.extend_from_slice(&s.points[b.points.len()..]);
+        }
     }
 }
 

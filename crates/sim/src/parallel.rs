@@ -1,0 +1,517 @@
+//! Conservative parallel discrete-event execution (bounded-lag PDES).
+//!
+//! [`run_sharded`] partitions an [`Engine`]'s actors across worker
+//! threads — each shard owning its own timing-wheel queue — and runs them
+//! in lock-step *bounded-lag windows*: every round, the shards agree on
+//! the globally earliest pending event time `gmin` and then each processes
+//! its local events strictly below `gmin + L`, where the *lookahead* `L`
+//! is a static lower bound on every cross-shard latency. Cross-shard
+//! events travel through per-shard mailboxes with their engine `(time,
+//! seq)` keys already assigned, so the receiving shard merges them into
+//! its queue in exactly the order a sequential engine would have.
+//!
+//! ## Determinism argument
+//!
+//! A parallel run is bitwise identical to a sequential run because the
+//! two assign identical keys to identical events, and key order is the
+//! only order either engine honors:
+//!
+//! 1. **Keys are shard-invariant.** Sequence keys are `lane << 40 |
+//!    counter` (see `engine`), and each lane is advanced by exactly one
+//!    actor's deterministic handling stream. Since every actor processes
+//!    the same events in the same order whichever shard hosts it, every
+//!    staged event gets the same key in any execution.
+//! 2. **No event is processed early.** A shard only processes times
+//!    `< gmin + L`. Any cross-shard event staged this round is staged by
+//!    an event at time `t ≥ gmin` and arrives `≥ t + L ≥ gmin + L` — at
+//!    or beyond every time any shard processes this round — so it always
+//!    reaches the receiver's queue before the receiver's clock can pass
+//!    it. (Replicated actors — the fabric — are the reason node→fabric
+//!    sends are exempt: those are same-instant sends to a local replica.)
+//! 3. **Progress.** If `gmin ≤ horizon`, the shard owning the `gmin`
+//!    event processes at least that event (`L > 0`), so rounds advance.
+//!
+//! The caller supplies per-shard replicas of actors that logically exist
+//! on every shard (the fabric: pure routing + additive counters) and
+//! merges their state afterwards; see `ShardPlan::REPLICATED`.
+//!
+//! Windows ignore `Ctx::request_stop` and event budgets — bounded-lag
+//! rounds must drain deterministically. Worlds driven through the
+//! parallel path use plain horizons (all shipped scenarios do).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::engine::{Actor, ActorId, Engine};
+use crate::queue::Entry;
+use crate::time::{SimDuration, SimTime};
+
+/// Which shard owns each actor slot.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// `shard_of[actor.index()]`: owning shard, or [`ShardPlan::REPLICATED`].
+    pub shard_of: Vec<u16>,
+    /// Number of shards (worker threads).
+    pub shards: usize,
+}
+
+impl ShardPlan {
+    /// Marks an actor that exists once per shard instead of being owned.
+    pub const REPLICATED: u16 = u16::MAX;
+}
+
+/// A replicated actor's per-shard instances, handed into and back out of
+/// [`run_sharded`] (the caller splits and re-merges their state).
+pub struct ReplicaSet<M> {
+    pub id: ActorId,
+    /// One replica per shard, indexed by shard.
+    pub replicas: Vec<Box<dyn Actor<M>>>,
+}
+
+/// A sense-reversing spin barrier. `std::sync::Barrier` takes a mutex +
+/// condvar sleep per wait — far too slow for the ~10⁵ rounds/virtual-second
+/// this executor turns over. Spins briefly, then yields so oversubscribed
+/// hosts (more shards than cores) still make progress.
+struct SpinBarrier {
+    count: AtomicU64,
+    sense: AtomicU64,
+    parties: u64,
+}
+
+impl SpinBarrier {
+    fn new(parties: usize) -> Self {
+        SpinBarrier {
+            count: AtomicU64::new(0),
+            sense: AtomicU64::new(0),
+            parties: parties as u64,
+        }
+    }
+
+    /// `local_sense` must start at 0 and be private to the calling thread.
+    fn wait(&self, local_sense: &mut u64) {
+        *local_sense += 1;
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(*local_sense, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != *local_sense {
+                spins += 1;
+                if spins.is_multiple_of(64) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+/// Run `eng` in parallel until `horizon` (inclusive), bitwise identically
+/// to `eng.run_until(horizon)`. See the module docs for the protocol.
+///
+/// `replicas` carries the per-shard instances of every actor the plan
+/// marks [`ShardPlan::REPLICATED`]; the same sets (with whatever state
+/// the window left in them) are returned for the caller to merge.
+///
+/// # Panics
+/// Panics if `lookahead` is zero, `plan.shards < 2`, an event addressed
+/// to a replicated actor is pending at the boundary, or a shard interns
+/// new metric keys mid-window (see
+/// [`Recorder::merge_shard_deltas`](crate::metrics::Recorder::merge_shard_deltas)).
+pub fn run_sharded<M: Send + 'static>(
+    eng: &mut Engine<M>,
+    horizon: SimTime,
+    lookahead: SimDuration,
+    plan: &ShardPlan,
+    mut replicas: Vec<ReplicaSet<M>>,
+) -> Vec<ReplicaSet<M>> {
+    let shards = plan.shards;
+    assert!(shards >= 2, "run_sharded needs at least two shards");
+    assert!(
+        lookahead > SimDuration::ZERO,
+        "zero lookahead cannot overlap shards; run sequentially instead"
+    );
+    assert_eq!(plan.shard_of.len(), eng.actor_count());
+
+    // Events can land exactly at the horizon; the exclusive bound is one
+    // past it, matching run_until's inclusive horizon.
+    let bound = SimTime(horizon.0.saturating_add(1));
+
+    // Phase 0 — sequential prefix: drain the *current instant* on the main
+    // engine. Boot/on_start chains run here, so every lazily-interned
+    // metric id exists before the per-shard recorders fork.
+    let start = eng.now();
+    eng.run_window(SimTime(start.0 + 1).min(bound));
+
+    // Phase 1 — split. Fresh engines share the queue kind, the lane
+    // counters (each shard only advances its own actors' lanes), a clone
+    // of the recorder, and the actor-slot layout.
+    let base_recorder = eng.recorder().clone();
+    let kind = eng.queue_kind();
+    let mut shard_engines: Vec<Engine<M>> = (0..shards)
+        .map(|s| {
+            let mut se: Engine<M> = Engine::new();
+            se.set_queue_kind(kind);
+            for _ in 0..eng.actor_count() {
+                se.reserve_actor();
+            }
+            se.set_lane_counters(eng.lane_counters().to_vec());
+            se.set_recorder(base_recorder.clone());
+            se.set_now(eng.now());
+            let mask: Vec<bool> = plan
+                .shard_of
+                .iter()
+                .map(|&o| o == s as u16 || o == ShardPlan::REPLICATED)
+                .collect();
+            se.set_local_mask(Some(mask));
+            se
+        })
+        .collect();
+    // Originals of replicated actors sit out the window (their per-shard
+    // replicas run instead) and return to their slots afterwards, so the
+    // main engine stays whole for sequential use before and after.
+    let mut replicated_originals: Vec<(ActorId, Box<dyn Actor<M>>)> = Vec::new();
+    for (idx, &owner) in plan.shard_of.iter().enumerate() {
+        let id = ActorId(idx as u32);
+        if owner == ShardPlan::REPLICATED {
+            for se in shard_engines.iter_mut() {
+                se.mark_replicated(id);
+            }
+            if let Some(actor) = eng.take_actor(id) {
+                replicated_originals.push((id, actor));
+            }
+        } else if let Some(actor) = eng.take_actor(id) {
+            shard_engines[owner as usize].install(id, actor);
+        }
+    }
+    for set in replicas.iter_mut() {
+        assert_eq!(set.replicas.len(), shards, "one replica per shard");
+        for (se, rep) in shard_engines.iter_mut().zip(set.replicas.drain(..)) {
+            se.install(set.id, rep);
+        }
+    }
+    while let Some(entry) = eng.pop_entry() {
+        let owner = plan.shard_of[entry.dst.index()];
+        assert!(
+            owner != ShardPlan::REPLICATED,
+            "event pending for a replicated actor at a window boundary \
+             (replicated actors must only receive same-instant sends)"
+        );
+        shard_engines[owner as usize].inject_entry(entry);
+    }
+
+    // Phase 2 — bounded-lag rounds.
+    let barrier = SpinBarrier::new(shards);
+    let heads: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(0)).collect();
+    let mailboxes: Vec<Mutex<Vec<Entry<M>>>> =
+        (0..shards).map(|_| Mutex::new(Vec::new())).collect();
+
+    // lint: thread-spawn — the parallel executor itself: shards are
+    // disjoint actor sets, cross-shard traffic flows only through the
+    // keyed mailboxes, and the bounded-lag protocol above makes the
+    // result bitwise identical to the sequential engine.
+    std::thread::scope(|scope| {
+        for (s, se) in shard_engines.iter_mut().enumerate() {
+            let barrier = &barrier;
+            let heads = &heads;
+            let mailboxes = &mailboxes;
+            let shard_of = &plan.shard_of;
+            // lint: thread-spawn — see the scope justification above.
+            scope.spawn(move || {
+                let mut sense = 0u64;
+                let mut inbox: Vec<Entry<M>> = Vec::new();
+                loop {
+                    // Collect arrivals first so they count toward the head.
+                    {
+                        let mut mb = mailboxes[s].lock().expect("mailbox poisoned");
+                        std::mem::swap(&mut *mb, &mut inbox);
+                    }
+                    for entry in inbox.drain(..) {
+                        se.inject_entry(entry);
+                    }
+                    let head = se.peek_head().map(|(t, _)| t.0).unwrap_or(u64::MAX);
+                    heads[s].store(head, Ordering::Release);
+                    barrier.wait(&mut sense);
+                    let gmin = heads
+                        .iter()
+                        .map(|h| h.load(Ordering::Acquire))
+                        .min()
+                        .expect("at least one shard");
+                    // Same gmin on every shard: uniform exit decision.
+                    if gmin >= bound.0 {
+                        break;
+                    }
+                    let window_end = SimTime(gmin.saturating_add(lookahead.nanos())).min(bound);
+                    se.run_window(window_end);
+                    for entry in se.take_foreign() {
+                        let dst = shard_of[entry.dst.index()] as usize;
+                        mailboxes[dst].lock().expect("mailbox poisoned").push(entry);
+                    }
+                    // Round edge: everyone must finish delivering before
+                    // anyone drains inboxes for the next round.
+                    barrier.wait(&mut sense);
+                }
+            });
+        }
+    });
+
+    // Phase 3 — rejoin. Actors move home, pending events re-merge (keys
+    // intact), lanes take the elementwise max (each advanced by exactly
+    // one shard), metrics fold in as deltas against the fork point.
+    let mut out = replicas;
+    let mut events = 0u64;
+    let mut last_event_time = eng.now();
+    for (s, mut se) in shard_engines.into_iter().enumerate() {
+        last_event_time = last_event_time.max(se.now());
+        se.set_local_mask(None);
+        assert_eq!(se.take_foreign().count(), 0, "undelivered foreign events");
+        for (idx, &owner) in plan.shard_of.iter().enumerate() {
+            let id = ActorId(idx as u32);
+            if owner as usize == s {
+                if let Some(actor) = se.take_actor(id) {
+                    eng.install(id, actor);
+                }
+            }
+        }
+        for set in out.iter_mut() {
+            set.replicas
+                .push(se.take_actor(set.id).expect("replica vanished"));
+        }
+        while let Some(entry) = se.pop_entry() {
+            eng.inject_entry(entry);
+        }
+        eng.merge_lane_counters(se.lane_counters());
+        eng.recorder_mut()
+            .merge_shard_deltas(&base_recorder, se.recorder());
+        events += se.events_processed();
+    }
+    for mb in mailboxes {
+        assert!(
+            mb.into_inner().expect("mailbox poisoned").is_empty(),
+            "mail left in a shard mailbox after the final round"
+        );
+    }
+    for (id, actor) in replicated_originals {
+        eng.install(id, actor);
+    }
+    eng.add_events_processed(events);
+    // Mirror run_until: the clock rests at the horizon if work remains
+    // beyond it, else at the last processed event (queue drained).
+    if eng.queue_len() > 0 {
+        eng.set_now(horizon);
+    } else {
+        eng.set_now(last_event_time);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Ctx;
+
+    /// A deterministic "node": on each Tick, records into a histogram and
+    /// a counter, then pings a peer through the hub with a wire delay.
+    #[derive(Debug)]
+    enum TestMsg {
+        Tick { hops: u32 },
+        Via { dst: ActorId, hops: u32 },
+    }
+
+    struct TestNode {
+        peer: ActorId,
+        hub: ActorId,
+        hist: crate::metrics::HistogramId,
+        seen: u64,
+    }
+
+    impl Actor<TestMsg> for TestNode {
+        fn handle(&mut self, now: SimTime, msg: TestMsg, ctx: &mut Ctx<'_, TestMsg>) {
+            if let TestMsg::Tick { hops } = msg {
+                self.seen += 1;
+                ctx.recorder().histogram_at(self.hist).record(now.0 % 1024);
+                if hops > 0 {
+                    // Same-instant send to the (replicated) hub.
+                    ctx.send_now(
+                        self.hub,
+                        TestMsg::Via {
+                            dst: self.peer,
+                            hops: hops - 1,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// The replicated hub: forwards with a fixed latency (the lookahead).
+    struct TestHub {
+        wire: SimDuration,
+        forwarded: u64,
+    }
+
+    impl Actor<TestMsg> for TestHub {
+        fn handle(&mut self, _now: SimTime, msg: TestMsg, ctx: &mut Ctx<'_, TestMsg>) {
+            if let TestMsg::Via { dst, hops } = msg {
+                self.forwarded += 1;
+                ctx.send_in(self.wire, dst, TestMsg::Tick { hops });
+            }
+        }
+    }
+
+    const WIRE: SimDuration = SimDuration::from_micros(5);
+
+    fn build(nodes: u32) -> (Engine<TestMsg>, ActorId) {
+        let mut eng: Engine<TestMsg> = Engine::new();
+        let hub = eng.reserve_actor();
+        let ids: Vec<ActorId> = (0..nodes).map(|_| eng.reserve_actor()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            let hist = eng.recorder_mut().histogram_id(&format!("node{i}/t"));
+            eng.install(
+                id,
+                Box::new(TestNode {
+                    peer: ids[(i + 1) % ids.len()],
+                    hub,
+                    hist,
+                    seen: 0,
+                }),
+            );
+        }
+        eng.install(
+            hub,
+            Box::new(TestHub {
+                wire: WIRE,
+                forwarded: 0,
+            }),
+        );
+        eng.mark_replicated(hub);
+        for (i, &id) in ids.iter().enumerate() {
+            // Staggered starts, long relay chains crossing every node.
+            eng.schedule(SimTime(1 + 7 * i as u64), id, TestMsg::Tick { hops: 4000 });
+        }
+        (eng, hub)
+    }
+
+    fn fingerprint(eng: &Engine<TestMsg>, nodes: u32) -> (u64, SimTime, Vec<(String, u64, u64)>) {
+        let hists = eng
+            .recorder()
+            .histogram_keys()
+            .map(|k| {
+                let h = eng.recorder().get_histogram(k).unwrap();
+                (k.to_string(), h.count(), h.max())
+            })
+            .collect();
+        let seen: u64 = (1..=nodes)
+            .map(|i| eng.actor::<TestNode>(ActorId(i)).unwrap().seen)
+            .sum();
+        (seen, eng.now(), hists)
+    }
+
+    fn run_parallel(
+        nodes: u32,
+        shards: usize,
+        horizon: SimTime,
+    ) -> (u64, SimTime, Vec<(String, u64, u64)>, u64) {
+        let (mut eng, hub) = build(nodes);
+        let mut shard_of = vec![0u16; eng.actor_count()];
+        shard_of[hub.index()] = ShardPlan::REPLICATED;
+        for i in 0..nodes {
+            shard_of[1 + i as usize] = (i as usize % shards) as u16;
+        }
+        let plan = ShardPlan { shard_of, shards };
+        // Per-shard hub replicas; forwarded counts merge by summing.
+        let replicas = vec![ReplicaSet {
+            id: hub,
+            replicas: (0..shards)
+                .map(|_| {
+                    Box::new(TestHub {
+                        wire: WIRE,
+                        forwarded: 0,
+                    }) as Box<dyn Actor<TestMsg>>
+                })
+                .collect(),
+        }];
+        let back = run_sharded(&mut eng, horizon, WIRE, &plan, replicas);
+        // Replica counters plus whatever the original handled in the
+        // sequential prefix reassemble the hub's sequential total.
+        let forwarded: u64 = back[0]
+            .replicas
+            .iter()
+            .map(|r| {
+                (r.as_ref() as &dyn std::any::Any)
+                    .downcast_ref::<TestHub>()
+                    .unwrap()
+                    .forwarded
+            })
+            .sum::<u64>()
+            + eng.actor::<TestHub>(hub).unwrap().forwarded;
+        let (seen, now, hists) = fingerprint(&eng, nodes);
+        (seen, now, hists, forwarded)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let horizon = SimTime(30_000_000);
+        let (mut seq_eng, _) = build(6);
+        seq_eng.run_until(horizon);
+        let seq_events = seq_eng.events_processed();
+        let (seen, now, hists) = fingerprint(&seq_eng, 6);
+        for shards in [2usize, 3, 4] {
+            let (p_seen, p_now, p_hists, _fw) = run_parallel(6, shards, horizon);
+            assert_eq!(p_seen, seen, "{shards} shards diverged");
+            assert_eq!(p_now, now);
+            assert_eq!(p_hists, hists, "{shards} shards: histograms diverged");
+        }
+        assert!(seq_events > 10_000, "world must actually run");
+    }
+
+    #[test]
+    fn replica_state_returns_for_merging() {
+        let horizon = SimTime(10_000_000);
+        let (mut seq_eng, hub) = build(4);
+        seq_eng.run_until(horizon);
+        let seq_fw = seq_eng.actor::<TestHub>(hub).unwrap().forwarded;
+        let (_, _, _, fw) = run_parallel(4, 2, horizon);
+        assert_eq!(fw, seq_fw, "summed replica counters must match");
+    }
+
+    #[test]
+    fn pending_events_survive_rejoin() {
+        // Events beyond the horizon re-merge into the main queue and a
+        // follow-up sequential run continues bitwise-correctly.
+        let horizon = SimTime(5_000_000);
+        let (mut a, _) = build(4);
+        a.run_until(horizon);
+        a.run_until(SimTime(9_000_000));
+        let (seen_a, _, hists_a) = fingerprint(&a, 4);
+
+        let (mut b, hub) = build(4);
+        let mut shard_of = vec![0u16; b.actor_count()];
+        shard_of[hub.index()] = ShardPlan::REPLICATED;
+        for i in 0..4usize {
+            shard_of[1 + i] = (i % 2) as u16;
+        }
+        let plan = ShardPlan {
+            shard_of,
+            shards: 2,
+        };
+        let replicas = vec![ReplicaSet {
+            id: hub,
+            replicas: (0..2)
+                .map(|_| {
+                    Box::new(TestHub {
+                        wire: WIRE,
+                        forwarded: 0,
+                    }) as Box<dyn Actor<TestMsg>>
+                })
+                .collect(),
+        }];
+        let _back = run_sharded(&mut b, horizon, WIRE, &plan, replicas);
+        // The original hub is back in its slot; continue sequentially.
+        b.run_until(SimTime(9_000_000));
+        let (seen_b, _, hists_b) = fingerprint(&b, 4);
+        assert_eq!(seen_a, seen_b);
+        assert_eq!(hists_a, hists_b);
+    }
+}

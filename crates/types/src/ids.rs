@@ -57,6 +57,24 @@ pub struct ReqId(pub u64);
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct McastGroup(pub u32);
 
+/// A worker shard of the parallel executor. Shard 0 always exists; a
+/// sequential run is a one-shard run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ShardId(pub u16);
+
+impl ShardId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard{}", self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

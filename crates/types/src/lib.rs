@@ -23,12 +23,12 @@ pub use health::{
     BreakerConfig, BreakerEvent, BreakerState, ChannelHealthStats, CircuitBreaker, FenceGate,
     FenceVerdict, RecordFence,
 };
-pub use ids::{ConnId, McastGroup, NodeId, RegionId, ReqId, ServiceSlot, ThreadId};
+pub use ids::{ConnId, McastGroup, NodeId, RegionId, ReqId, ServiceSlot, ShardId, ThreadId};
 pub use load::{LoadSnapshot, LoadWeights, NodeCapacity, MAX_CPUS};
-pub use msg::{Msg, NetMsg, NodeMsg, RdmaResult, RegionData};
+pub use msg::{BatchedRead, Msg, NetMsg, NodeMsg, PostedKey, RdmaResult, RegionData};
 pub use payload::{Payload, QueryClass, RequestKind, SharedPayload};
 pub use race::{
     RaceDetector, RaceMode, RaceReport, ReadVerdict, SharedRaceDetector, TornRead,
-    MAX_TORN_DIAGNOSTICS, SEQLOCK_MAX_RETRIES,
+    MAX_TORN_DIAGNOSTICS, SEQLOCK_MAX_RETRIES, WRITE_LOG_RETENTION_NANOS,
 };
 pub use scheme::Scheme;

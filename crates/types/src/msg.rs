@@ -9,6 +9,13 @@ use crate::health::RecordFence;
 use crate::ids::{ConnId, McastGroup, NodeId, RegionId, ReqId, ServiceSlot, ThreadId};
 use crate::load::LoadSnapshot;
 use crate::payload::{Payload, SharedPayload};
+use fgmon_sim::SimTime;
+
+/// The engine-level `(time, seq)` key of the fabric event that posted an
+/// RDMA read. Carried through the read's round trip so the torn-read
+/// detector can order the read's start against host writes *on the
+/// target's shard* without any cross-shard detector state.
+pub type PostedKey = (SimTime, u64);
 
 /// Union of all event kinds in the simulation.
 #[derive(Debug)]
@@ -78,10 +85,13 @@ pub enum NodeMsg {
         payload: Payload,
     },
     /// An RDMA read request reached this node's NIC (no CPU involved).
+    /// `posted` is the engine key of the fabric event that launched the
+    /// read, echoed back in [`NetMsg::RdmaReadData`] for the sanitizer.
     RdmaReadArrive {
         initiator: NodeId,
         region: RegionId,
         req_id: ReqId,
+        posted: PostedKey,
     },
     /// An RDMA write request reached this node's NIC (no CPU involved).
     RdmaWriteArrive {
@@ -122,6 +132,13 @@ pub enum NetMsg {
         region: RegionId,
         req_id: ReqId,
     },
+    /// Several one-sided reads posted by `src` in the same doorbell ring
+    /// (RDMAbox-style request merging): the NIC charges one `rdma_post`
+    /// for the whole batch, then fans the reads out to their targets.
+    RdmaReadBatch {
+        src: NodeId,
+        reads: Vec<BatchedRead>,
+    },
     /// One-sided write posted by `src` against a region on `dst`.
     RdmaWrite {
         src: NodeId,
@@ -131,10 +148,15 @@ pub enum NetMsg {
         data: RegionData,
     },
     /// Target-NIC response carrying RDMA read data back to the initiator.
+    /// `target`/`region`/`posted` echo the request so the torn-read
+    /// window can be closed on the target's shard without a lookup table.
     RdmaReadData {
         initiator: NodeId,
         req_id: ReqId,
         result: RdmaResult,
+        target: NodeId,
+        region: RegionId,
+        posted: PostedKey,
     },
     /// Target-NIC ack for an RDMA write (or denial).
     RdmaWriteAck {
@@ -151,6 +173,14 @@ pub enum NetMsg {
         size: u32,
         payload: SharedPayload,
     },
+}
+
+/// One element of a coalesced doorbell batch ([`NetMsg::RdmaReadBatch`]).
+#[derive(Clone, Copy, Debug)]
+pub struct BatchedRead {
+    pub dst: NodeId,
+    pub region: RegionId,
+    pub req_id: ReqId,
 }
 
 impl From<NodeMsg> for Msg {

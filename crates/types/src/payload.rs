@@ -66,9 +66,10 @@ pub enum RequestKind {
 ///
 /// The fabric replicates multicast frames in hardware; the simulation
 /// mirrors that by handing each recipient the *same* immutable body
-/// (`Rc` refcount bump) instead of a per-recipient deep clone. The engine
-/// is single-threaded, so `Rc` is safe and lint-clean.
-pub type SharedPayload = std::rc::Rc<Payload>;
+/// (`Arc` refcount bump) instead of a per-recipient deep clone. `Arc`
+/// rather than `Rc` because the parallel executor moves in-flight events
+/// between shard threads; the refcount bump stays off the hot path.
+pub type SharedPayload = std::sync::Arc<Payload>;
 
 /// Application payloads.
 #[derive(Clone, Debug)]

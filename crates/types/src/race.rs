@@ -9,8 +9,8 @@
 //! handle with explicit version checks). This module is the sanitizer
 //! that re-introduces the hazard as *shadow state*: every registered
 //! region carries an epoch counter bumped on host writes, every in-flight
-//! read records the epoch at post time, and a completion whose epoch
-//! moved is flagged as a [`TornRead`].
+//! read reconstructs the epoch at its post instant, and a completion
+//! whose epoch moved is flagged as a [`TornRead`].
 //!
 //! Three modes:
 //!
@@ -23,17 +23,38 @@
 //!   moved, paying a modeled check + re-read cost per retry (see
 //!   `NetConfig::seqlock_check`). No torn value ever escapes.
 //!
-//! The detector is shared between the fabric (which sees reads) and the
-//! per-node OS cores (which see writes) through an `Rc<RefCell<...>>` —
-//! legal because the engine is strictly single-threaded.
+//! ## Shard locality
+//!
+//! All detector state is keyed by the *target* node of a read: host
+//! writes happen on the target, read windows open when the request
+//! *arrives* at the target's NIC, and windows close when the data leaves
+//! the target (the data-departure event runs on the target's shard too).
+//! So in a parallel run every operation touching a given `(target,
+//! region)` executes on one shard, in that shard's deterministic order —
+//! the per-region state can never race. The cross-shard-shared pieces are
+//! chosen to be order-insensitive: counters are commutative sums, and the
+//! capped diagnostics list keeps the entries with the smallest close keys
+//! (identical to "first N encountered" sequentially, whatever wall-clock
+//! order shards insert in). A single [`SharedRaceDetector`] handle can
+//! therefore be shared across all shards and still produce a report
+//! bitwise identical to a sequential run's. [`RaceDetector::split`] /
+//! [`RaceDetector::absorb`] additionally allow contention-free per-shard
+//! parts when no same-window cross-shard traffic exists.
+//!
+//! The epoch a read saw *at post time* (before it crossed the wire to the
+//! target's shard) is reconstructed from a short per-region write log:
+//! each write records its engine `(time, seq)` key, and
+//! `epoch_asof(posted)` counts back the writes that happened after the
+//! post. Logs are pruned beyond [`WRITE_LOG_RETENTION_NANOS`], far longer
+//! than any read's flight time.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use fgmon_sim::SimTime;
 
 use crate::ids::{NodeId, RegionId, ReqId};
+use crate::msg::PostedKey;
 
 /// How many detailed [`TornRead`] diagnostics a report retains. The total
 /// count keeps incrementing past this cap.
@@ -44,6 +65,13 @@ pub const MAX_TORN_DIAGNOSTICS: usize = 64;
 /// the model stops charging after this many attempts and records the
 /// exhaustion instead of livelocking the simulation.
 pub const SEQLOCK_MAX_RETRIES: u32 = 8;
+
+/// Write-log entries older than this are pruned. 100 virtual
+/// milliseconds: even under 24× congestion plus NIC stalls, a read's
+/// post→serve flight stays microseconds-to-low-milliseconds, so every
+/// reconstruction (`epoch_asof`) only ever consults retained entries
+/// (debug-asserted).
+pub const WRITE_LOG_RETENTION_NANOS: u64 = 100_000_000;
 
 /// Race-checking mode, normally selected via the `FGMON_RACE_CHECK`
 /// environment variable (`off` / `strict` / `seqlock`).
@@ -103,7 +131,7 @@ pub struct RaceReport {
     pub mode: RaceMode,
     /// Host writes observed on registered regions.
     pub host_writes: u64,
-    /// RDMA reads whose windows were tracked.
+    /// RDMA reads whose windows were tracked (request reached the target).
     pub reads_tracked: u64,
     /// Total torn reads detected (strict mode).
     pub torn_total: u64,
@@ -132,33 +160,97 @@ pub enum ReadVerdict {
     },
 }
 
-/// An in-flight read window, keyed by (initiator, request id).
+/// An open read window. Keyed by (target, region, initiator, req) so all
+/// windows for one target sort together and split cleanly per shard.
 #[derive(Clone, Copy, Debug)]
 struct ReadWindow {
-    target: NodeId,
-    region: RegionId,
-    started_at: SimTime,
+    /// Engine key of the fabric event that posted (or re-armed) the read.
+    posted: PostedKey,
     epoch_at_start: u64,
-    /// (first, last) write time observed inside the window so far.
-    overlap: Option<(SimTime, SimTime)>,
     retries: u32,
+}
+
+/// Per-region shadow state: the total write count (the epoch) plus a
+/// short log of recent write keys for `epoch_asof` reconstruction.
+#[derive(Clone, Debug, Default)]
+struct WriteLog {
+    /// Lifetime write count == current epoch.
+    total: u64,
+    /// Engine `(time, seq)` keys of retained writes, ascending (writes to
+    /// one region all happen on its owner's shard, in processing order).
+    log: Vec<PostedKey>,
+    /// Writes before this instant have been pruned from `log`.
+    pruned_before: SimTime,
+}
+
+impl WriteLog {
+    /// The epoch as of engine key `posted`: total minus the writes that
+    /// happened strictly after the post.
+    fn epoch_asof(&self, posted: PostedKey) -> u64 {
+        debug_assert!(
+            posted.0 >= self.pruned_before,
+            "read flight exceeded the write-log retention window"
+        );
+        let after = self.log.len() - self.log.partition_point(|k| *k <= posted);
+        self.total - after as u64
+    }
+
+    /// (first, last) write times strictly inside `(posted, ..]`.
+    fn span_after(&self, posted: PostedKey) -> Option<(SimTime, SimTime)> {
+        let from = self.log.partition_point(|k| *k <= posted);
+        let inside = &self.log[from..];
+        Some((inside.first()?.0, inside.last()?.0))
+    }
+
+    fn push(&mut self, key: PostedKey) {
+        self.total += 1;
+        self.log.push(key);
+        let cutoff = SimTime(key.0 .0.saturating_sub(WRITE_LOG_RETENTION_NANOS));
+        if self.pruned_before < cutoff {
+            let keep = self.log.partition_point(|k| k.0 < cutoff);
+            self.log.drain(..keep);
+            self.pruned_before = cutoff;
+        }
+    }
 }
 
 /// The shadow-state race detector shared by the fabric and every node.
 #[derive(Debug, Default)]
 pub struct RaceDetector {
     mode: RaceMode,
-    /// Shadow epoch per registered region, bumped on every host write.
-    epochs: BTreeMap<(NodeId, RegionId), u64>,
-    /// Open read windows. Request ids are per-initiator counters, so the
-    /// key must include the initiator to stay collision-free.
-    windows: BTreeMap<(NodeId, u64), ReadWindow>,
+    /// Shadow write log per registered region.
+    writes: BTreeMap<(NodeId, RegionId), WriteLog>,
+    /// Open read windows, keyed (target, region, initiator, req).
+    windows: BTreeMap<(NodeId, RegionId, NodeId, u64), ReadWindow>,
+    /// Engine keys of the close events of `report.torn`, parallel to it.
+    /// Used to merge per-shard diagnostic lists in sequential order.
+    torn_keys: Vec<PostedKey>,
     report: RaceReport,
 }
 
-/// Shared handle: the engine is single-threaded, so `Rc<RefCell<...>>`
-/// gives every actor cheap access without any ordering hazards.
-pub type SharedRaceDetector = Rc<RefCell<RaceDetector>>;
+/// Shared handle to one detector. A thin wrapper over `Arc<Mutex<..>>`
+/// (`Rc<RefCell<..>>` before the parallel executor): in a sequential run
+/// one handle is shared by the fabric and every node; in a parallel run
+/// each shard holds a handle to its own split part, so the lock is never
+/// contended — it exists to make the handle `Send`.
+#[derive(Clone, Debug)]
+pub struct SharedRaceDetector(Arc<Mutex<RaceDetector>>);
+
+impl SharedRaceDetector {
+    pub fn new(detector: RaceDetector) -> Self {
+        SharedRaceDetector(Arc::new(Mutex::new(detector)))
+    }
+
+    /// Immutable access (named for the `RefCell` API it replaced).
+    pub fn borrow(&self) -> MutexGuard<'_, RaceDetector> {
+        self.0.lock().expect("race detector lock poisoned")
+    }
+
+    /// Mutable access (named for the `RefCell` API it replaced).
+    pub fn borrow_mut(&self) -> MutexGuard<'_, RaceDetector> {
+        self.0.lock().expect("race detector lock poisoned")
+    }
+}
 
 impl RaceDetector {
     pub fn new(mode: RaceMode) -> Self {
@@ -173,7 +265,7 @@ impl RaceDetector {
     }
 
     pub fn new_shared(mode: RaceMode) -> SharedRaceDetector {
-        Rc::new(RefCell::new(RaceDetector::new(mode)))
+        SharedRaceDetector::new(RaceDetector::new(mode))
     }
 
     pub fn mode(&self) -> RaceMode {
@@ -193,62 +285,74 @@ impl RaceDetector {
         &self.report
     }
 
-    /// A host write to a registered region: bump its epoch and extend the
-    /// overlap span of every read window currently open on it.
-    pub fn note_host_write(&mut self, node: NodeId, region: RegionId, now: SimTime) {
+    /// A host write to a registered region: bump its epoch and log the
+    /// writing event's engine key (`seq` of the event being handled).
+    pub fn note_host_write(&mut self, node: NodeId, region: RegionId, now: SimTime, seq: u64) {
         if !self.enabled() {
             return;
         }
-        *self.epochs.entry((node, region)).or_insert(0) += 1;
         self.report.host_writes += 1;
-        for w in self.windows.values_mut() {
-            if w.target == node && w.region == region {
-                w.overlap = Some(match w.overlap {
-                    None => (now, now),
-                    Some((first, _)) => (first, now),
-                });
-            }
-        }
+        self.writes
+            .entry((node, region))
+            .or_default()
+            .push((now, seq));
     }
 
-    /// An RDMA read was posted to the fabric: open its window.
-    pub fn on_read_start(
+    /// An RDMA read request reached the target's NIC: open its window,
+    /// reconstructing the epoch the initiator saw at post time. A window
+    /// already open under the same key is an in-flight seqlock retry
+    /// (re-armed at its last completion) and is left untouched.
+    pub fn on_read_arrive(
         &mut self,
         initiator: NodeId,
         req: ReqId,
         target: NodeId,
         region: RegionId,
-        now: SimTime,
+        posted: PostedKey,
     ) {
         if !self.enabled() {
             return;
         }
+        let key = (target, region, initiator, req.0);
+        if self.windows.contains_key(&key) {
+            return;
+        }
         self.report.reads_tracked += 1;
-        let epoch = self.epochs.get(&(target, region)).copied().unwrap_or(0);
+        let epoch = self
+            .writes
+            .get(&(target, region))
+            .map(|w| w.epoch_asof(posted))
+            .unwrap_or(0);
         self.windows.insert(
-            (initiator, req.0),
+            key,
             ReadWindow {
-                target,
-                region,
-                started_at: now,
+                posted,
                 epoch_at_start: epoch,
-                overlap: None,
                 retries: 0,
             },
         );
     }
 
     /// The read's data left the target NIC: close (or re-arm) the window.
-    pub fn on_read_complete(&mut self, initiator: NodeId, req: ReqId, now: SimTime) -> ReadVerdict {
+    /// `complete` is the engine key of the completing event.
+    pub fn on_read_complete(
+        &mut self,
+        initiator: NodeId,
+        req: ReqId,
+        target: NodeId,
+        region: RegionId,
+        complete: PostedKey,
+    ) -> ReadVerdict {
         if !self.enabled() {
             return ReadVerdict::Clean;
         }
-        let key = (initiator, req.0);
+        let key = (target, region, initiator, req.0);
         let Some(w) = self.windows.get(&key).copied() else {
             // Unknown request (e.g. posted before the detector attached).
             return ReadVerdict::Clean;
         };
-        let epoch_now = self.epochs.get(&(w.target, w.region)).copied().unwrap_or(0);
+        let shadow = self.writes.get(&(target, region));
+        let epoch_now = shadow.map(|s| s.total).unwrap_or(0);
         if epoch_now == w.epoch_at_start {
             self.windows.remove(&key);
             return ReadVerdict::Clean;
@@ -256,19 +360,35 @@ impl RaceDetector {
         match self.mode {
             RaceMode::Off => unreachable!("checked by enabled()"),
             RaceMode::Strict => {
+                let span = shadow.and_then(|s| s.span_after(w.posted));
                 self.windows.remove(&key);
                 self.report.torn_total += 1;
-                if self.report.torn.len() < MAX_TORN_DIAGNOSTICS {
-                    self.report.torn.push(TornRead {
-                        initiator,
-                        target: w.target,
-                        region: w.region,
-                        read_start: w.started_at,
-                        read_complete: now,
-                        epoch_at_start: w.epoch_at_start,
-                        epoch_at_complete: epoch_now,
-                        write_span: w.overlap.unwrap_or((now, now)),
-                    });
+                // Keep the diagnostics with the smallest close keys. In a
+                // sequential run close keys arrive ascending, so this is
+                // exactly "the first MAX_TORN_DIAGNOSTICS encountered" —
+                // but unlike an append-while-space list it is independent
+                // of the wall-clock order shards reach this point when the
+                // detector is shared across a parallel run.
+                let pos = self.torn_keys.partition_point(|k| *k <= complete);
+                if pos < MAX_TORN_DIAGNOSTICS {
+                    self.torn_keys.insert(pos, complete);
+                    self.report.torn.insert(
+                        pos,
+                        TornRead {
+                            initiator,
+                            target,
+                            region,
+                            read_start: w.posted.0,
+                            read_complete: complete.0,
+                            epoch_at_start: w.epoch_at_start,
+                            epoch_at_complete: epoch_now,
+                            write_span: span.unwrap_or((complete.0, complete.0)),
+                        },
+                    );
+                    if self.torn_keys.len() > MAX_TORN_DIAGNOSTICS {
+                        self.torn_keys.pop();
+                        self.report.torn.pop();
+                    }
                 }
                 ReadVerdict::Torn
             }
@@ -287,31 +407,84 @@ impl RaceDetector {
                 self.windows.insert(
                     key,
                     ReadWindow {
-                        started_at: now,
+                        posted: complete,
                         epoch_at_start: epoch_now,
-                        overlap: None,
                         retries: attempt,
-                        ..w
                     },
                 );
                 ReadVerdict::Retry {
-                    target: w.target,
-                    region: w.region,
+                    target,
+                    region,
                     attempt,
                 }
             }
         }
     }
 
-    /// The frame carrying this read (or its retry) was lost: close the
-    /// window so it cannot linger in the overlap scan forever.
-    pub fn on_read_drop(&mut self, initiator: NodeId, req: ReqId) {
-        self.windows.remove(&(initiator, req.0));
+    /// The frame carrying this read's seqlock retry was lost: close the
+    /// window so it cannot linger open forever. (A lost *initial* request
+    /// never opened a window — windows open at arrival.)
+    pub fn on_read_drop(
+        &mut self,
+        initiator: NodeId,
+        req: ReqId,
+        target: NodeId,
+        region: RegionId,
+    ) {
+        self.windows.remove(&(target, region, initiator, req.0));
     }
 
     /// Open windows right now (diagnostic).
     pub fn open_windows(&self) -> usize {
         self.windows.len()
+    }
+
+    /// Carve the detector into per-shard parts for a parallel window.
+    /// `shard_of[node.index()]` names each node's shard. Every write log
+    /// and window moves to the shard owning its *target* node; counters in
+    /// the parts start at zero (deltas), while `self` keeps the running
+    /// report and temporarily holds no per-region state.
+    pub fn split(&mut self, shard_of: &[u16], shards: usize) -> Vec<RaceDetector> {
+        let mut parts: Vec<RaceDetector> =
+            (0..shards).map(|_| RaceDetector::new(self.mode)).collect();
+        for ((node, region), log) in std::mem::take(&mut self.writes) {
+            let s = shard_of[node.index()] as usize;
+            parts[s].writes.insert((node, region), log);
+        }
+        for (key, w) in std::mem::take(&mut self.windows) {
+            let s = shard_of[key.0.index()] as usize;
+            parts[s].windows.insert(key, w);
+        }
+        parts
+    }
+
+    /// Reabsorb per-shard parts after a parallel window: state maps are
+    /// disjoint unions, counters sum, and the capped diagnostics lists
+    /// merge in close-event order — each shard kept its locally-first 64,
+    /// and the globally-first 64 are a subset of that union, so the merged
+    /// report is bitwise identical to a sequential run's.
+    pub fn absorb(&mut self, parts: Vec<RaceDetector>) {
+        let mut torn: Vec<(PostedKey, TornRead)> = self
+            .torn_keys
+            .drain(..)
+            .zip(self.report.torn.drain(..))
+            .collect();
+        for part in parts {
+            self.writes.extend(part.writes);
+            self.windows.extend(part.windows);
+            self.report.host_writes += part.report.host_writes;
+            self.report.reads_tracked += part.report.reads_tracked;
+            self.report.torn_total += part.report.torn_total;
+            self.report.seqlock_retries += part.report.seqlock_retries;
+            self.report.seqlock_exhausted += part.report.seqlock_exhausted;
+            torn.extend(part.torn_keys.into_iter().zip(part.report.torn));
+        }
+        torn.sort_by_key(|(k, _)| *k);
+        torn.truncate(MAX_TORN_DIAGNOSTICS);
+        for (key, t) in torn {
+            self.torn_keys.push(key);
+            self.report.torn.push(t);
+        }
     }
 }
 
@@ -323,14 +496,18 @@ mod tests {
     const N1: NodeId = NodeId(1);
     const R0: RegionId = RegionId(0);
 
+    fn at(t: u64, seq: u64) -> PostedKey {
+        (SimTime(t), seq)
+    }
+
     #[test]
     fn off_mode_is_inert() {
         let mut d = RaceDetector::new(RaceMode::Off);
-        d.note_host_write(N1, R0, SimTime(5));
-        d.on_read_start(N0, ReqId(0), N1, R0, SimTime(10));
-        d.note_host_write(N1, R0, SimTime(15));
+        d.note_host_write(N1, R0, SimTime(5), 1);
+        d.on_read_arrive(N0, ReqId(0), N1, R0, at(10, 2));
+        d.note_host_write(N1, R0, SimTime(15), 3);
         assert_eq!(
-            d.on_read_complete(N0, ReqId(0), SimTime(20)),
+            d.on_read_complete(N0, ReqId(0), N1, R0, at(20, 4)),
             ReadVerdict::Clean
         );
         assert_eq!(d.report().host_writes, 0);
@@ -340,12 +517,12 @@ mod tests {
     #[test]
     fn strict_flags_write_inside_window() {
         let mut d = RaceDetector::new(RaceMode::Strict);
-        d.note_host_write(N1, R0, SimTime(5)); // before the window: harmless
-        d.on_read_start(N0, ReqId(0), N1, R0, SimTime(10));
-        d.note_host_write(N1, R0, SimTime(12));
-        d.note_host_write(N1, R0, SimTime(14));
+        d.note_host_write(N1, R0, SimTime(5), 1); // before the post: harmless
+        d.on_read_arrive(N0, ReqId(0), N1, R0, at(10, 2));
+        d.note_host_write(N1, R0, SimTime(12), 3);
+        d.note_host_write(N1, R0, SimTime(14), 4);
         assert_eq!(
-            d.on_read_complete(N0, ReqId(0), SimTime(20)),
+            d.on_read_complete(N0, ReqId(0), N1, R0, at(20, 5)),
             ReadVerdict::Torn
         );
         let r = d.report();
@@ -361,29 +538,66 @@ mod tests {
     #[test]
     fn strict_clean_when_no_write_in_window() {
         let mut d = RaceDetector::new(RaceMode::Strict);
-        d.note_host_write(N1, R0, SimTime(5));
-        d.on_read_start(N0, ReqId(0), N1, R0, SimTime(10));
+        d.note_host_write(N1, R0, SimTime(5), 1);
+        d.on_read_arrive(N0, ReqId(0), N1, R0, at(10, 2));
         assert_eq!(
-            d.on_read_complete(N0, ReqId(0), SimTime(20)),
+            d.on_read_complete(N0, ReqId(0), N1, R0, at(20, 3)),
             ReadVerdict::Clean
         );
         // A write *after* completion tears nothing.
-        d.note_host_write(N1, R0, SimTime(25));
+        d.note_host_write(N1, R0, SimTime(25), 4);
         assert_eq!(d.report().torn_total, 0);
+    }
+
+    #[test]
+    fn epoch_reconstruction_respects_equal_time_seq_order() {
+        // A write and a post at the same instant: the engine processes
+        // them in seq order, and epoch_asof must agree. Write (10, 1)
+        // precedes post (10, 2): it is part of the epoch the initiator
+        // saw. Write (10, 3) follows the post: it tears the read.
+        let mut d = RaceDetector::new(RaceMode::Strict);
+        d.note_host_write(N1, R0, SimTime(10), 1);
+        d.on_read_arrive(N0, ReqId(0), N1, R0, at(10, 2));
+        assert_eq!(
+            d.on_read_complete(N0, ReqId(0), N1, R0, at(20, 9)),
+            ReadVerdict::Clean
+        );
+        d.on_read_arrive(N0, ReqId(1), N1, R0, at(10, 2));
+        d.note_host_write(N1, R0, SimTime(10), 3);
+        assert_eq!(
+            d.on_read_complete(N0, ReqId(1), N1, R0, at(20, 9)),
+            ReadVerdict::Torn
+        );
+    }
+
+    #[test]
+    fn arrive_after_write_still_sees_post_epoch() {
+        // The write lands between the post and the request's arrival at
+        // the target (cross-shard flight): the window opens *after* the
+        // write, yet the reconstructed post-time epoch excludes it, so the
+        // read is torn exactly as a sequential run would flag it.
+        let mut d = RaceDetector::new(RaceMode::Strict);
+        d.note_host_write(N1, R0, SimTime(12), 3);
+        d.on_read_arrive(N0, ReqId(0), N1, R0, at(10, 2));
+        assert_eq!(
+            d.on_read_complete(N0, ReqId(0), N1, R0, at(20, 4)),
+            ReadVerdict::Torn
+        );
+        assert_eq!(d.report().torn[0].write_span, (SimTime(12), SimTime(12)));
     }
 
     #[test]
     fn same_req_id_from_two_initiators_does_not_collide() {
         let mut d = RaceDetector::new(RaceMode::Strict);
-        d.on_read_start(N0, ReqId(7), N1, R0, SimTime(10));
-        d.on_read_start(NodeId(2), ReqId(7), N1, R0, SimTime(11));
-        d.note_host_write(N1, R0, SimTime(12));
+        d.on_read_arrive(N0, ReqId(7), N1, R0, at(10, 1));
+        d.on_read_arrive(NodeId(2), ReqId(7), N1, R0, at(11, 2));
+        d.note_host_write(N1, R0, SimTime(12), 3);
         assert_eq!(
-            d.on_read_complete(N0, ReqId(7), SimTime(15)),
+            d.on_read_complete(N0, ReqId(7), N1, R0, at(15, 4)),
             ReadVerdict::Torn
         );
         assert_eq!(
-            d.on_read_complete(NodeId(2), ReqId(7), SimTime(16)),
+            d.on_read_complete(NodeId(2), ReqId(7), N1, R0, at(16, 5)),
             ReadVerdict::Torn
         );
         assert_eq!(d.report().torn_total, 2);
@@ -392,9 +606,9 @@ mod tests {
     #[test]
     fn seqlock_retries_then_converges() {
         let mut d = RaceDetector::new(RaceMode::Seqlock);
-        d.on_read_start(N0, ReqId(0), N1, R0, SimTime(10));
-        d.note_host_write(N1, R0, SimTime(12));
-        let v = d.on_read_complete(N0, ReqId(0), SimTime(20));
+        d.on_read_arrive(N0, ReqId(0), N1, R0, at(10, 1));
+        d.note_host_write(N1, R0, SimTime(12), 2);
+        let v = d.on_read_complete(N0, ReqId(0), N1, R0, at(20, 3));
         assert_eq!(
             v,
             ReadVerdict::Retry {
@@ -403,9 +617,13 @@ mod tests {
                 attempt: 1
             }
         );
+        // The retry's arrival finds the re-armed window and must not
+        // double-count the read.
+        d.on_read_arrive(N0, ReqId(0), N1, R0, at(30, 4));
+        assert_eq!(d.report().reads_tracked, 1);
         // No further writes: the retry completes clean.
         assert_eq!(
-            d.on_read_complete(N0, ReqId(0), SimTime(40)),
+            d.on_read_complete(N0, ReqId(0), N1, R0, at(40, 5)),
             ReadVerdict::Clean
         );
         let r = d.report();
@@ -417,13 +635,13 @@ mod tests {
     #[test]
     fn seqlock_exhausts_after_bound() {
         let mut d = RaceDetector::new(RaceMode::Seqlock);
-        d.on_read_start(N0, ReqId(0), N1, R0, SimTime(0));
+        d.on_read_arrive(N0, ReqId(0), N1, R0, at(0, 0));
         let mut t = 1u64;
         let mut retries = 0u32;
         loop {
-            d.note_host_write(N1, R0, SimTime(t));
+            d.note_host_write(N1, R0, SimTime(t), t);
             t += 1;
-            match d.on_read_complete(N0, ReqId(0), SimTime(t)) {
+            match d.on_read_complete(N0, ReqId(0), N1, R0, at(t, t)) {
                 ReadVerdict::Retry { attempt, .. } => {
                     retries = attempt;
                     t += 1;
@@ -440,13 +658,60 @@ mod tests {
     #[test]
     fn dropped_read_closes_window() {
         let mut d = RaceDetector::new(RaceMode::Strict);
-        d.on_read_start(N0, ReqId(0), N1, R0, SimTime(10));
+        d.on_read_arrive(N0, ReqId(0), N1, R0, at(10, 1));
         assert_eq!(d.open_windows(), 1);
-        d.on_read_drop(N0, ReqId(0));
+        d.on_read_drop(N0, ReqId(0), N1, R0);
         assert_eq!(d.open_windows(), 0);
         assert_eq!(
-            d.on_read_complete(N0, ReqId(0), SimTime(20)),
+            d.on_read_complete(N0, ReqId(0), N1, R0, at(20, 2)),
             ReadVerdict::Clean
         );
+    }
+
+    #[test]
+    fn write_log_prunes_but_epoch_total_survives() {
+        let mut d = RaceDetector::new(RaceMode::Strict);
+        for i in 0..10u64 {
+            d.note_host_write(N1, R0, SimTime(i * 1_000), i);
+        }
+        // A write far in the future prunes the old entries...
+        let far = 10 * WRITE_LOG_RETENTION_NANOS;
+        d.note_host_write(N1, R0, SimTime(far), 100);
+        let log = d.writes.get(&(N1, R0)).unwrap();
+        assert_eq!(log.log.len(), 1);
+        // ...but the epoch (total) still counts every write.
+        assert_eq!(log.total, 11);
+        assert_eq!(log.epoch_asof((SimTime(far), 101)), 11);
+    }
+
+    #[test]
+    fn split_absorb_roundtrips_report() {
+        // Two targets on two shards, torn reads on both; the absorbed
+        // report must equal a sequential run's: summed counters and
+        // diagnostics sorted by close-event key.
+        let shard_of = [0u16, 1u16];
+        let run = |d: &mut RaceDetector, tgt: NodeId, t0: u64| {
+            d.on_read_arrive(N0, ReqId(t0), tgt, R0, at(t0, 1));
+            d.note_host_write(tgt, R0, SimTime(t0 + 1), 2);
+            d.on_read_complete(N0, ReqId(t0), tgt, R0, at(t0 + 5, 3));
+        };
+        // Sequential reference — the engine delivers events in global
+        // time order, so N1's read (all at t=50..55) runs before N0's.
+        let mut seq = RaceDetector::new(RaceMode::Strict);
+        run(&mut seq, N1, 50);
+        run(&mut seq, N0, 100);
+
+        // Split run: note_host_write lands on the owner's part.
+        let mut par = RaceDetector::new(RaceMode::Strict);
+        let mut parts = par.split(&shard_of, 2);
+        run(&mut parts[0], N0, 100);
+        run(&mut parts[1], N1, 50);
+        par.absorb(parts);
+
+        assert_eq!(par.report(), seq.report());
+        assert_eq!(par.report().torn_total, 2);
+        // Close order: N1's read (t=55) closed before N0's (t=105).
+        assert_eq!(par.report().torn[0].target, N1);
+        assert_eq!(par.report().torn[1].target, N0);
     }
 }

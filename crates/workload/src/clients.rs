@@ -30,9 +30,9 @@ pub struct RubisClient {
     /// Metric namespace prefix.
     pub key_prefix: &'static str,
     /// Interned per-class response histograms + completion counter,
-    /// formatted once so the per-response path is allocation-free. Each
-    /// key is interned on first use only, so the recorder's key set (and
-    /// thus report output) is identical to formatting per sample.
+    /// formatted once in `on_start` so the per-response path is
+    /// allocation-free and no key is interned mid-run (parallel windows
+    /// forbid interning new keys once the shards split).
     metric_ids: RubisMetricIds,
 }
 
@@ -80,6 +80,15 @@ impl Service for RubisClient {
 
     fn on_start(&mut self, os: &mut OsApi<'_, '_>) {
         os.listen_direct(self.conn);
+        let prefix = self.key_prefix;
+        let r = os.recorder();
+        for class in QueryClass::ALL {
+            self.metric_ids.resp[class as usize]
+                .get_or_insert_with(|| r.histogram_id(&format!("{prefix}/resp/{}", class.label())));
+        }
+        self.metric_ids
+            .completed
+            .get_or_insert_with(|| r.counter_id(&format!("{prefix}/completed")));
         self.state = vec![
             SessionState {
                 class: QueryClass::Home,
@@ -151,8 +160,8 @@ pub struct ZipfClient {
     state: Vec<SessionState>,
     pub completed: u64,
     pub key_prefix: &'static str,
-    /// Interned response histogram + completion counter (see
-    /// [`RubisMetricIds`] for the lazy-interning rationale).
+    /// Interned response histogram + completion counter, interned in
+    /// `on_start` (see [`RubisMetricIds`]).
     resp_id: Option<HistogramId>,
     completed_id: Option<CounterId>,
 }
@@ -193,6 +202,12 @@ impl Service for ZipfClient {
 
     fn on_start(&mut self, os: &mut OsApi<'_, '_>) {
         os.listen_direct(self.conn);
+        let prefix = self.key_prefix;
+        let r = os.recorder();
+        self.resp_id
+            .get_or_insert_with(|| r.histogram_id(&format!("{prefix}/resp")));
+        self.completed_id
+            .get_or_insert_with(|| r.counter_id(&format!("{prefix}/completed")));
         self.state = vec![
             SessionState {
                 class: QueryClass::Home, // unused for zipf

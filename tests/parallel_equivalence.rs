@@ -1,0 +1,154 @@
+//! Integration: the sharded parallel executor is *bitwise identical* to
+//! the sequential engine. Every observable output — fabric frame
+//! counters, the strict race report (each torn-read diagnostic,
+//! timestamp, and epoch), monitoring histograms, channel-health
+//! counters, and the event count — must match exactly for any thread
+//! count, on both a fault-injected world and the failover world.
+
+use fgmon_balancer::Dispatcher;
+use fgmon_cluster::{big_cluster, fault_compare_world_raced, flaky_rdma_failover, Cluster};
+use fgmon_net::FabricStats;
+use fgmon_sim::{SimDuration, SimTime};
+use fgmon_types::{ChannelHealthStats, FaultPlan, RaceMode, RaceReport, RetryPolicy, Scheme};
+
+const SEEDS: [u64; 3] = [11, 29, 4242];
+const THREADS: [usize; 2] = [2, 4];
+
+type HistRow = (String, u64, u64, u64);
+
+fn histograms(cluster: &Cluster) -> Vec<HistRow> {
+    cluster
+        .recorder()
+        .histogram_keys()
+        .map(|k| {
+            let h = cluster.recorder().get_histogram(k).expect("listed key");
+            (k.to_string(), h.count(), h.mean().to_bits(), h.max())
+        })
+        .collect()
+}
+
+fn run(cluster: &mut Cluster, dur: SimDuration, threads: usize) {
+    if threads <= 1 {
+        cluster.run_for(dur);
+    } else {
+        cluster.run_parallel(dur, threads);
+    }
+}
+
+#[test]
+fn fault_world_is_bitwise_identical_across_thread_counts() {
+    type Fp = (FabricStats, RaceReport, u64, Vec<HistRow>);
+    let fingerprint = |seed: u64, threads: usize| -> Fp {
+        let plan = FaultPlan::new(seed ^ 0xD15C)
+            .congested(SimTime::ZERO, SimTime::MAX, 16.0)
+            .lossy_all(0.02);
+        let mut w = fault_compare_world_raced(
+            plan,
+            RetryPolicy::aggressive(SimDuration::from_millis(30)),
+            SimDuration::from_millis(5),
+            seed,
+            RaceMode::Strict,
+        );
+        run(&mut w.cluster, SimDuration::from_secs(3), threads);
+        (
+            w.cluster.fabric_stats(),
+            w.cluster.race_report(),
+            w.cluster.eng.events_processed(),
+            histograms(&w.cluster),
+        )
+    };
+    for seed in SEEDS {
+        let sequential = fingerprint(seed, 1);
+        assert!(
+            sequential.2 > 1_000,
+            "world must actually run (seed {seed})"
+        );
+        assert!(
+            sequential.1.reads_tracked > 0,
+            "the RDMA poller must be race-tracked (seed {seed})"
+        );
+        for threads in THREADS {
+            let parallel = fingerprint(seed, threads);
+            assert_eq!(
+                sequential, parallel,
+                "parallel run diverged (seed {seed}, threads {threads})"
+            );
+        }
+    }
+}
+
+#[test]
+fn failover_world_preserves_channel_health_bitwise() {
+    type Fp = (
+        FabricStats,
+        u64,
+        Vec<ChannelHealthStats>,
+        Vec<Option<u32>>,
+        ChannelHealthStats,
+        Vec<HistRow>,
+    );
+    let fingerprint = |seed: u64, threads: usize| -> Fp {
+        let mut w = flaky_rdma_failover(Scheme::RdmaSync, seed).world;
+        run(&mut w.cluster, SimDuration::from_secs(6), threads);
+        let disp: &Dispatcher = w.cluster.service(w.frontend, w.dispatcher_slot);
+        let per: Vec<ChannelHealthStats> = (0..disp.monitor.backend_count())
+            .map(|i| *disp.monitor.health_of(i))
+            .collect();
+        let gens: Vec<Option<u32>> = (0..disp.monitor.backend_count())
+            .map(|i| disp.monitor.generation_of(i))
+            .collect();
+        let total = disp.monitor.health_total();
+        (
+            w.cluster.fabric_stats(),
+            w.cluster.eng.events_processed(),
+            per,
+            gens,
+            total,
+            histograms(&w.cluster),
+        )
+    };
+    for seed in SEEDS {
+        let sequential = fingerprint(seed, 1);
+        assert!(
+            sequential.4.any_activity(),
+            "the failover machinery must actually trip (seed {seed})"
+        );
+        for threads in THREADS {
+            let parallel = fingerprint(seed, threads);
+            assert_eq!(
+                sequential, parallel,
+                "failover run diverged (seed {seed}, threads {threads})"
+            );
+        }
+    }
+}
+
+#[test]
+fn big_cluster_with_batched_doorbells_is_bitwise_identical() {
+    type Fp = (FabricStats, u64, Vec<HistRow>);
+    let fingerprint = |threads: usize| -> Fp {
+        let mut w = big_cluster(16, 7);
+        run(&mut w.cluster, SimDuration::from_millis(600), threads);
+        (
+            w.cluster.fabric_stats(),
+            w.cluster.eng.events_processed(),
+            histograms(&w.cluster),
+        )
+    };
+    let sequential = fingerprint(1);
+    assert!(
+        sequential.0.rdma_batch_posts > 0,
+        "the dispatcher must coalesce its poll round into doorbell batches"
+    );
+    assert!(
+        sequential.0.rdma_batched_reads >= 2 * sequential.0.rdma_batch_posts,
+        "each batch must carry multiple reads"
+    );
+    for threads in [2, 3, 4] {
+        let parallel = fingerprint(threads);
+        assert_eq!(
+            sequential, parallel,
+            "big-cluster run diverged (threads {threads})"
+        );
+    }
+}
