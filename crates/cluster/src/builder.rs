@@ -11,7 +11,7 @@ use fgmon_sim::{
 };
 use fgmon_types::{
     ConnId, FaultPlan, McastGroup, Msg, NetConfig, NodeId, NodeMsg, OsConfig, RaceDetector,
-    RaceMode, RaceReport, ServiceSlot, SharedRaceDetector,
+    RaceMode, RaceReport, ServiceSlot, SharedRaceDetector, TenancyConfig, TenantId,
 };
 
 /// Incrementally builds a simulated cluster.
@@ -120,6 +120,18 @@ impl ClusterBuilder {
     /// malformed (see [`FaultPlan::validate`]).
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.fabric.set_fault_plan(plan);
+    }
+
+    /// Assign a node to a fabric tenant (unassigned nodes belong to the
+    /// infrastructure tenant).
+    pub fn set_node_tenant(&mut self, node: NodeId, tenant: TenantId) {
+        self.fabric.set_node_tenant(node, tenant);
+    }
+
+    /// Install the NIC-contention model and tenant QoS policy on the
+    /// fabric. Without this the fabric is tenancy-blind.
+    pub fn set_tenancy(&mut self, cfg: TenancyConfig) {
+        self.fabric.set_tenancy(cfg);
     }
 
     /// Number of nodes added so far.

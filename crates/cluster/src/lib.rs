@@ -34,9 +34,11 @@ pub use report::Table;
 pub use scenarios::{
     accuracy_world, big_cluster, congested_switch, crash_during_burst, crash_restart_recovery,
     fault_compare_world, fault_compare_world_raced, flaky_rdma_failover, float_granularity,
-    ganglia_world, lossy_fabric, micro_latency, rubis_world, torn_read_world, AccuracyWorld,
-    BigClusterWorld, CrashWorld, FailoverWorld, FaultCompareWorld, FloatWorld, GangliaWorld,
-    MicroWorld, RubisWorld, RubisWorldCfg, TornReadWorld, GT_PERIOD,
+    ganglia_world, lossy_fabric, micro_latency, noisy_neighbor, noisy_neighbor_qos,
+    noisy_neighbor_raced, noisy_rubis, quiet_neighbor, rdma_lock_crash, rdma_lock_world,
+    rdma_lock_world_raced, rubis_world, torn_read_world, AccuracyWorld, BigClusterWorld,
+    CrashWorld, FailoverWorld, FaultCompareWorld, FloatWorld, GangliaWorld, LockWorld, MicroWorld,
+    NoisyWorld, RubisWorld, RubisWorldCfg, TornReadWorld, GT_PERIOD, NOISY_RATE_LIMIT,
 };
 pub use summary::{
     channel_health_section, node_summaries, pooled_responses, render_report, NodeSummary,

@@ -8,12 +8,12 @@ use fgmon_core::{make_backend, BackendConfig, BackendHandle, MonitorFrontendServ
 use fgmon_ganglia::{GmetricPublisher, Gmond};
 use fgmon_sim::{DetRng, SimDuration, SimTime};
 use fgmon_types::{
-    BreakerConfig, FaultOp, FaultPlan, McastGroup, NetConfig, NodeId, OsConfig, RaceMode, RegionId,
-    RetryPolicy, Scheme, ServiceSlot,
+    BreakerConfig, FaultOp, FaultPlan, McastGroup, NetConfig, NodeId, OsConfig, QosPolicy,
+    RaceMode, RegionId, RetryPolicy, Scheme, ServiceSlot, TenancyConfig, TenantId,
 };
 use fgmon_workload::{
-    CommLoad, ComputeHogs, FloatApp, LoadRamp, RampStep, RubisClient, WorkerPoolServer,
-    ZipfCatalog, ZipfClient,
+    CommLoad, CommSink, ComputeHogs, FloatApp, LoadRamp, LockClient, LockHost, RampStep, RdmaFlood,
+    RubisClient, WorkerPoolServer, ZipfCatalog, ZipfClient,
 };
 
 use crate::builder::{Cluster, ClusterBuilder};
@@ -373,6 +373,14 @@ pub struct RubisWorldCfg {
     /// Give RDMA backends a standby fallback reporter so tripped channels
     /// can be polled over the socket path.
     pub fallback_reporter: bool,
+    /// Multi-tenant fabric: install this NIC-contention + QoS model.
+    /// `None` leaves the fabric tenancy-blind (the historical behavior).
+    pub tenancy: Option<TenancyConfig>,
+    /// Add a hostile co-tenant node (tenant 1) that floods every
+    /// back-end NIC with this many one-sided reads per 125 µs tick and
+    /// pours bursty socket chatter into each back-end. 0 = no hostile
+    /// node (the node is not even added, so ids are unchanged).
+    pub hostile_flood: u32,
     pub seed: u64,
 }
 
@@ -394,6 +402,8 @@ impl Default for RubisWorldCfg {
             max_info_age: None,
             breaker: None,
             fallback_reporter: false,
+            tenancy: None,
+            hostile_flood: 0,
             seed: 42,
         }
     }
@@ -518,6 +528,41 @@ pub fn rubis_world(cfg: &RubisWorldCfg) -> RubisWorld {
         )
     });
 
+    // Hostile co-tenant: one extra node (added last, so every id above
+    // is unchanged) aiming a one-sided read flood at each back-end NIC
+    // and bursty chatter at each back-end CPU. Region 0 is where pull
+    // backends export their stats; for push/socket schemes the reads
+    // come back denied, but the *completions* still occupy the victim
+    // NIC either way.
+    if cfg.hostile_flood > 0 {
+        let hostile = b.add_node(OsConfig::frontend());
+        b.set_node_tenant(hostile, TenantId(1));
+        let targets: Vec<(NodeId, RegionId)> =
+            backends.iter().map(|&be| (be, RegionId(0))).collect();
+        b.add_service(
+            hostile,
+            Box::new(RdmaFlood::new(
+                targets,
+                cfg.hostile_flood,
+                SimDuration::from_micros(125),
+            )),
+        );
+        for (i, &be) in backends.iter().enumerate() {
+            let sink_slot =
+                b.add_service(be, Box::new(CommSink::new(fgmon_types::ConnId(0), true)));
+            let conn = b.connect(hostile, ServiceSlot(1 + i as u16), be, sink_slot);
+            b.node_service_mut::<CommSink>(be, sink_slot)
+                .expect("comm sink")
+                .conn = conn;
+            b.add_service(
+                hostile,
+                Box::new(CommLoad::bursty(conn, SimDuration::from_micros(400), 8)),
+            );
+        }
+    }
+    if let Some(tenancy) = cfg.tenancy {
+        b.set_tenancy(tenancy);
+    }
     if !cfg.faults.is_empty() {
         b.set_fault_plan(cfg.faults.clone());
     }
@@ -1085,4 +1130,278 @@ pub fn big_cluster(backend_count: u16, seed: u64) -> BigClusterWorld {
         dispatcher_slot,
         rubis_client_slot,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenancy — NIC contention, hostile co-tenants, and the lock service
+// ---------------------------------------------------------------------------
+
+/// Two pollers (Socket-Sync and RDMA-Sync) watching one back-end whose
+/// NIC and CPU a hostile co-tenant hammers: the multi-tenant
+/// counterpart of [`fault_compare_world`], with the ground-truth probe
+/// and per-scheme series recording on so accuracy is measurable.
+pub struct NoisyWorld {
+    pub cluster: Cluster,
+    pub frontend: NodeId,
+    pub backend: NodeId,
+    pub hostile: NodeId,
+    /// Slot of the Socket-Sync poller on the front-end.
+    pub fe_socket: ServiceSlot,
+    /// Slot of the RDMA-Sync poller on the front-end.
+    pub fe_rdma: ServiceSlot,
+    /// Slot of the hostile read flood on the hostile node.
+    pub flood_slot: ServiceSlot,
+}
+
+/// [`noisy_neighbor`] with explicit QoS, hostile switch, and sanitizer
+/// mode. The back-end runs an oscillating compute load so there is a
+/// moving signal for the deviation metric; the hostile node (tenant 1)
+/// aims a one-sided read flood at the back-end NIC — past the QP-cache
+/// working set, so co-tenant completions thrash and shed — and pours
+/// echoed socket chatter into the back-end CPU, the host-side half of
+/// the attack that hits the two-sided scheme hardest.
+pub fn noisy_neighbor_raced(
+    qos: QosPolicy,
+    hostile_on: bool,
+    seed: u64,
+    race: RaceMode,
+) -> NoisyWorld {
+    let poll = SimDuration::from_millis(1);
+    let mut b = ClusterBuilder::new(seed, NetConfig::default());
+    b.set_race_mode(race);
+    let frontend = b.add_node(OsConfig::frontend());
+    let backend = b.add_node(OsConfig::default());
+    let hostile = b.add_node(OsConfig::frontend());
+    b.set_node_tenant(hostile, TenantId(1));
+    b.set_tenancy(TenancyConfig::with_qos(qos));
+
+    let cfg = BackendConfig {
+        calc_interval: poll,
+        via_kernel_module: false,
+        mcast_group: McastGroup(0),
+        push_target: None,
+        fallback_reporter: false,
+    };
+    // Back-end slot 0 = socket backend (no region), slot 1 = RDMA
+    // backend — its exported region is RegionId(0), which is also what
+    // the hostile flood reads.
+    let h_sock = wire_monitoring(
+        &mut b,
+        Scheme::SocketSync,
+        cfg,
+        frontend,
+        ServiceSlot(0),
+        backend,
+        0,
+    );
+    let h_rdma = wire_monitoring(
+        &mut b,
+        Scheme::RdmaSync,
+        cfg,
+        frontend,
+        ServiceSlot(1),
+        backend,
+        0,
+    );
+    // Shed completions must be retried, not waited on forever.
+    let retry = RetryPolicy::aggressive(poll.mul_f64(3.0));
+    for (slot_scheme, handle) in [(Scheme::SocketSync, h_sock), (Scheme::RdmaSync, h_rdma)] {
+        let mut svc = MonitorFrontendService::new(slot_scheme, false, poll, vec![handle]);
+        svc.client.set_retry_policy(retry);
+        svc.client.record_series = true;
+        b.add_service(frontend, Box::new(svc));
+    }
+    let (fe_socket, fe_rdma) = (ServiceSlot(0), ServiceSlot(1));
+
+    // The monitored signal: compute load oscillating 0 ↔ 8 threads every
+    // 40 ms, so a scheme that samples late or loses samples deviates.
+    let steps: Vec<RampStep> = (0..250)
+        .map(|i| RampStep {
+            at: SimTime(i as u64 * 40_000_000),
+            hogs: if i % 2 == 0 { 0 } else { 8 },
+        })
+        .collect();
+    b.add_service(backend, Box::new(LoadRamp::new(steps)));
+
+    // The attack. ~96 reads/ms lands the victim NIC deep in the QP-cache
+    // overload regime (default model: 32 clean slots, shedding past 96);
+    // the chatter's echo sink keeps the back-end CPU and kernel network
+    // path busy, which is what starves the *socket* scheme's reply path.
+    let flood = RdmaFlood::new(
+        vec![(backend, RegionId(0))],
+        if hostile_on { 12 } else { 0 },
+        SimDuration::from_micros(125),
+    );
+    let flood_slot = b.add_service(hostile, Box::new(flood));
+    let sink_slot = b.add_service(
+        backend,
+        Box::new(CommSink::new(fgmon_types::ConnId(0), true)),
+    );
+    let conn = b.connect(hostile, ServiceSlot(1), backend, sink_slot);
+    b.node_service_mut::<CommSink>(backend, sink_slot)
+        .expect("comm sink")
+        .conn = conn;
+    if hostile_on {
+        b.add_service(
+            hostile,
+            Box::new(CommLoad::bursty(conn, SimDuration::from_micros(200), 16)),
+        );
+    }
+
+    let cluster = b.finish(&[(backend, GT_PERIOD)]);
+    NoisyWorld {
+        cluster,
+        frontend,
+        backend,
+        hostile,
+        fe_socket,
+        fe_rdma,
+        flood_slot,
+    }
+}
+
+/// The adversarial baseline: hostile tenant on, no QoS.
+pub fn noisy_neighbor(seed: u64) -> NoisyWorld {
+    noisy_neighbor_raced(QosPolicy::None, true, seed, RaceMode::from_env())
+}
+
+/// The defended world: hostile tenant on, QoS isolating it.
+pub fn noisy_neighbor_qos(qos: QosPolicy, seed: u64) -> NoisyWorld {
+    noisy_neighbor_raced(qos, true, seed, RaceMode::from_env())
+}
+
+/// The quiet control: same world, hostile services disabled.
+pub fn quiet_neighbor(seed: u64) -> NoisyWorld {
+    noisy_neighbor_raced(QosPolicy::None, false, seed, RaceMode::from_env())
+}
+
+/// The per-window rate limit the defended worlds use: 24 posted ops per
+/// millisecond keeps the hostile tenant under the QP-cache working set
+/// (32 slots) with headroom for the monitoring ops on top.
+pub const NOISY_RATE_LIMIT: QosPolicy = QosPolicy::RateLimit {
+    ops_per_window: 24,
+    window: SimDuration(1_000_000),
+};
+
+/// [`rubis_world`] under the same attack: the dispatcher-quality
+/// counterpart of [`noisy_neighbor`]. Four back-ends, a hostile
+/// co-tenant flooding all of them, and the chosen QoS policy.
+pub fn noisy_rubis(scheme: Scheme, qos: QosPolicy, hostile_on: bool, seed: u64) -> RubisWorld {
+    let cfg = RubisWorldCfg {
+        scheme,
+        backends: 2,
+        rubis_sessions: 12,
+        granularity: SimDuration::from_millis(20),
+        retry: RetryPolicy::aggressive(SimDuration::from_millis(60)),
+        max_info_age: Some(SimDuration::from_millis(250)),
+        tenancy: Some(TenancyConfig::with_qos(qos)),
+        hostile_flood: if hostile_on { 8 } else { 0 },
+        seed,
+        ..Default::default()
+    };
+    rubis_world(&cfg)
+}
+
+/// The RDMA-CAS distributed lock service under closed-loop contention,
+/// ready for assertions about mutual exclusion, FIFO fairness, and
+/// epoch-fenced crash recovery.
+pub struct LockWorld {
+    pub cluster: Cluster,
+    /// Node hosting the lock table (and its lease manager).
+    pub host: NodeId,
+    pub clients: Vec<NodeId>,
+    /// Slot of the [`LockHost`] on `host`.
+    pub host_slot: ServiceSlot,
+    /// Slot of each [`LockClient`] on its node (all slot 0).
+    pub client_slots: Vec<ServiceSlot>,
+    /// Which client fail-stops mid-run (`None` = pristine run).
+    pub victim: Option<NodeId>,
+}
+
+/// `clients` closed-loop lock clients contending for `n_locks` ticket
+/// locks hosted on one node's atomic region — every acquire, poll, and
+/// release a single one-sided CAS, costing the host zero CPU. When
+/// `crash` is set, client 0 becomes a long-holding victim that
+/// fail-stops over the window: the lease manager epoch-fences its dead
+/// grant so the queue moves on, and the restarted victim's release hits
+/// the fence (`release_fenced`) instead of corrupting the lock.
+pub fn rdma_lock_world(
+    clients: u32,
+    n_locks: u32,
+    crash: Option<(SimTime, SimTime)>,
+    seed: u64,
+) -> LockWorld {
+    rdma_lock_world_raced(clients, n_locks, crash, seed, RaceMode::from_env())
+}
+
+/// [`rdma_lock_world`] with an explicit race-checking mode, for the
+/// strict-sanitizer determinism suites.
+pub fn rdma_lock_world_raced(
+    clients: u32,
+    n_locks: u32,
+    crash: Option<(SimTime, SimTime)>,
+    seed: u64,
+    race: RaceMode,
+) -> LockWorld {
+    assert!(clients > 0);
+    let mut b = ClusterBuilder::new(seed, NetConfig::default());
+    b.set_race_mode(race);
+    let host = b.add_node(OsConfig::default());
+    let host_slot = b.add_service(
+        host,
+        Box::new(LockHost::new(
+            n_locks,
+            SimDuration::from_millis(120),
+            SimDuration::from_millis(25),
+        )),
+    );
+    let mut nodes = Vec::new();
+    let mut client_slots = Vec::new();
+    for _ in 0..clients {
+        let n = b.add_node(OsConfig::frontend());
+        // The host's atomic region is its first registration: RegionId(0).
+        let slot = b.add_service(
+            n,
+            Box::new(LockClient::new(
+                host,
+                RegionId(0),
+                n_locks,
+                SimDuration::from_millis(25),
+            )),
+        );
+        nodes.push(n);
+        client_slots.push(slot);
+    }
+    let victim = crash.map(|(from, until)| {
+        let v = nodes[0];
+        let slot = client_slots[0];
+        // Make the victim grabby — near-zero think time, long holds — so
+        // it is overwhelmingly likely to die *inside* a critical section
+        // (the case the fencing machinery exists for). Its live holds
+        // stay well under the 120 ms lease, so only the crash fences.
+        let c = b
+            .node_service_mut::<LockClient>(v, slot)
+            .expect("lock client");
+        c.think_mean = SimDuration::from_millis(2);
+        c.hold = SimDuration::from_millis(60);
+        b.set_fault_plan(FaultPlan::new(seed ^ 0x10CC).crash(v, from, until));
+        v
+    });
+    let cluster = b.finish(&[]);
+    LockWorld {
+        cluster,
+        host,
+        clients: nodes,
+        host_slot,
+        client_slots,
+        victim,
+    }
+}
+
+/// The canonical crash-recovery lock run: 4 clients on one lock, the
+/// victim dark for `[1 s, 1.6 s)`.
+pub fn rdma_lock_crash(seed: u64) -> LockWorld {
+    let from = SimTime(SimDuration::from_secs(1).nanos());
+    let until = SimTime(SimDuration::from_millis(1_600).nanos());
+    rdma_lock_world(4, 1, Some((from, until)), seed)
 }

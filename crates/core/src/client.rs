@@ -787,6 +787,14 @@ impl MonitorClient {
                     }
                 }
                 RdmaResult::WriteOk => {}
+                // The monitoring client never posts atomics; a CAS
+                // completion here means a token collision with some
+                // lock-service tenant — count it against the channel
+                // rather than silently accepting foreign data.
+                RdmaResult::CasOk { .. } => {
+                    self.views[idx].denied += 1;
+                    self.note_failure(idx, os);
+                }
             },
             // A completion for a request we already timed out: ignore the
             // data so it can't be counted twice.

@@ -24,7 +24,7 @@ use std::path::{Path, PathBuf};
 /// therefore must be deterministic. Harness crates (`bench`) and the
 /// vendored compat shims are exempt.
 pub const SIM_CRATES: &[&str] = &[
-    "sim", "net", "os", "core", "balancer", "cluster", "workload",
+    "sim", "types", "net", "os", "core", "balancer", "cluster", "workload",
 ];
 
 /// One lint rule: a set of needles to find and a fix to suggest.
@@ -92,13 +92,17 @@ pub const RULES: &[Rule] = &[
             "parking_lot",
             "crossbeam",
         ],
-        allow_paths: &["crates/sim/src/parallel.rs", "crates/cluster/src/sweep.rs"],
+        allow_paths: &[
+            "crates/sim/src/parallel.rs",
+            "crates/cluster/src/sweep.rs",
+            "crates/types/src/race.rs",
+        ],
         suggestion: "determinism comes from the engine's total event order, \
                      not from locks; actors already run with exclusive \
                      access. Shared-memory coordination belongs only to the \
-                     sharded executor (`sim/parallel.rs`) and the sweep \
-                     runner, or behind a justified `// lint: sync-primitive` \
-                     comment",
+                     sharded executor (`sim/parallel.rs`), the sweep runner, \
+                     and the race detector (`types/race.rs`), or behind a \
+                     justified `// lint: sync-primitive` comment",
     },
     Rule {
         id: "hash-collections",

@@ -104,3 +104,46 @@ fn json_mode_emits_parseable_array() {
     assert!(trimmed.contains("\"rule\": \"wall-clock\""));
     assert!(trimmed.contains("\"line\": 1"));
 }
+
+/// The tenancy and lock modules ride the sim path and must be scanned:
+/// a violation seeded into each of their homes (`types`, `workload`) is
+/// found, proving neither crate is exempt.
+#[test]
+fn tenancy_and_lock_modules_are_scanned() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint-tenancy-seed");
+    for (dir, file) in [
+        ("crates/types/src", "tenancy.rs"),
+        ("crates/types/src", "lock.rs"),
+        ("crates/workload/src", "locks.rs"),
+    ] {
+        let d = root.join(dir);
+        std::fs::create_dir_all(&d).expect("create seeded tree");
+        std::fs::write(
+            d.join(file),
+            "use std::collections::HashMap;\npub type T = HashMap<u32, u32>;\n",
+        )
+        .expect("write seeded file");
+    }
+    let findings = scan_workspace(&root).expect("scan seeded tree");
+    for path in [
+        "crates/types/src/tenancy.rs",
+        "crates/types/src/lock.rs",
+        "crates/workload/src/locks.rs",
+    ] {
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.path == path && f.rule == "hash-collections"),
+            "{path} must be covered by the determinism lint"
+        );
+    }
+
+    // And the real modules exist where the lint looks for them.
+    for path in [
+        "crates/types/src/tenancy.rs",
+        "crates/types/src/lock.rs",
+        "crates/workload/src/locks.rs",
+    ] {
+        assert!(workspace_root().join(path).is_file(), "{path} moved");
+    }
+}

@@ -18,7 +18,8 @@ use std::collections::BTreeMap;
 use fgmon_sim::{Actor, ActorId, Ctx, SimDuration, SimTime};
 use fgmon_types::{
     ConnId, FaultOp, FaultPlan, McastGroup, Msg, NetConfig, NetMsg, NodeId, NodeMsg, Payload,
-    RdmaResult, ReadVerdict, ServiceSlot, SharedRaceDetector,
+    QosPolicy, RdmaResult, ReadVerdict, ServiceSlot, SharedRaceDetector, TenancyConfig, TenantId,
+    TenantStats, TokenBucket, MAX_TENANTS,
 };
 
 /// One registered point-to-point connection.
@@ -60,6 +61,12 @@ pub struct FabricStats {
     pub rdma_batched_reads: u64,
     /// Doorbell batches posted (one per `RdmaReadBatch` frame).
     pub rdma_batch_posts: u64,
+    /// One-sided compare-and-swap ops posted.
+    pub rdma_atomics: u64,
+    /// Per-tenant offered load, QoS drops, and contention outcomes.
+    /// Indexed by `TenantId`; all zero until a tenancy config is
+    /// installed, so pre-tenancy fingerprints are unchanged.
+    pub tenants: [TenantStats; MAX_TENANTS],
 }
 
 impl FabricStats {
@@ -80,6 +87,10 @@ impl FabricStats {
         self.region_invalidated += o.region_invalidated;
         self.rdma_batched_reads += o.rdma_batched_reads;
         self.rdma_batch_posts += o.rdma_batch_posts;
+        self.rdma_atomics += o.rdma_atomics;
+        for (mine, theirs) in self.tenants.iter_mut().zip(o.tenants.iter()) {
+            mine.absorb(theirs);
+        }
     }
 }
 
@@ -103,8 +114,28 @@ pub struct Fabric {
     /// Shadow-state torn-read detector, shared with every node's OS core;
     /// `None` when race checking is off (zero overhead).
     race: Option<SharedRaceDetector>,
+    /// `tenants[node.index()]` = that node's tenant; absent entries are
+    /// the infrastructure tenant. Immutable routing state (shared by
+    /// shard replicas).
+    tenants: Vec<TenantId>,
+    /// NIC-contention model + QoS policy; `None` keeps the fabric
+    /// tenancy-blind and bit-identical to pre-tenancy builds.
+    tenancy: Option<TenancyConfig>,
+    /// Rate-limit buckets, one per *source* node. A post is only ever
+    /// handled on its source's shard (the source sent it same-instant),
+    /// so each bucket is touched from exactly one shard.
+    limiters: Vec<TokenBucket>,
+    /// QP-cache pressure per *target* node: `(window index, ops)` for
+    /// the aligned window the target is currently in. Completion legs
+    /// are only ever handled on the target's shard (the target sent
+    /// them same-instant), so each slot is touched from exactly one
+    /// shard — the same routing invariant the race detector leans on.
+    pressure: Vec<(u64, u32)>,
     pub stats: FabricStats,
 }
+
+/// Salt separating contention-shed fate draws from fault-plan draws.
+const CONTENTION_SALT: u64 = 0x7E4A_9C3D_51B6_20E7;
 
 /// `splitmix64` finalizer: a full-avalanche 64-bit mix.
 #[inline]
@@ -134,6 +165,10 @@ impl Fabric {
             fault_active: false,
             fault_check_index: 0,
             race: None,
+            tenants: Vec::new(),
+            tenancy: None,
+            limiters: Vec::new(),
+            pressure: Vec::new(),
             stats: FabricStats::default(),
         }
     }
@@ -155,6 +190,15 @@ impl Fabric {
                 fault_active: self.fault_active,
                 fault_check_index: 0,
                 race: self.race.clone(),
+                tenants: self.tenants.clone(),
+                tenancy: self.tenancy,
+                // Per-node QoS/contention state is replicated as-is:
+                // each slot is only ever touched from the one shard
+                // that owns the node (posts on the source's shard,
+                // completions on the target's), so replicas evolve
+                // exactly the slots the sequential fabric would.
+                limiters: self.limiters.clone(),
+                pressure: self.pressure.clone(),
                 stats: FabricStats::default(),
             })
             .collect()
@@ -201,6 +245,138 @@ impl Fabric {
 
     pub fn fault_plan(&self) -> &FaultPlan {
         &self.plan
+    }
+
+    /// Assign a node to a tenant (build-time wiring). Unassigned nodes
+    /// belong to the infrastructure tenant.
+    ///
+    /// # Panics
+    /// Panics if the tenant is outside the fixed stats table.
+    pub fn set_node_tenant(&mut self, node: NodeId, tenant: TenantId) {
+        assert!(
+            tenant.index() < MAX_TENANTS,
+            "tenant {tenant} outside the {MAX_TENANTS}-wide tenant table"
+        );
+        if self.tenants.len() <= node.index() {
+            self.tenants.resize(node.index() + 1, TenantId::INFRA);
+        }
+        self.tenants[node.index()] = tenant;
+    }
+
+    /// Install the NIC-contention model and QoS policy. Without this
+    /// call the fabric is tenancy-blind and behaves bit-identically to
+    /// pre-tenancy builds.
+    pub fn set_tenancy(&mut self, cfg: TenancyConfig) {
+        assert!(
+            cfg.contention.window.nanos() > 0,
+            "contention window must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.contention.overload_drop),
+            "overload_drop must be a probability"
+        );
+        self.tenancy = Some(cfg);
+    }
+
+    pub fn tenancy(&self) -> Option<&TenancyConfig> {
+        self.tenancy.as_ref()
+    }
+
+    fn tenant_of(&self, node: NodeId) -> TenantId {
+        self.tenants
+            .get(node.index())
+            .copied()
+            .unwrap_or(TenantId::INFRA)
+    }
+
+    /// Source-NIC admission for one posted frame (or one doorbell
+    /// batch): count it against the posting tenant and enforce the
+    /// rate-limit QoS. Runs while handling the post event, which the
+    /// source node sent same-instant — i.e. on the source's shard — so
+    /// the per-source bucket is shard-local state.
+    fn admit_post(&mut self, now: SimTime, src: NodeId) -> bool {
+        let Some(tc) = self.tenancy else {
+            return true;
+        };
+        let tenant = self.tenant_of(src);
+        self.stats.tenants[tenant.index()].posted += 1;
+        let QosPolicy::RateLimit {
+            ops_per_window,
+            window,
+        } = tc.qos
+        else {
+            return true;
+        };
+        if tenant == tc.priority_tenant {
+            return true;
+        }
+        let idx = src.index();
+        if self.limiters.len() <= idx {
+            self.limiters
+                .resize(idx + 1, TokenBucket::new(ops_per_window, window));
+        }
+        if self.limiters[idx].try_admit(now) {
+            true
+        } else {
+            self.stats.tenants[tenant.index()].rate_limited += 1;
+            false
+        }
+    }
+
+    /// Target-NIC contention for one one-sided completion leg: bump the
+    /// serving NIC's QP-cache window pressure, then decide whether this
+    /// completion thrashes (pays extra latency) or is shed outright.
+    /// Runs while handling the completion event, which the target node
+    /// sent same-instant — i.e. on the target's shard — so the
+    /// per-target pressure slot is shard-local, exactly like the race
+    /// detector's shadow state. Returns the extra latency, or `None` if
+    /// the overloaded NIC shed the completion.
+    fn apply_contention(
+        &mut self,
+        now: SimTime,
+        seq: u64,
+        target: NodeId,
+        initiator: NodeId,
+    ) -> Option<SimDuration> {
+        let Some(tc) = self.tenancy else {
+            return Some(SimDuration::ZERO);
+        };
+        let tenant = self.tenant_of(initiator);
+        self.stats.tenants[tenant.index()].completions += 1;
+        // The QP cache is physically shared: every completion the
+        // target serves occupies a slot, whatever its tenant.
+        let win = now.nanos() / tc.contention.window.nanos();
+        let idx = target.index();
+        if self.pressure.len() <= idx {
+            self.pressure.resize(idx + 1, (0, 0));
+        }
+        let slot = &mut self.pressure[idx];
+        if slot.0 != win {
+            *slot = (win, 0);
+        }
+        slot.1 += 1;
+        let ops = slot.1;
+        // A prioritized monitoring QP class rides reserved slots: the
+        // priority tenant's completions occupy the cache but never pay.
+        if matches!(tc.qos, QosPolicy::PriorityQp) && tenant == tc.priority_tenant {
+            return Some(SimDuration::ZERO);
+        }
+        if ops <= tc.contention.qp_cache_slots {
+            return Some(SimDuration::ZERO);
+        }
+        if ops > tc.contention.overload_slots {
+            // Same pure-interposer style as fault fates; a distinct
+            // salt keeps shed draws from perturbing fault draws.
+            let draw = self.fault_check_index;
+            self.fault_check_index += 1;
+            let u = fate_u(self.plan.seed ^ CONTENTION_SALT, now, seq, draw);
+            if u < tc.contention.overload_drop {
+                self.stats.tenants[tenant.index()].contention_dropped += 1;
+                return None;
+            }
+        }
+        self.stats.tenants[tenant.index()].thrashed += 1;
+        Some(tc.contention.thrash_penalty)
     }
 
     /// Decide one frame's fate under the active plan: `None` means the
@@ -308,6 +484,9 @@ impl Fabric {
         size: u32,
         payload: Payload,
     ) {
+        if !self.admit_post(now, src) {
+            return;
+        }
         let Some(entry) = self.conn(conn).copied() else {
             self.stats.dropped += 1;
             return;
@@ -365,6 +544,9 @@ impl Actor<Msg> for Fabric {
                 region,
                 req_id,
             } => {
+                if !self.admit_post(now, src) {
+                    return;
+                }
                 let Some(dst_actor) = self.actor_of(dst) else {
                     self.stats.dropped += 1;
                     return;
@@ -397,7 +579,11 @@ impl Actor<Msg> for Fabric {
                 // request merging): the initiator paid `rdma_post` once,
                 // and the simulator pays one fabric event instead of one
                 // per read. Each read then flies and is served
-                // independently, with its own fate draw.
+                // independently, with its own fate draw. The doorbell
+                // ring is one posted op for QoS purposes.
+                if !self.admit_post(now, src) {
+                    return;
+                }
                 self.stats.rdma_batch_posts += 1;
                 for r in reads {
                     let Some(dst_actor) = self.actor_of(r.dst) else {
@@ -437,6 +623,9 @@ impl Actor<Msg> for Fabric {
                 req_id,
                 data,
             } => {
+                if !self.admit_post(now, src) {
+                    return;
+                }
                 let Some(dst_actor) = self.actor_of(dst) else {
                     self.stats.dropped += 1;
                     return;
@@ -456,6 +645,47 @@ impl Actor<Msg> for Fabric {
                         region,
                         req_id,
                         data,
+                    }),
+                );
+            }
+
+            NetMsg::RdmaCas {
+                src,
+                dst,
+                region,
+                req_id,
+                word,
+                expected,
+                swap,
+            } => {
+                if !self.admit_post(now, src) {
+                    return;
+                }
+                let Some(dst_actor) = self.actor_of(dst) else {
+                    self.stats.dropped += 1;
+                    return;
+                };
+                self.stats.rdma_atomics += 1;
+                // Atomics ride the write path of the fault model: same
+                // post + request-flight cost, same `RdmaWrite` fault op
+                // (they are one-sided mutations, and the plans have no
+                // reason to distinguish them).
+                let base = self.cfg.rdma_post + self.cfg.wire_latency;
+                let Some(delay) =
+                    self.apply_faults(now, seq, Some(src), Some(dst), FaultOp::RdmaWrite, base)
+                else {
+                    return;
+                };
+                ctx.send_in(
+                    delay,
+                    dst_actor,
+                    Msg::Node(NodeMsg::RdmaCasArrive {
+                        initiator: src,
+                        region,
+                        req_id,
+                        word,
+                        expected,
+                        swap,
                     }),
                 );
             }
@@ -549,8 +779,15 @@ impl Actor<Msg> for Fabric {
                 if verdict == ReadVerdict::Torn {
                     self.stats.torn_reads += 1;
                 }
+                // Serving this completion occupies the target NIC's QP
+                // cache: charge contention (thrash latency or outright
+                // shedding) before the fault model sees the leg.
+                let Some(extra) = self.apply_contention(now, seq, target, initiator) else {
+                    return;
+                };
                 // Target-NIC DMA read + reply flight + initiator CQ poll.
-                let base = self.cfg.nic_read + self.cfg.wire_latency + self.cfg.completion_poll;
+                let base =
+                    self.cfg.nic_read + self.cfg.wire_latency + self.cfg.completion_poll + extra;
                 let Some(delay) =
                     self.apply_faults(now, seq, None, Some(initiator), FaultOp::RdmaRead, base)
                 else {
@@ -567,12 +804,19 @@ impl Actor<Msg> for Fabric {
                 initiator,
                 req_id,
                 result,
+                target,
             } => {
                 let Some(dst_actor) = self.actor_of(initiator) else {
                     self.stats.dropped += 1;
                     return;
                 };
-                let base = self.cfg.nic_read + self.cfg.wire_latency + self.cfg.completion_poll;
+                // Write and CAS acks occupy the serving NIC's QP cache
+                // exactly like read completions do.
+                let Some(extra) = self.apply_contention(now, seq, target, initiator) else {
+                    return;
+                };
+                let base =
+                    self.cfg.nic_read + self.cfg.wire_latency + self.cfg.completion_poll + extra;
                 let Some(delay) =
                     self.apply_faults(now, seq, None, Some(initiator), FaultOp::RdmaWrite, base)
                 else {
@@ -591,6 +835,11 @@ impl Actor<Msg> for Fabric {
                 size,
                 payload,
             } => {
+                // One transmission = one posted op, however many ports
+                // the switch replicates it to.
+                if !self.admit_post(now, src) {
+                    return;
+                }
                 // The membership list is taken out (not cloned) for the
                 // duration of the fan-out and put back afterwards, so the
                 // hot path never copies it.
@@ -826,6 +1075,132 @@ mod tests {
         assert_eq!(sum.rdma_batch_posts, 1);
         assert_eq!(sum.socket_frames, 7);
         assert_eq!(sum.torn_reads, 1);
+    }
+
+    #[test]
+    fn absorb_stats_sums_the_tenant_ledger() {
+        let mut a = FabricStats::default();
+        let mut b = FabricStats::default();
+        a.tenants[1].posted = 10;
+        a.tenants[1].thrashed = 3;
+        b.tenants[1].posted = 5;
+        b.tenants[2].rate_limited = 7;
+        let mut sum = FabricStats::default();
+        sum.absorb(&a);
+        sum.absorb(&b);
+        assert_eq!(sum.tenants[1].posted, 15);
+        assert_eq!(sum.tenants[1].thrashed, 3);
+        assert_eq!(sum.tenants[2].rate_limited, 7);
+        assert_eq!(sum.tenants[0], TenantStats::default());
+    }
+
+    #[test]
+    fn rate_limit_admits_at_most_the_bucket_per_window() {
+        let mut f = Fabric::new(NetConfig::default(), vec![]);
+        f.set_node_tenant(NodeId(1), TenantId(1));
+        f.set_tenancy(TenancyConfig::with_qos(QosPolicy::RateLimit {
+            ops_per_window: 4,
+            window: SimDuration::from_millis(1),
+        }));
+        let t0 = SimTime(0);
+        let admitted = (0..10).filter(|_| f.admit_post(t0, NodeId(1))).count();
+        assert_eq!(admitted, 4, "bucket must cap the aligned window");
+        assert_eq!(f.stats.tenants[1].posted, 10);
+        assert_eq!(f.stats.tenants[1].rate_limited, 6);
+        // A fresh window refills the bucket.
+        let t1 = SimTime(SimDuration::from_millis(1).nanos());
+        assert!(f.admit_post(t1, NodeId(1)));
+        // The priority (infrastructure) tenant is never limited.
+        let infra = (0..10).filter(|_| f.admit_post(t0, NodeId(0))).count();
+        assert_eq!(infra, 10);
+        assert_eq!(f.stats.tenants[0].rate_limited, 0);
+    }
+
+    #[test]
+    fn contention_thrashes_past_the_qp_cache_and_sheds_past_overload() {
+        let mut f = Fabric::new(NetConfig::default(), vec![]);
+        f.set_node_tenant(NodeId(2), TenantId(1));
+        let tc = TenancyConfig::default();
+        f.set_tenancy(tc);
+        let now = SimTime(10);
+        // Up to qp_cache_slots completions in a window ride free.
+        for seq in 0..tc.contention.qp_cache_slots as u64 {
+            assert_eq!(
+                f.apply_contention(now, seq, NodeId(0), NodeId(2)),
+                Some(SimDuration::ZERO)
+            );
+        }
+        assert_eq!(f.stats.tenants[1].thrashed, 0);
+        // The next completion thrashes and pays the penalty.
+        assert_eq!(
+            f.apply_contention(now, 99, NodeId(0), NodeId(2)),
+            Some(tc.contention.thrash_penalty)
+        );
+        assert_eq!(f.stats.tenants[1].thrashed, 1);
+        // Far past the overload threshold, some completions are shed.
+        for seq in 100..600 {
+            f.apply_contention(now, seq, NodeId(0), NodeId(2));
+        }
+        let t = &f.stats.tenants[1];
+        assert!(t.contention_dropped > 0, "overload must shed");
+        assert!(
+            t.thrashed > t.contention_dropped,
+            "shedding is probabilistic"
+        );
+        assert_eq!(t.completions, tc.contention.qp_cache_slots as u64 + 1 + 500);
+        // A fresh window clears the pressure.
+        let later = SimTime(now.nanos() + tc.contention.window.nanos());
+        assert_eq!(
+            f.apply_contention(later, 999, NodeId(0), NodeId(2)),
+            Some(SimDuration::ZERO)
+        );
+    }
+
+    #[test]
+    fn priority_qp_class_exempts_the_monitoring_tenant() {
+        let mut f = Fabric::new(NetConfig::default(), vec![]);
+        f.set_node_tenant(NodeId(2), TenantId(1));
+        f.set_tenancy(TenancyConfig::with_qos(QosPolicy::PriorityQp));
+        let now = SimTime(10);
+        // The hostile tenant fills the QP cache well past thrash.
+        for seq in 0..200 {
+            f.apply_contention(now, seq, NodeId(0), NodeId(2));
+        }
+        assert!(f.stats.tenants[1].thrashed > 0);
+        // The infrastructure tenant's completion shares the cache but
+        // never pays, even with the window saturated.
+        assert_eq!(
+            f.apply_contention(now, 777, NodeId(0), NodeId(1)),
+            Some(SimDuration::ZERO)
+        );
+        assert_eq!(f.stats.tenants[0].thrashed, 0);
+        assert_eq!(f.stats.tenants[0].contention_dropped, 0);
+    }
+
+    #[test]
+    fn shard_replicas_carry_the_tenancy_model() {
+        let mut f = Fabric::new(NetConfig::default(), vec![]);
+        f.set_node_tenant(NodeId(1), TenantId(1));
+        f.set_tenancy(TenancyConfig::with_qos(QosPolicy::RateLimit {
+            ops_per_window: 2,
+            window: SimDuration::from_millis(1),
+        }));
+        let mut replicas = f.split_for_shards(2);
+        // Each replica enforces the same per-source bucket (a source is
+        // only ever posted from its own shard, so slots never merge).
+        for r in &mut replicas {
+            let admitted = (0..5)
+                .filter(|_| r.admit_post(SimTime(0), NodeId(1)))
+                .count();
+            assert_eq!(admitted, 2);
+        }
+        // Absorbing replica stats sums the per-tenant ledger.
+        let mut total = FabricStats::default();
+        for r in &replicas {
+            total.absorb(&r.stats);
+        }
+        assert_eq!(total.tenants[1].posted, 10);
+        assert_eq!(total.tenants[1].rate_limited, 6);
     }
 
     #[test]

@@ -38,6 +38,11 @@ pub enum RegionKind {
     /// The live kernel statistics (RDMA-Sync); `detail` additionally
     /// exposes `irq_stat` pending-interrupt counters (e-RDMA-Sync).
     KernelLoad { detail: bool },
+    /// A bank of 64-bit words accessed only through the NIC's atomic
+    /// verbs (compare-and-swap; fetch via the failing-CAS trick). Plain
+    /// reads and writes are refused: single-word atomics cannot tear,
+    /// so atomic regions also stay outside the torn-read detector.
+    AtomicWords { len: u32 },
 }
 
 /// Registration record for one RDMA region.
@@ -103,6 +108,9 @@ pub struct OsCore {
     pub stats: KernelStats,
     regions: Vec<Region>,
     user_snapshots: Vec<Option<LoadSnapshot>>,
+    /// Word banks backing [`RegionKind::AtomicWords`] regions, parallel
+    /// to `regions` (empty for every other kind).
+    atomic_words: Vec<Vec<u64>>,
     /// Outstanding RDMA work requests this node initiated, as
     /// `(req_id, owner, token)` rows. A handful are ever in flight, so a
     /// linear-scanned `Vec` beats map node churn on the completion hot
@@ -151,6 +159,7 @@ impl OsCore {
             stats: KernelStats::new(),
             regions: Vec::new(),
             user_snapshots: Vec::new(),
+            atomic_words: Vec::new(),
             rdma_pending: Vec::new(),
             next_req: 0,
             listeners: BTreeMap::new(),
@@ -287,7 +296,51 @@ impl OsCore {
             seq: 0,
         });
         self.user_snapshots.push(None);
+        self.atomic_words.push(match kind {
+            RegionKind::AtomicWords { len } => vec![0; len as usize],
+            _ => Vec::new(),
+        });
         id
+    }
+
+    /// NIC-side compare-and-swap on one word of an atomic region:
+    /// returns the prior value (the swap happened iff it equaled
+    /// `expected`), or `None` if the region is not an atomic bank or
+    /// the word is out of range. Zero host CPU, like every other
+    /// one-sided serve.
+    pub fn atomic_cas(&mut self, id: RegionId, word: u32, expected: u64, swap: u64) -> Option<u64> {
+        let bank = self.atomic_words.get_mut(id.0 as usize)?;
+        let slot = bank.get_mut(word as usize)?;
+        let prior = *slot;
+        if prior == expected {
+            *slot = swap;
+        }
+        Some(prior)
+    }
+
+    /// Host-local load of an atomic word (the lease manager's view).
+    pub fn atomic_read(&self, id: RegionId, word: u32) -> Option<u64> {
+        self.atomic_words
+            .get(id.0 as usize)?
+            .get(word as usize)
+            .copied()
+    }
+
+    /// Host-local store to an atomic word. On real hardware this is a
+    /// CPU atomic participating in the same coherence domain as the
+    /// HCA's atomics; single words cannot tear, so no race window.
+    pub fn atomic_write(&mut self, id: RegionId, word: u32, value: u64) -> bool {
+        match self
+            .atomic_words
+            .get_mut(id.0 as usize)
+            .and_then(|b| b.get_mut(word as usize))
+        {
+            Some(slot) => {
+                *slot = value;
+                true
+            }
+            None => false,
+        }
     }
 
     pub fn region(&self, id: RegionId) -> Option<&Region> {

@@ -620,6 +620,9 @@ impl NodeActor {
                         fence: self.core.bump_region_seq(region),
                     }
                 }
+                // Atomic banks are accessed only through atomic verbs
+                // (fetch is a failing CAS); the NIC refuses plain reads.
+                RegionKind::AtomicWords { .. } => RdmaResult::AccessDenied,
             },
             None => RdmaResult::AccessDenied,
         };
@@ -656,6 +659,9 @@ impl NodeActor {
     ) {
         let result = match self.core.region(region).copied() {
             Some(_) if !self.core.region_current(region) => RdmaResult::RegionInvalidated,
+            // Atomic banks reject plain writes: only the atomic verbs
+            // touch them, keeping every mutation single-word.
+            Some(r) if matches!(r.kind, RegionKind::AtomicWords { .. }) => RdmaResult::AccessDenied,
             Some(r) if r.writable => {
                 if let RegionData::Snapshot(snap) = data {
                     self.core.write_user_snapshot(region, snap, now);
@@ -667,6 +673,7 @@ impl NodeActor {
             _ => RdmaResult::AccessDenied,
         };
         self.core.stats.net.add(now, 256);
+        let target = self.core.node;
         let fabric = self.core.fabric;
         ctx.send_now(
             fabric,
@@ -674,6 +681,53 @@ impl NodeActor {
                 initiator,
                 req_id,
                 result,
+                target,
+            }),
+        );
+    }
+
+    /// Serve a one-sided compare-and-swap in the NIC — zero host CPU,
+    /// like every other one-sided verb. The word either swaps or it
+    /// does not; the prior value returns to the initiator either way
+    /// (which is also how pure-CAS clients read: a CAS whose `expected`
+    /// can never match is a fetch).
+    // lint: allow-attr — the NIC serve path threads the full wire
+    // five-tuple plus fault context; bundling them into a struct for one
+    // internal call would just move the argument list.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_rdma_cas(
+        &mut self,
+        now: SimTime,
+        ctx: &mut Ctx<'_, Msg>,
+        initiator: NodeId,
+        region: RegionId,
+        req_id: ReqId,
+        word: u32,
+        expected: u64,
+        swap: u64,
+    ) {
+        let result = match self.core.region(region).copied() {
+            Some(_) if !self.core.region_current(region) => RdmaResult::RegionInvalidated,
+            Some(r) if r.writable && matches!(r.kind, RegionKind::AtomicWords { .. }) => {
+                match self.core.atomic_cas(region, word, expected, swap) {
+                    Some(prior) => RdmaResult::CasOk { prior },
+                    None => RdmaResult::AccessDenied,
+                }
+            }
+            _ => RdmaResult::AccessDenied,
+        };
+        // An atomic op moves one word each way; far lighter on the NIC's
+        // DMA engines than a snapshot read.
+        self.core.stats.net.add(now, 64);
+        let target = self.core.node;
+        let fabric = self.core.fabric;
+        ctx.send_now(
+            fabric,
+            Msg::Net(NetMsg::RdmaWriteAck {
+                initiator,
+                req_id,
+                result,
+                target,
             }),
         );
     }
@@ -799,6 +853,14 @@ impl Actor<Msg> for NodeActor {
                 req_id,
                 data,
             } => self.serve_rdma_write(now, ctx, initiator, region, req_id, data),
+            NodeMsg::RdmaCasArrive {
+                initiator,
+                region,
+                req_id,
+                word,
+                expected,
+                swap,
+            } => self.serve_rdma_cas(now, ctx, initiator, region, req_id, word, expected, swap),
             NodeMsg::RdmaCompletion { req_id, result } => {
                 self.on_rdma_completion(ctx, req_id, result)
             }

@@ -349,6 +349,22 @@ impl OsApi<'_, '_> {
         self.core
             .register_region(RegionKind::UserSnapshot, writable)
     }
+    /// Register a bank of `len` RDMA-atomic words (zeroed). Remote
+    /// access is exclusively through [`OsApi::rdma_cas`]; local access
+    /// through [`OsApi::atomic_read`] / [`OsApi::atomic_write`].
+    pub fn register_atomic_region(&mut self, len: u32) -> RegionId {
+        self.core
+            .register_region(RegionKind::AtomicWords { len }, true)
+    }
+    /// Host-local load of one atomic word (e.g. the lock-lease manager
+    /// inspecting its own words).
+    pub fn atomic_read(&self, region: RegionId, word: u32) -> Option<u64> {
+        self.core.atomic_read(region, word)
+    }
+    /// Host-local store to one atomic word.
+    pub fn atomic_write(&mut self, region: RegionId, word: u32, value: u64) -> bool {
+        self.core.atomic_write(region, word, value)
+    }
 
     /// Register the live kernel statistics for one-sided access
     /// (read-only, per the paper's security note). `detail` additionally
@@ -417,6 +433,36 @@ impl OsApi<'_, '_> {
     }
 
     /// Post a one-sided write of `snap` into `region` on node `dst`.
+    /// Post a one-sided compare-and-swap against word `word` of an
+    /// atomic region on `dst`. Completes with [`RdmaResult::CasOk`]
+    /// carrying the prior value (the swap happened iff it equaled
+    /// `expected`). To *fetch* a word on a pure-CAS NIC, post a CAS
+    /// whose `expected` can never match (`fgmon_types::FETCH_SENTINEL`).
+    pub fn rdma_cas(
+        &mut self,
+        dst: NodeId,
+        region: RegionId,
+        word: u32,
+        expected: u64,
+        swap: u64,
+        token: u64,
+    ) {
+        let req = self.core.alloc_req(self.slot, token);
+        let src = self.core.node;
+        let fabric = self.core.fabric;
+        self.ctx.send_now(
+            fabric,
+            Msg::Net(NetMsg::RdmaCas {
+                src,
+                dst,
+                region,
+                req_id: req,
+                word,
+                expected,
+                swap,
+            }),
+        );
+    }
     pub fn rdma_write(&mut self, dst: NodeId, region: RegionId, snap: LoadSnapshot, token: u64) {
         let req = self.core.alloc_req(self.slot, token);
         let src = self.core.node;

@@ -57,6 +57,30 @@ pub struct ReqId(pub u64);
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct McastGroup(pub u32);
 
+/// A fabric tenant: the isolation domain for NIC-contention accounting
+/// and QoS enforcement. Every node belongs to exactly one tenant;
+/// tenant 0 is the infrastructure tenant that hosts the monitoring
+/// plane and the dispatcher, and is the one a prioritized-QP policy
+/// protects. Must stay below [`crate::tenancy::MAX_TENANTS`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct TenantId(pub u8);
+
+impl TenantId {
+    /// The infrastructure tenant (monitoring plane + dispatcher).
+    pub const INFRA: TenantId = TenantId(0);
+
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant{}", self.0)
+    }
+}
+
 /// A worker shard of the parallel executor. Shard 0 always exists; a
 /// sequential run is a one-shard run.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]

@@ -1,0 +1,225 @@
+//! Pure model of the RDMA-CAS distributed ticket lock.
+//!
+//! The lock lives in three 64-bit words of an atomic region on the
+//! lock-host node, and clients drive it **exclusively** through
+//! single-word compare-and-swap — the only atomic verb the fabric
+//! offers — so this model *is* the wire protocol. The sim-side
+//! `LockHost`/`LockClient` services replay exactly these steps over
+//! `OsApi::rdma_cas`; the property tests drive the model directly.
+//!
+//! Word layout per lock (see [`LOCK_STRIDE`]):
+//!
+//! * `TAIL` — next free ticket, taken by CAS-increment.
+//! * `SERVING` — `encode(epoch, ticket)` of the grant currently being
+//!   served. Release is a CAS from the holder's own `(epoch, ticket)`
+//!   to `(epoch, ticket+1)`; the lease manager's fencing step bumps the
+//!   epoch *and* skips the dead holder's ticket, so any CAS a fenced
+//!   holder attempts with its stale epoch fails by construction.
+//! * `OWNER` — runtime mutual-exclusion guard: CASed `0 → key` on
+//!   grant and `key → 0` on release. A grant that finds it nonzero is
+//!   a mutual-exclusion violation (counted, never expected).
+//!
+//! Reads use the standard CAS-as-fetch trick: a CAS whose `expected`
+//! can never match (`FETCH_SENTINEL`) returns the prior value without
+//! modifying the word, so a pure-CAS NIC still gives us loads.
+
+/// Words per lock inside the atomic region.
+pub const LOCK_STRIDE: u32 = 3;
+/// Word offsets within one lock's stride.
+pub const W_TAIL: u32 = 0;
+pub const W_SERVING: u32 = 1;
+pub const W_OWNER: u32 = 2;
+
+/// `expected` value no word ever holds, making CAS a pure fetch.
+/// `SERVING` would need epoch *and* ticket to both wrap to `u32::MAX`
+/// (2^32 fencings and 2^32 grants), guard keys are node indices + 1,
+/// and `TAIL` would need 2^64 - 1 acquisitions — all unreachable in
+/// any simulated run.
+pub const FETCH_SENTINEL: u64 = u64::MAX;
+
+/// Pack an epoch/ticket pair into a serving word.
+#[inline]
+pub fn encode(epoch: u32, ticket: u32) -> u64 {
+    ((epoch as u64) << 32) | ticket as u64
+}
+
+/// Unpack a serving word into `(epoch, ticket)`.
+#[inline]
+pub fn decode(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
+/// One lock's three words, with the CAS primitive and the client/
+/// manager steps expressed over it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TicketLock {
+    pub words: [u64; LOCK_STRIDE as usize],
+}
+
+impl TicketLock {
+    /// The only mutation primitive: single-word compare-and-swap.
+    /// Returns the prior value; the swap happened iff `prior ==
+    /// expected`.
+    pub fn cas(&mut self, word: u32, expected: u64, swap: u64) -> u64 {
+        let slot = &mut self.words[word as usize];
+        let prior = *slot;
+        if prior == expected {
+            *slot = swap;
+        }
+        prior
+    }
+
+    /// CAS-as-fetch.
+    pub fn fetch(&mut self, word: u32) -> u64 {
+        self.cas(word, FETCH_SENTINEL, FETCH_SENTINEL)
+    }
+
+    /// Client step: claim the next ticket by CAS-incrementing `TAIL`.
+    /// One retry loop iteration per contending CAS failure.
+    pub fn take_ticket(&mut self) -> u32 {
+        loop {
+            let seen = self.fetch(W_TAIL);
+            if self.cas(W_TAIL, seen, seen + 1) == seen {
+                return seen as u32;
+            }
+        }
+    }
+
+    /// Client step: poll `SERVING`; `Some(epoch)` once `ticket` is
+    /// being served. The epoch returned is the one the grant is valid
+    /// under — the holder must present it at release.
+    pub fn poll_grant(&mut self, ticket: u32) -> Option<u32> {
+        let (epoch, serving) = decode(self.fetch(W_SERVING));
+        (serving == ticket).then_some(epoch)
+    }
+
+    /// Client step at grant: assert mutual exclusion by CASing the
+    /// owner guard `0 → key`. `false` means another holder is inside —
+    /// a violated invariant the caller records.
+    pub fn enter_guard(&mut self, key: u64) -> bool {
+        self.cas(W_OWNER, 0, key) == 0
+    }
+
+    /// Client step: release under `(epoch, ticket)`. Fails — harmlessly
+    /// and by design — if the lease manager fenced this generation.
+    pub fn try_release(&mut self, epoch: u32, ticket: u32, key: u64) -> bool {
+        let cur = encode(epoch, ticket);
+        if self.cas(W_SERVING, cur, encode(epoch, ticket + 1)) != cur {
+            return false;
+        }
+        self.cas(W_OWNER, key, 0);
+        true
+    }
+
+    /// Lease-manager step (host-local): the current holder is presumed
+    /// dead — bump the epoch, skip its ticket, clear the guard. Any
+    /// word the fenced holder CASes afterwards with its stale epoch no
+    /// longer matches. Returns `(new_epoch, skipped_ticket)`.
+    pub fn fence_advance(&mut self) -> (u32, u32) {
+        let (epoch, ticket) = decode(self.words[W_SERVING as usize]);
+        self.words[W_SERVING as usize] = encode(epoch + 1, ticket + 1);
+        self.words[W_OWNER as usize] = 0;
+        (epoch + 1, ticket)
+    }
+
+    /// Tickets handed out so far.
+    pub fn tail(&self) -> u32 {
+        self.words[W_TAIL as usize] as u32
+    }
+
+    /// Current `(epoch, serving_ticket)`.
+    pub fn serving(&self) -> (u32, u32) {
+        decode(self.words[W_SERVING as usize])
+    }
+}
+
+/// A bank of ticket locks laid out exactly as the atomic region the
+/// lock host registers: lock `i` owns words `[i*LOCK_STRIDE,
+/// (i+1)*LOCK_STRIDE)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LockTable {
+    pub locks: Vec<TicketLock>,
+}
+
+impl LockTable {
+    pub fn new(n_locks: u32) -> Self {
+        LockTable {
+            locks: vec![TicketLock::default(); n_locks as usize],
+        }
+    }
+
+    /// Total words the backing atomic region needs.
+    pub fn words(&self) -> u32 {
+        self.locks.len() as u32 * LOCK_STRIDE
+    }
+
+    /// Route a flat region-word CAS to the owning lock, as the host
+    /// NIC does. Returns the prior value.
+    pub fn cas(&mut self, word: u32, expected: u64, swap: u64) -> u64 {
+        let lock = (word / LOCK_STRIDE) as usize;
+        self.locks[lock].cas(word % LOCK_STRIDE, expected, swap)
+    }
+
+    /// Flat word index of `(lock, offset)` — what clients post in their
+    /// CAS verbs.
+    pub fn word_of(lock: u32, offset: u32) -> u32 {
+        lock * LOCK_STRIDE + offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tickets_are_fifo_and_release_advances() {
+        let mut l = TicketLock::default();
+        let t0 = l.take_ticket();
+        let t1 = l.take_ticket();
+        assert_eq!((t0, t1), (0, 1));
+        let e = l.poll_grant(t0).expect("first ticket served immediately");
+        assert!(l.poll_grant(t1).is_none(), "FIFO: t1 waits behind t0");
+        assert!(l.enter_guard(7));
+        assert!(!l.enter_guard(8), "guard detects a second entrant");
+        assert!(l.try_release(e, t0, 7));
+        assert_eq!(l.poll_grant(t1), Some(e), "t1 served next, same epoch");
+    }
+
+    #[test]
+    fn fencing_blocks_the_stale_generation() {
+        let mut l = TicketLock::default();
+        let t0 = l.take_ticket();
+        let e0 = l.poll_grant(t0).expect("granted");
+        assert!(l.enter_guard(7));
+        // Holder crashes; the lease manager fences it.
+        let (e1, skipped) = l.fence_advance();
+        assert_eq!((e1, skipped), (e0 + 1, t0));
+        // The fenced generation can neither release nor be re-granted.
+        assert!(!l.try_release(e0, t0, 7));
+        assert!(l.poll_grant(t0).is_none());
+        // The next waiter proceeds under the fresh epoch.
+        let t1 = l.take_ticket();
+        assert_eq!(l.poll_grant(t1), Some(e1));
+        assert!(l.enter_guard(9), "guard was force-cleared by fencing");
+    }
+
+    #[test]
+    fn table_routes_flat_words() {
+        let mut t = LockTable::new(2);
+        assert_eq!(t.words(), 2 * LOCK_STRIDE);
+        let w = LockTable::word_of(1, W_TAIL);
+        assert_eq!(t.cas(w, 0, 1), 0);
+        assert_eq!(t.locks[1].tail(), 1);
+        assert_eq!(t.locks[0].tail(), 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let (e, t) = decode(encode(0xDEAD, 0xBEEF));
+        assert_eq!((e, t), (0xDEAD, 0xBEEF));
+        // The fetch sentinel collides only at the unreachable corner
+        // where epoch and ticket have both wrapped to u32::MAX.
+        assert_ne!(encode(0, u32::MAX), FETCH_SENTINEL);
+        assert_ne!(encode(u32::MAX, 0), FETCH_SENTINEL);
+    }
+}

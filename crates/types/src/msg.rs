@@ -49,6 +49,12 @@ pub enum RdmaResult {
         fence: RecordFence,
     },
     WriteOk,
+    /// Compare-and-swap executed atomically by the target NIC; `prior`
+    /// is the word value before the op (the swap happened iff `prior`
+    /// equaled the posted `expected`).
+    CasOk {
+        prior: u64,
+    },
     /// The target NIC refused the access (unknown region, or a write to a
     /// read-only region — the paper's §6 security discussion).
     AccessDenied,
@@ -99,6 +105,19 @@ pub enum NodeMsg {
         region: RegionId,
         req_id: ReqId,
         data: RegionData,
+    },
+    /// An RDMA compare-and-swap reached this node's NIC (no CPU
+    /// involved): atomically, if word `word` of `region` equals
+    /// `expected` it becomes `swap`; either way the prior value returns
+    /// to the initiator. Single-word atomics cannot tear, so — unlike
+    /// reads — no race window opens.
+    RdmaCasArrive {
+        initiator: NodeId,
+        region: RegionId,
+        req_id: ReqId,
+        word: u32,
+        expected: u64,
+        swap: u64,
     },
     /// An RDMA work request this node posted has completed.
     RdmaCompletion { req_id: ReqId, result: RdmaResult },
@@ -158,11 +177,26 @@ pub enum NetMsg {
         region: RegionId,
         posted: PostedKey,
     },
-    /// Target-NIC ack for an RDMA write (or denial).
+    /// One-sided compare-and-swap posted by `src` against word `word`
+    /// of an atomic region on `dst` (masked atomics stay out of scope:
+    /// one full 64-bit word per op, as on real HCAs).
+    RdmaCas {
+        src: NodeId,
+        dst: NodeId,
+        region: RegionId,
+        req_id: ReqId,
+        word: u32,
+        expected: u64,
+        swap: u64,
+    },
+    /// Target-NIC ack for an RDMA write, CAS, or denial. `target` names
+    /// the serving NIC so per-target contention is charged on this leg,
+    /// which the target itself emitted — i.e. on the target's shard.
     RdmaWriteAck {
         initiator: NodeId,
         req_id: ReqId,
         result: RdmaResult,
+        target: NodeId,
     },
     /// Hardware multicast transmission to every subscriber of `group`.
     /// The body is allocated once at the sender and shared by reference

@@ -14,6 +14,7 @@
 pub mod background;
 pub mod clients;
 pub mod floatapp;
+pub mod locks;
 pub mod rubis;
 pub mod webserver;
 pub mod zipf;
@@ -24,6 +25,7 @@ mod proptests;
 pub use background::{CommLoad, CommSink, ComputeHogs, LoadRamp, RampStep};
 pub use clients::{RubisClient, ZipfClient};
 pub use floatapp::FloatApp;
+pub use locks::{LockClient, LockHost, RdmaFlood};
 pub use rubis::{QueryProfile, TransitionMatrix};
 pub use webserver::WorkerPoolServer;
 pub use zipf::ZipfCatalog;

@@ -311,3 +311,159 @@ proptest! {
         prop_assert_eq!(b.state(), BreakerState::Open { until: until + c });
     }
 }
+
+// ---------------------------------------------------------------------------
+// Multi-tenancy and lock-service isolation invariants (pure models from
+// `fgmon-types`: the token-bucket limiter and the ticket-lock words).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// The token bucket never admits more than `max_ops` operations in
+    /// any aligned window, for *any* event schedule: arbitrary
+    /// inter-arrival gaps, bursts, and idle stretches.
+    #[test]
+    fn token_bucket_never_exceeds_rate(
+        max_ops in 1u32..64,
+        window_us in 1u64..5_000,
+        gaps_ns in prop::collection::vec(0u64..20_000_000, 1..512),
+    ) {
+        use std::collections::BTreeMap;
+        use fgmon_types::TokenBucket;
+
+        let window = SimDuration::from_micros(window_us);
+        let mut bucket = TokenBucket::new(max_ops, window);
+        let mut now = SimTime::ZERO;
+        let mut admitted_per_window: BTreeMap<u64, u32> = BTreeMap::new();
+        for gap in gaps_ns {
+            now += SimDuration(gap);
+            let win = now.nanos() / window.nanos();
+            if bucket.try_admit(now) {
+                *admitted_per_window.entry(win).or_insert(0) += 1;
+            }
+            // The bucket's own view agrees with the external tally.
+            prop_assert_eq!(
+                bucket.used_in_window(now),
+                admitted_per_window.get(&win).copied().unwrap_or(0)
+            );
+        }
+        for (&win, &n) in &admitted_per_window {
+            prop_assert!(
+                n <= max_ops,
+                "window {} admitted {} ops with budget {}", win, n, max_ops
+            );
+        }
+    }
+
+    /// A saturating burst inside one window is admitted exactly up to
+    /// the budget, and the next window starts with a full budget again.
+    #[test]
+    fn token_bucket_budget_is_exact(
+        max_ops in 1u32..64,
+        window_us in 1u64..1_000,
+        burst in 1u32..256,
+    ) {
+        use fgmon_types::TokenBucket;
+        let window = SimDuration::from_micros(window_us);
+        let mut bucket = TokenBucket::new(max_ops, window);
+        // Aligned window start, so the whole burst lands inside it.
+        let t0 = SimTime(7 * window.nanos());
+        let admitted = (0..burst).filter(|_| bucket.try_admit(t0)).count() as u32;
+        prop_assert_eq!(admitted, burst.min(max_ops));
+        let t1 = SimTime(8 * window.nanos());
+        prop_assert!(bucket.try_admit(t1), "fresh window must re-admit");
+    }
+
+    /// Ticket-lock isolation invariants under arbitrary interleavings:
+    /// drive N clients through take-ticket → wait → enter → release in
+    /// an arbitrary schedule order over the *pure* word model. Grants
+    /// are mutually exclusive (the owner guard never collides) and
+    /// FIFO-fair (grants happen in strict ticket order).
+    #[test]
+    fn ticket_lock_is_exclusive_and_fifo(
+        n_clients in 2usize..6,
+        schedule in prop::collection::vec(0usize..6, 1..400),
+    ) {
+        use fgmon_types::TicketLock;
+
+        #[derive(Clone, Copy, PartialEq)]
+        enum St { Idle, Queued { ticket: u32 }, Holding { ticket: u32, epoch: u32 } }
+
+        let mut lock = TicketLock::default();
+        let mut st = vec![St::Idle; n_clients];
+        let mut grant_order: Vec<u32> = Vec::new();
+        let mut holders = 0u32;
+        for pick in schedule {
+            let c = pick % n_clients;
+            let key = c as u64 + 1;
+            match st[c] {
+                St::Idle => {
+                    st[c] = St::Queued { ticket: lock.take_ticket() };
+                }
+                St::Queued { ticket } => {
+                    if let Some(epoch) = lock.poll_grant(ticket) {
+                        prop_assert!(lock.enter_guard(key),
+                            "owner guard collided: exclusion violated");
+                        holders += 1;
+                        prop_assert_eq!(holders, 1, "two holders at once");
+                        grant_order.push(ticket);
+                        st[c] = St::Holding { ticket, epoch };
+                    }
+                }
+                St::Holding { ticket, epoch } => {
+                    prop_assert!(lock.try_release(epoch, ticket, key),
+                        "live holder's release must succeed");
+                    holders -= 1;
+                    st[c] = St::Idle;
+                }
+            }
+        }
+        // FIFO fairness: grants happened in strict ticket order.
+        for pair in grant_order.windows(2) {
+            prop_assert!(pair[0] < pair[1],
+                "grants out of FIFO order: {:?}", grant_order);
+        }
+    }
+
+    /// Epoch fencing: once the lease manager advances past a dead
+    /// holder, no operation carrying the fenced generation ever
+    /// succeeds again — release fails, the guard cannot be re-asserted
+    /// over a successor, and only a *fresh* ticket under the new epoch
+    /// is granted.
+    #[test]
+    fn fenced_generation_cannot_reacquire(
+        waiters in 0u32..5,
+        stale_retries in 1usize..8,
+    ) {
+        use fgmon_types::TicketLock;
+
+        let mut lock = TicketLock::default();
+        let dead_key = 1u64;
+        let dead_ticket = lock.take_ticket();
+        for _ in 0..waiters {
+            lock.take_ticket();
+        }
+        let dead_epoch = lock.poll_grant(dead_ticket).expect("first ticket is granted");
+        prop_assert!(lock.enter_guard(dead_key));
+
+        // The holder "crashes"; the lease manager fences it.
+        let (new_epoch, skipped) = lock.fence_advance();
+        prop_assert_eq!(new_epoch, dead_epoch + 1);
+        prop_assert_eq!(skipped, dead_ticket);
+
+        // Nothing the fenced generation retries can ever succeed.
+        for _ in 0..stale_retries {
+            prop_assert!(!lock.try_release(dead_epoch, dead_ticket, dead_key),
+                "fenced release must fail");
+            prop_assert_eq!(lock.poll_grant(dead_ticket), None,
+                "fenced ticket must never be granted again");
+        }
+
+        // The successor proceeds under the new epoch; a fresh ticket
+        // from the fenced client queues behind everyone as usual.
+        if waiters > 0 {
+            prop_assert_eq!(lock.poll_grant(dead_ticket + 1), Some(new_epoch));
+        }
+        let fresh = lock.take_ticket();
+        prop_assert!(fresh > dead_ticket);
+    }
+}

@@ -209,3 +209,42 @@ fn recorder_keys_are_stable_ordered() {
     sorted.sort();
     assert_eq!(a, sorted, "BTreeMap keys must iterate sorted");
 }
+
+/// The per-tenant fabric ledger is part of the determinism fingerprint:
+/// identical seeds give byte-identical `TenantStats`, different seeds
+/// drift, and a tenant-free run keeps every non-infra row zeroed.
+#[test]
+fn tenant_ledger_is_seed_determined() {
+    use fgmon_cluster::noisy_neighbor_raced;
+    use fgmon_types::{QosPolicy, TenantStats};
+    let run = |seed| {
+        let mut w = noisy_neighbor_raced(QosPolicy::None, true, seed, RaceMode::Off);
+        w.cluster.run_for(SimDuration::from_secs(1));
+        (
+            w.cluster.fabric_stats().tenants,
+            w.cluster.eng.events_processed(),
+        )
+    };
+    let (a, ev_a) = run(11);
+    let (b, ev_b) = run(11);
+    assert_eq!(a, b);
+    assert_eq!(ev_a, ev_b);
+    assert!(a[1].posted > 0, "the hostile tenant must post");
+    let (c, _) = run(12);
+    assert_ne!(a, c, "different seeds should drift the ledger");
+
+    // Tenant-free worlds never touch non-infra rows.
+    let mut w = micro_latency(
+        Scheme::RdmaSync,
+        4,
+        true,
+        SimDuration::from_millis(1),
+        OsConfig::default(),
+        99,
+    );
+    w.cluster.run_for(SimDuration::from_secs(1));
+    let t = w.cluster.fabric_stats().tenants;
+    for row in &t[1..] {
+        assert_eq!(row, &TenantStats::default());
+    }
+}

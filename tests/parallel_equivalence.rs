@@ -152,3 +152,82 @@ fn big_cluster_with_batched_doorbells_is_bitwise_identical() {
         );
     }
 }
+
+#[test]
+fn noisy_neighbor_world_is_bitwise_identical_across_thread_counts() {
+    use fgmon_types::QosPolicy;
+    type Fp = (FabricStats, RaceReport, u64, Vec<HistRow>);
+    let fingerprint = |seed: u64, threads: usize| -> Fp {
+        let mut w =
+            fgmon_cluster::noisy_neighbor_raced(QosPolicy::None, true, seed, RaceMode::Strict);
+        run(&mut w.cluster, SimDuration::from_secs(1), threads);
+        (
+            w.cluster.fabric_stats(),
+            w.cluster.race_report(),
+            w.cluster.eng.events_processed(),
+            histograms(&w.cluster),
+        )
+    };
+    for seed in SEEDS {
+        let sequential = fingerprint(seed, 1);
+        assert!(
+            sequential.0.tenants[1].thrashed > 0,
+            "the hostile tenant must thrash the shared NIC (seed {seed})"
+        );
+        for threads in THREADS {
+            let parallel = fingerprint(seed, threads);
+            assert_eq!(
+                sequential, parallel,
+                "noisy-neighbor run diverged (seed {seed}, threads {threads})"
+            );
+        }
+    }
+}
+
+#[test]
+fn rdma_lock_world_is_bitwise_identical_across_thread_counts() {
+    use fgmon_sim::SimTime;
+    use fgmon_workload::LockClient;
+    type Fp = (
+        FabricStats,
+        RaceReport,
+        u64,
+        Vec<(u64, u64, u64, u64)>,
+        Vec<HistRow>,
+    );
+    let fingerprint = |seed: u64, threads: usize| -> Fp {
+        let crash = Some((SimTime(1_000_000_000), SimTime(1_600_000_000)));
+        let mut w = fgmon_cluster::rdma_lock_world_raced(4, 1, crash, seed, RaceMode::Strict);
+        run(&mut w.cluster, SimDuration::from_secs(3), threads);
+        let counters: Vec<(u64, u64, u64, u64)> = w
+            .clients
+            .iter()
+            .zip(&w.client_slots)
+            .map(|(&n, &slot)| {
+                let c: &LockClient = w.cluster.service(n, slot);
+                (c.acquisitions, c.releases, c.release_fenced, c.cas_retries)
+            })
+            .collect();
+        (
+            w.cluster.fabric_stats(),
+            w.cluster.race_report(),
+            w.cluster.eng.events_processed(),
+            counters,
+            histograms(&w.cluster),
+        )
+    };
+    for seed in SEEDS {
+        let sequential = fingerprint(seed, 1);
+        assert!(
+            sequential.3.iter().map(|c| c.0).sum::<u64>() > 0,
+            "lock clients must make progress (seed {seed})"
+        );
+        for threads in THREADS {
+            let parallel = fingerprint(seed, threads);
+            assert_eq!(
+                sequential, parallel,
+                "lock-world run diverged (seed {seed}, threads {threads})"
+            );
+        }
+    }
+}
