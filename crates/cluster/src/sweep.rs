@@ -29,6 +29,8 @@ where
     // in input order before this function returns.
     std::thread::scope(|scope| {
         for _ in 0..width {
+            // lint: thread-spawn — sweep worker; each claimed point runs
+            // its own isolated engine, so cross-thread order is irrelevant.
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= points.len() {

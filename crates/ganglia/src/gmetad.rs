@@ -83,6 +83,8 @@ impl Gmetad {
         for (&(_, name), &(v, _)) in &self.view {
             if name == metric {
                 agg.nodes += 1;
+                // lint: float-order — the view is a BTreeMap, so this
+                // accumulation always runs in (node, metric) key order.
                 agg.sum += v;
                 agg.min = agg.min.min(v);
                 agg.max = agg.max.max(v);

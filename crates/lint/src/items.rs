@@ -1,0 +1,387 @@
+//! Item scanner: `fn` / `impl` / `mod` structure from the token stream.
+//!
+//! The call graph and the structural rules need to know *which function*
+//! a token belongs to, what type owns it (`Engine::run_until`), and
+//! whether it is test-gated. This module walks the lexed token stream
+//! once, tracking a scope stack of modules, impl blocks, and function
+//! bodies, and produces a flat list of [`FnItem`]s with token and line
+//! spans.
+//!
+//! It is deliberately not a parser: generics are skipped with an angle
+//! counter, impl headers reduce to "the last type-path segment before
+//! `{` (after `for`, if present)", and exotic shapes (braces inside
+//! const-generic bounds) would misparse. The sim-path crates contain
+//! none of those, and the worst failure mode is attributing a token to
+//! an enclosing scope — which only ever makes the analysis more
+//! conservative.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One function item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Bare function name (`run_until`).
+    pub name: String,
+    /// Owning impl type, if the fn sits in an `impl` block (`Engine`).
+    pub owner: Option<String>,
+    /// 0-based line of the `fn` keyword.
+    pub sig_line: usize,
+    /// Token-index range of the body (between the braces, exclusive).
+    /// Empty for bodyless trait-method signatures.
+    pub body_toks: std::ops::Range<usize>,
+    /// 0-based inclusive line span from the `fn` keyword to the closing
+    /// brace (or the signature line for bodyless fns).
+    pub lines: (usize, usize),
+    /// True when the fn (or any enclosing mod/impl) is `#[cfg(test)]`.
+    pub cfg_test: bool,
+}
+
+/// All function items of one file.
+#[derive(Default)]
+pub struct FileItems {
+    pub fns: Vec<FnItem>,
+}
+
+impl FileItems {
+    /// Innermost function containing `line` (0-based), if any. Nested
+    /// functions shadow their parent for the lines they span.
+    pub fn fn_at_line(&self, line: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, f) in self.fns.iter().enumerate() {
+            if f.lines.0 <= line && line <= f.lines.1 {
+                let tighter = match best {
+                    None => true,
+                    Some(b) => f.lines.0 >= self.fns[b].lines.0,
+                };
+                if tighter {
+                    best = Some(i);
+                }
+            }
+        }
+        best
+    }
+}
+
+enum Scope {
+    Mod { cfg_test: bool },
+    Impl { ty: Option<String>, cfg_test: bool },
+    Fn { idx: usize, cfg_test: bool },
+    Other { cfg_test: bool },
+}
+
+impl Scope {
+    fn cfg_test(&self) -> bool {
+        match self {
+            Scope::Mod { cfg_test }
+            | Scope::Impl { cfg_test, .. }
+            | Scope::Fn { cfg_test, .. }
+            | Scope::Other { cfg_test } => *cfg_test,
+        }
+    }
+}
+
+fn is(t: &Tok, text: &str) -> bool {
+    t.text == text
+}
+
+/// Scan one file's tokens into function items.
+pub fn scan_items(toks: &[Tok]) -> FileItems {
+    let mut out = FileItems::default();
+    let mut scopes: Vec<Scope> = Vec::new();
+    // Attribute state for the *next* item.
+    let mut pending_cfg_test = false;
+    // A `fn name` signature seen, waiting for its `{` or `;`.
+    let mut pending_fn: Option<usize> = None;
+    // An `impl` header seen, waiting for its `{`.
+    let mut pending_impl: Option<Option<String>> = None;
+    // A `mod name` seen, waiting for `{` or `;`.
+    let mut pending_mod = false;
+    let mut paren_depth = 0i32;
+
+    let inherited = |scopes: &[Scope]| scopes.iter().any(|s| s.cfg_test());
+    let current_owner = |scopes: &[Scope]| {
+        scopes.iter().rev().find_map(|s| match s {
+            Scope::Impl { ty, .. } => ty.clone(),
+            _ => None,
+        })
+    };
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct if is(t, "#") => {
+                // Attribute: #[...] or #![...]. Collect the bracketed
+                // tokens; `cfg` + `test` inside marks the next item (or,
+                // for #![..], the whole file — handled by the caller via
+                // the stripped text).
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|t| is(t, "!")) {
+                    j += 1;
+                }
+                if toks.get(j).is_some_and(|t| is(t, "[")) {
+                    let mut depth = 0i32;
+                    let mut saw_cfg = false;
+                    let mut saw_test = false;
+                    while j < toks.len() {
+                        let a = &toks[j];
+                        if is(a, "[") {
+                            depth += 1;
+                        } else if is(a, "]") {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        } else if a.kind == TokKind::Ident {
+                            saw_cfg |= a.text == "cfg" || a.text == "cfg_attr";
+                            saw_test |= a.text == "test";
+                        }
+                        j += 1;
+                    }
+                    if saw_cfg && saw_test {
+                        pending_cfg_test = true;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                i += 1;
+            }
+            TokKind::Ident if is(t, "mod") => {
+                if toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) {
+                    pending_mod = true;
+                }
+                i += 1;
+            }
+            TokKind::Ident if is(t, "impl") => {
+                // Parse the header up to `{` (or `;`): last type-path
+                // segment at angle-depth 0, after `for` if present,
+                // stopping at `where`.
+                let mut j = i + 1;
+                let mut angle = 0i32;
+                let mut after_for = false;
+                let mut last: Option<String> = None;
+                let mut last_after_for: Option<String> = None;
+                let mut in_where = false;
+                while j < toks.len() {
+                    let a = &toks[j];
+                    match a.text.as_str() {
+                        "{" if angle <= 0 => break,
+                        ";" if angle <= 0 => break,
+                        "<" => angle += 1,
+                        ">" => angle -= 1,
+                        "<<" => angle += 2,
+                        ">>" => angle -= 2,
+                        "where" if angle <= 0 => in_where = true,
+                        "for" if angle <= 0 => after_for = true,
+                        _ => {
+                            if a.kind == TokKind::Ident && angle <= 0 && !in_where {
+                                if after_for {
+                                    last_after_for = Some(a.text.clone());
+                                } else {
+                                    last = Some(a.text.clone());
+                                }
+                            }
+                        }
+                    }
+                    j += 1;
+                }
+                pending_impl = Some(Some(
+                    last_after_for
+                        .or(last)
+                        .unwrap_or_else(|| "?".into())
+                        .clone(),
+                ));
+                // Consume pending cfg(test) for the impl itself when its
+                // `{` opens (flag carried through pending state).
+                i = j; // at `{` or `;` (handled below) or EOF
+                if toks.get(i).is_some_and(|t| is(t, ";")) {
+                    pending_impl = None;
+                    pending_cfg_test = false;
+                    i += 1;
+                }
+            }
+            TokKind::Ident if is(t, "fn") => {
+                if let Some(name_tok) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                    let cfg = pending_cfg_test || inherited(&scopes);
+                    pending_cfg_test = false;
+                    let idx = out.fns.len();
+                    out.fns.push(FnItem {
+                        name: name_tok.text.clone(),
+                        owner: current_owner(&scopes),
+                        sig_line: t.line,
+                        body_toks: 0..0,
+                        lines: (t.line, t.line),
+                        cfg_test: cfg,
+                    });
+                    pending_fn = Some(idx);
+                    i += 2;
+                } else {
+                    // `fn` in type position (`fn()` pointers): not an item.
+                    i += 1;
+                }
+            }
+            TokKind::Punct if is(t, "(") || is(t, "[") => {
+                paren_depth += 1;
+                i += 1;
+            }
+            TokKind::Punct if is(t, ")") || is(t, "]") => {
+                paren_depth -= 1;
+                i += 1;
+            }
+            TokKind::Punct if is(t, ";") && paren_depth == 0 => {
+                // Bodyless fn signature (trait method) or `mod x;`.
+                pending_fn = None;
+                pending_mod = false;
+                pending_cfg_test = false;
+                i += 1;
+            }
+            TokKind::Punct if is(t, "{") => {
+                let scope = if let Some(idx) = pending_fn.take() {
+                    let cfg = out.fns[idx].cfg_test;
+                    out.fns[idx].body_toks = (i + 1)..(i + 1);
+                    Scope::Fn { idx, cfg_test: cfg }
+                } else if let Some(ty) = pending_impl.take() {
+                    let cfg = pending_cfg_test || inherited(&scopes);
+                    pending_cfg_test = false;
+                    Scope::Impl { ty, cfg_test: cfg }
+                } else if pending_mod {
+                    pending_mod = false;
+                    let cfg = pending_cfg_test || inherited(&scopes);
+                    pending_cfg_test = false;
+                    Scope::Mod { cfg_test: cfg }
+                } else {
+                    Scope::Other {
+                        cfg_test: inherited(&scopes),
+                    }
+                };
+                scopes.push(scope);
+                i += 1;
+            }
+            TokKind::Punct if is(t, "}") => {
+                if let Some(Scope::Fn { idx, .. }) = scopes.pop() {
+                    out.fns[idx].body_toks.end = i;
+                    out.fns[idx].lines.1 = t.line;
+                }
+                i += 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn fns(src: &str) -> Vec<FnItem> {
+        scan_items(&lex(src).toks).fns
+    }
+
+    #[test]
+    fn free_and_method_fns_with_owners() {
+        let src = "\
+fn free() { helper(); }
+impl<M: Msg> Engine<M> {
+    pub fn run_until(&mut self, h: SimTime) -> RunOutcome { self.step() }
+    fn step(&mut self) -> bool { true }
+}
+impl Service for Gmond {
+    fn on_start(&mut self) {}
+}
+";
+        let items = fns(src);
+        let names: Vec<(String, Option<String>)> = items
+            .iter()
+            .map(|f| (f.name.clone(), f.owner.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free".into(), None),
+                ("run_until".into(), Some("Engine".into())),
+                ("step".into(), Some("Engine".into())),
+                ("on_start".into(), Some("Gmond".into())),
+            ]
+        );
+    }
+
+    #[test]
+    fn impl_trait_for_type_takes_the_type() {
+        let src = "impl fmt::Display for Finding { fn fmt(&self) {} }";
+        let items = fns(src);
+        assert_eq!(items[0].owner.as_deref(), Some("Finding"));
+        // Where clauses don't pollute the type name.
+        let src2 = "impl<T> Probe for Wrapper<T> where T: Iterator { fn go(&self) {} }";
+        assert_eq!(fns(src2)[0].owner.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn cfg_test_gating_is_inherited() {
+        let src = "\
+fn real() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+    #[test]
+    fn a_test() {}
+}
+#[cfg(test)]
+fn gated_free() {}
+fn also_real() {}
+";
+        let items = fns(src);
+        let gate: Vec<(String, bool)> =
+            items.iter().map(|f| (f.name.clone(), f.cfg_test)).collect();
+        assert_eq!(
+            gate,
+            vec![
+                ("real".into(), false),
+                ("helper".into(), true),
+                ("a_test".into(), true),
+                ("gated_free".into(), true),
+                ("also_real".into(), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_spans_and_innermost_lookup() {
+        let src = "\
+fn outer() {
+    let x = 1;
+    fn inner() {
+        let y = 2;
+    }
+    let z = 3;
+}
+";
+        let items = scan_items(&lex(src).toks);
+        assert_eq!(items.fns[0].lines, (0, 6));
+        assert_eq!(items.fns[1].lines, (2, 4));
+        assert_eq!(items.fn_at_line(1), Some(0));
+        assert_eq!(items.fn_at_line(3), Some(1));
+        assert_eq!(items.fn_at_line(5), Some(0));
+        assert_eq!(items.fn_at_line(20), None);
+    }
+
+    #[test]
+    fn trait_method_signatures_have_no_body() {
+        let src = "trait T { fn sig_only(&self); fn with_default(&self) { work(); } }";
+        let items = fns(src);
+        assert_eq!(items.len(), 2);
+        assert!(items[0].body_toks.is_empty());
+        assert!(!items[1].body_toks.is_empty());
+    }
+
+    #[test]
+    fn fn_pointers_in_types_are_not_items() {
+        let src = "fn real(cb: fn() -> u32) { cb(); }";
+        let items = fns(src);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "real");
+    }
+}

@@ -1,0 +1,640 @@
+//! Token-stream lexer for the determinism lint.
+//!
+//! The old engine stripped comments and strings with an ad-hoc character
+//! scanner and matched needles against what was left. That pass could not
+//! tell `'a'` (a char) from `'a` (a lifetime), mis-handled byte and raw
+//! byte strings, and had no notion of a token, so every structural rule
+//! (casts, compound assignment, call sites) was out of reach. This module
+//! replaces it with a small real lexer: one pass over the source producing
+//!
+//! * a token stream (`Tok`) with kinds and line numbers, which the item
+//!   scanner, call graph, and structural rules consume;
+//! * a `stripped` copy of the source — comments, string bodies, and char
+//!   literals blanked to spaces, columns preserved — which the needle
+//!   rules match against exactly as before;
+//! * per-line comment text, which the suppression and stale-suppression
+//!   passes read (so a `lint:` inside a string literal never counts as a
+//!   justification).
+//!
+//! The lexer understands line and doc comments, nested block comments,
+//! plain/escaped strings, raw strings with `#` fences, byte and raw byte
+//! strings, C strings, char and byte-char literals, lifetimes, raw
+//! identifiers, numeric literals (with suffixes and exponents), and
+//! multi-character operators. It does not need to be a full Rust lexer —
+//! only to never confuse prose with code, and to segment code into tokens
+//! the structural rules can reason about.
+
+/// What kind of lexeme a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `as`, `Engine`, `r#type`).
+    Ident,
+    /// Lifetime (`'a`, `'static`, `'_`) — distinct from a char literal.
+    Lifetime,
+    /// String-ish literal (plain, raw, byte, C); body is not in `text`.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Integer literal (any base, with suffix).
+    Int,
+    /// Float literal (has a dot, exponent, or `f32`/`f64` suffix).
+    Float,
+    /// Punctuation / operator, possibly multi-char (`::`, `+=`, `->`).
+    Punct,
+}
+
+/// One code token. Comments never become tokens.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// The token's text. For string/char literals this is a placeholder
+    /// (`"\"\""` / `"''"`) — literal bodies must never feed rules.
+    pub text: String,
+    /// 0-based line the token starts on.
+    pub line: usize,
+}
+
+/// Lexed view of one source file.
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// The source with comments and literal bodies blanked to spaces.
+    /// Line structure and column positions are preserved, so needle
+    /// matches report accurate lines.
+    pub stripped: String,
+    /// Per-line comment text (all comments on that line, concatenated).
+    pub comments: Vec<String>,
+}
+
+impl Lexed {
+    /// Stripped source, split into lines (same count as the raw source).
+    pub fn code_lines(&self) -> Vec<&str> {
+        self.stripped.lines().collect()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Multi-char operators, longest first so `<<=` wins over `<<` over `<`.
+const OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+/// Lex `src` into tokens + stripped text + per-line comments.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let nlines = src.split('\n').count();
+    let mut toks = Vec::new();
+    let mut stripped = String::with_capacity(src.len());
+    let mut comments = vec![String::new(); nlines.max(1)];
+    let mut line = 0usize;
+    let mut i = 0usize;
+
+    // Blank one source char into `stripped`, keeping newlines (and the
+    // line counter) intact.
+    macro_rules! blank {
+        ($c:expr) => {{
+            if $c == '\n' {
+                stripped.push('\n');
+                line += 1;
+            } else {
+                stripped.push(' ');
+            }
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        let next = b.get(i + 1).copied();
+
+        // Whitespace passes through (newlines advance the line counter).
+        if c == '\n' {
+            stripped.push('\n');
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            stripped.push(c);
+            i += 1;
+            continue;
+        }
+
+        // Line comment (incl. `///` and `//!` doc comments).
+        if c == '/' && next == Some('/') {
+            while i < b.len() && b[i] != '\n' {
+                comments[line].push(b[i]);
+                stripped.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+
+        // Block comment, with nesting.
+        if c == '/' && next == Some('*') {
+            let mut depth = 1usize;
+            comments[line].push_str("/*");
+            stripped.push_str("  ");
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    comments[line].push_str("/*");
+                    stripped.push_str("  ");
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    comments[line].push_str("*/");
+                    stripped.push_str("  ");
+                    i += 2;
+                } else {
+                    if b[i] != '\n' {
+                        comments[line].push(b[i]);
+                    }
+                    blank!(b[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+
+        // Raw identifiers and raw / byte / C string prefixes. The `r`,
+        // `b`, `br`, `c` prefixes only matter when directly attached to a
+        // quote (or `#` fence); otherwise they lex as plain identifiers.
+        if c == 'r' || c == 'b' || c == 'c' {
+            // r#ident — raw identifier.
+            if c == 'r' && next == Some('#') && b.get(i + 2).is_some_and(|&ch| is_ident_start(ch)) {
+                let start_line = line;
+                i += 2; // skip r#
+                stripped.push_str("  ");
+                let mut text = String::new();
+                while i < b.len() && is_ident_continue(b[i]) {
+                    text.push(b[i]);
+                    stripped.push(b[i]);
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line: start_line,
+                });
+                continue;
+            }
+            // Compute where the quote would be for each prefix shape.
+            let (fences_at, is_raw) = match (c, next) {
+                ('r', Some('"')) | ('r', Some('#')) => (i + 1, true),
+                ('b', Some('r')) => (i + 2, true),
+                ('b', Some('"')) => (i + 1, false),
+                ('c', Some('"')) => (i + 1, false),
+                ('b', Some('\'')) => {
+                    // Byte char literal: b'x' / b'\n'.
+                    let start_line = line;
+                    stripped.push(' ');
+                    i += 1; // at the quote
+                    i = skip_char_literal(&b, i, &mut stripped, &mut line);
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: "''".into(),
+                        line: start_line,
+                    });
+                    continue;
+                }
+                _ => (usize::MAX, false),
+            };
+            if fences_at != usize::MAX {
+                let mut j = fences_at;
+                let mut fences = 0usize;
+                while is_raw && b.get(j) == Some(&'#') {
+                    fences += 1;
+                    j += 1;
+                }
+                if b.get(j) == Some(&'"') {
+                    let start_line = line;
+                    // Blank the prefix + fences + opening quote.
+                    for _ in i..=j {
+                        stripped.push(' ');
+                    }
+                    i = j + 1;
+                    i = if is_raw {
+                        skip_raw_string(&b, i, fences, &mut stripped, &mut line)
+                    } else {
+                        skip_plain_string(&b, i, &mut stripped, &mut line)
+                    };
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: "\"\"".into(),
+                        line: start_line,
+                    });
+                    continue;
+                }
+            }
+            // Fall through: plain identifier starting with r/b/c.
+        }
+
+        // Plain string literal.
+        if c == '"' {
+            let start_line = line;
+            stripped.push(' ');
+            i += 1;
+            i = skip_plain_string(&b, i, &mut stripped, &mut line);
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: "\"\"".into(),
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let one_ahead = b.get(i + 1).copied();
+            let two_ahead = b.get(i + 2).copied();
+            if one_ahead == Some('\\') || (one_ahead.is_some() && two_ahead == Some('\'')) {
+                let start_line = line;
+                stripped.push(' ');
+                i += 1;
+                i = skip_char_literal(&b, i, &mut stripped, &mut line);
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: "''".into(),
+                    line: start_line,
+                });
+                continue;
+            }
+            if one_ahead.is_some_and(is_ident_start) {
+                let start_line = line;
+                let mut text = String::from("'");
+                stripped.push('\'');
+                i += 1;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    text.push(b[i]);
+                    stripped.push(b[i]);
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line: start_line,
+                });
+                continue;
+            }
+            // Stray quote; blank it.
+            stripped.push(' ');
+            i += 1;
+            continue;
+        }
+
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let start_line = line;
+            let mut text = String::new();
+            while i < b.len() && is_ident_continue(b[i]) {
+                text.push(b[i]);
+                stripped.push(b[i]);
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let start_line = line;
+            let mut text = String::new();
+            let mut seen_dot = false;
+            while i < b.len() {
+                let d = b[i];
+                if d.is_ascii_alphanumeric() || d == '_' {
+                    text.push(d);
+                    stripped.push(d);
+                    i += 1;
+                } else if d == '.' && !seen_dot && b.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                {
+                    seen_dot = true;
+                    text.push(d);
+                    stripped.push(d);
+                    i += 1;
+                } else if (d == '+' || d == '-')
+                    && matches!(text.chars().next_back(), Some('e') | Some('E'))
+                    && !text.starts_with("0x")
+                    && !text.starts_with("0X")
+                {
+                    text.push(d);
+                    stripped.push(d);
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            let hex = text.starts_with("0x") || text.starts_with("0X");
+            let kind = if seen_dot
+                || text.ends_with("f32")
+                || text.ends_with("f64")
+                || (!hex && text.contains(['e', 'E']))
+            {
+                TokKind::Float
+            } else {
+                TokKind::Int
+            };
+            toks.push(Tok {
+                kind,
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Punctuation: longest-match multi-char operators first.
+        let mut matched = false;
+        for op in OPS {
+            let olen = op.chars().count();
+            if b[i..].iter().take(olen).collect::<String>() == **op {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (*op).into(),
+                    line,
+                });
+                stripped.push_str(op);
+                i += olen;
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        stripped.push(c);
+        i += 1;
+    }
+
+    Lexed {
+        toks,
+        stripped,
+        comments,
+    }
+}
+
+/// Skip a plain (escaped) string body starting just after the opening
+/// quote. Returns the index just past the closing quote.
+fn skip_plain_string(b: &[char], mut i: usize, stripped: &mut String, line: &mut usize) -> usize {
+    while i < b.len() {
+        if b[i] == '\\' {
+            stripped.push(' ');
+            i += 1;
+            if i < b.len() {
+                if b[i] == '\n' {
+                    stripped.push('\n');
+                    *line += 1;
+                } else {
+                    stripped.push(' ');
+                }
+                i += 1;
+            }
+        } else if b[i] == '"' {
+            stripped.push(' ');
+            return i + 1;
+        } else {
+            if b[i] == '\n' {
+                stripped.push('\n');
+                *line += 1;
+            } else {
+                stripped.push(' ');
+            }
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skip a raw string body with `fences` `#` marks, starting just after
+/// the opening quote. Returns the index past the closing fence.
+fn skip_raw_string(
+    b: &[char],
+    mut i: usize,
+    fences: usize,
+    stripped: &mut String,
+    line: &mut usize,
+) -> usize {
+    while i < b.len() {
+        if b[i] == '"' {
+            let mut k = i + 1;
+            let mut closing = 0usize;
+            while closing < fences && b.get(k) == Some(&'#') {
+                closing += 1;
+                k += 1;
+            }
+            if closing == fences {
+                for _ in 0..closing + 1 {
+                    stripped.push(' ');
+                }
+                return k;
+            }
+            stripped.push(' ');
+            i += 1;
+        } else {
+            if b[i] == '\n' {
+                stripped.push('\n');
+                *line += 1;
+            } else {
+                stripped.push(' ');
+            }
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skip a char (or byte-char) literal body starting just after the
+/// opening quote. Returns the index past the closing quote.
+fn skip_char_literal(b: &[char], mut i: usize, stripped: &mut String, line: &mut usize) -> usize {
+    while i < b.len() {
+        if b[i] == '\\' {
+            stripped.push(' ');
+            i += 1;
+            if i < b.len() {
+                stripped.push(' ');
+                i += 1;
+            }
+        } else if b[i] == '\'' {
+            stripped.push(' ');
+            return i + 1;
+        } else {
+            if b[i] == '\n' {
+                stripped.push('\n');
+                *line += 1;
+            } else {
+                stripped.push(' ');
+            }
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_with_fences_are_opaque() {
+        // The needle text lives only inside the raw string: no Ident
+        // tokens, and the stripped text is blank where the body was.
+        let l = lex(r####"let s = r#"thread::spawn HashMap"#;"####);
+        assert!(idents(r####"let s = r#"thread::spawn HashMap"#;"####)
+            .iter()
+            .all(|t| t == "let" || t == "s"));
+        assert!(!l.stripped.contains("HashMap"));
+        // Double-fenced raw string containing a single fence terminator.
+        let two = r#####"let s = r##"still "# inside"##; let x = HashMap::new();"#####;
+        let l2 = lex(two);
+        assert!(l2.stripped.contains("HashMap"));
+        assert!(!l2.stripped.contains("inside"));
+    }
+
+    #[test]
+    fn nested_block_comments_fully_strip() {
+        let src = "a /* outer /* inner */ still outer */ b";
+        let l = lex(src);
+        assert_eq!(idents(src), vec!["a", "b"]);
+        assert!(l.comments[0].contains("inner"));
+        assert!(l.comments[0].contains("still outer"));
+        // An unterminated nest swallows the rest of the file.
+        assert!(idents("a /* /* */ still in comment").len() == 1);
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }";
+        let toks = kinds(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2, "both 'a lifetimes");
+        assert_eq!(chars.len(), 2, "'a' and '\\n' chars");
+        // 'static and '_ are lifetimes too.
+        assert!(
+            kinds("&'static str; let _: &'_ u8;")
+                .iter()
+                .filter(|(k, _)| *k == TokKind::Lifetime)
+                .count()
+                == 2
+        );
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        // Byte string, byte char, and raw byte string bodies never leak
+        // identifiers.
+        let src = "let a = b\"Instant bytes\"; let c = b'\\x7f'; let r = br\"SystemTime\";";
+        let l = lex(src);
+        assert!(!l.stripped.contains("Instant"));
+        assert!(!l.stripped.contains("SystemTime"));
+        let n_strs = l.toks.iter().filter(|t| t.kind == TokKind::Str).count();
+        assert_eq!(n_strs, 2);
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let src = "/// uses HashMap internally\n//! and Instant\nfn f() {}\n";
+        let l = lex(src);
+        assert!(!l.stripped.contains("HashMap"));
+        assert!(!l.stripped.contains("Instant"));
+        assert!(l.comments[0].contains("HashMap"));
+        assert!(l.comments[1].contains("Instant"));
+        assert_eq!(idents(src), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn numeric_literals_classify() {
+        let toks = kinds("1 + 2.5 - 1e9 * 0xff_u32 / 3f64 % 10_000 .. 0..8");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(floats, vec!["2.5", "1e9", "3f64"]);
+        // Range `0..8` keeps both ints (the dot is not consumed).
+        let ints: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Int)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert!(ints.contains(&"0".to_string()) && ints.contains(&"8".to_string()));
+        assert!(ints.contains(&"0xff_u32".to_string()));
+    }
+
+    #[test]
+    fn multichar_operators_tokenize_once() {
+        let toks = kinds("a += b; c <<= 2; d ..= e; f :: g");
+        let ops: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert!(ops.contains(&"+=".to_string()));
+        assert!(ops.contains(&"<<=".to_string()));
+        assert!(ops.contains(&"..=".to_string()));
+        assert!(ops.contains(&"::".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.contains(&(TokKind::Ident, "type".to_string())));
+    }
+
+    #[test]
+    fn stripped_preserves_line_and_column_structure() {
+        let src = "let a = 1; // trailing\nlet s = \"two\nthree\";\nlet b = 2;\n";
+        let l = lex(src);
+        assert_eq!(l.stripped.split('\n').count(), src.split('\n').count());
+        // Column of `b` on the last code line is unchanged.
+        let raw_col = src.lines().nth(3).unwrap().find('b').unwrap();
+        let stripped_col = l.stripped.lines().nth(3).unwrap().find('b').unwrap();
+        assert_eq!(raw_col, stripped_col);
+        assert!(l.comments[0].contains("trailing"));
+    }
+
+    #[test]
+    fn comments_inside_strings_are_not_comments() {
+        let l = lex("let s = \"// lint: wall-clock\";\n");
+        assert!(l.comments[0].is_empty());
+        assert!(!l.stripped.contains("lint"));
+    }
+}

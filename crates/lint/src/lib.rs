@@ -8,151 +8,49 @@
 //! sim-path crates that rejects the handful of constructs known to
 //! smuggle nondeterminism in.
 //!
-//! It is intentionally *not* a Rust parser. Rules are token/substring
-//! matches over comment- and string-stripped source, with file- and
-//! region-level skips for test code. That keeps the pass trivial to audit
-//! and fast enough for CI, at the cost of requiring an explicit
-//! suppression comment (`// lint: <rule-id> — why this is sound`) for the
-//! rare legitimate use.
+//! The engine has three layers:
+//!
+//! * [`lexer`] — a small real Rust lexer (raw strings, nested comments,
+//!   char-vs-lifetime, byte literals). Needle rules match against its
+//!   stripped text; structural rules consume its token stream.
+//! * [`items`] + [`graph`] — a workspace item scanner (fn/impl/mod) and
+//!   a conservative name-based call graph. They power `--reachability`
+//!   mode (a forbidden construct is only a violation if the event path
+//!   can reach it) and the `allow-reentry` check (sanctioned allow-path
+//!   code must not be re-entered from per-event code).
+//! * [`rules`] — the needle table plus structural families the old
+//!   line pass could not express: `float-order`, `truncating-cast`,
+//!   `stale-suppression`.
+//!
+//! Legitimate exceptions are recorded in-place with a
+//! `// lint: <rule-id> — why this is sound` comment; the
+//! `stale-suppression` rule reports any such comment whose target no
+//! longer fires, so justifications cannot rot silently.
 //!
 //! Run it as `cargo run -p fgmon-lint -- check`.
 
+pub mod graph;
+pub mod items;
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+pub use rules::{Rule, RuleInfo, RULES, STRUCTURAL_RULES};
 
 /// Crates whose `src/` trees run inside (or construct) the simulation and
 /// therefore must be deterministic. Harness crates (`bench`) and the
 /// vendored compat shims are exempt.
 pub const SIM_CRATES: &[&str] = &[
-    "sim", "types", "net", "os", "core", "balancer", "cluster", "workload",
-];
-
-/// One lint rule: a set of needles to find and a fix to suggest.
-pub struct Rule {
-    /// Stable identifier, used in reports and suppression comments.
-    pub id: &'static str,
-    /// One-line statement of what the rule forbids and why.
-    pub summary: &'static str,
-    /// Patterns that trigger the rule. A needle containing any
-    /// non-identifier character is matched as a substring; a bare
-    /// identifier is matched on token boundaries (so `Instant` does not
-    /// fire on `Instantaneous`).
-    pub needles: &'static [&'static str],
-    /// Path substrings where the rule does not apply (the construct's
-    /// sanctioned home).
-    pub allow_paths: &'static [&'static str],
-    /// What to write instead.
-    pub suggestion: &'static str,
-}
-
-/// The rule table. Order is report order.
-pub const RULES: &[Rule] = &[
-    Rule {
-        id: "wall-clock",
-        summary: "wall-clock time read inside the simulation",
-        needles: &[
-            "std::time::Instant",
-            "std::time::SystemTime",
-            "Instant",
-            "SystemTime",
-            "chrono",
-        ],
-        allow_paths: &[],
-        suggestion: "use the engine clock (`SimTime`/`ctx.now`); real time \
-                     differs across runs and machines",
-    },
-    Rule {
-        id: "thread-spawn",
-        summary: "OS threads inside the simulation",
-        needles: &[
-            "std::thread::spawn",
-            "thread::spawn",
-            "std::thread::scope",
-            "thread::scope",
-            "available_parallelism",
-        ],
-        allow_paths: &[],
-        suggestion: "the engine is single-threaded by design; model \
-                     concurrency as actors/events, or justify engine-free \
-                     parallelism with a `// lint: thread-spawn` comment",
-    },
-    Rule {
-        id: "sync-primitive",
-        summary: "shared-memory synchronization inside the simulation",
-        needles: &[
-            "Mutex",
-            "RwLock",
-            "Condvar",
-            "mpsc",
-            "AtomicBool",
-            "AtomicU32",
-            "AtomicU64",
-            "AtomicUsize",
-            "AtomicI64",
-            "parking_lot",
-            "crossbeam",
-        ],
-        allow_paths: &[
-            "crates/sim/src/parallel.rs",
-            "crates/cluster/src/sweep.rs",
-            "crates/types/src/race.rs",
-        ],
-        suggestion: "determinism comes from the engine's total event order, \
-                     not from locks; actors already run with exclusive \
-                     access. Shared-memory coordination belongs only to the \
-                     sharded executor (`sim/parallel.rs`), the sweep runner, \
-                     and the race detector (`types/race.rs`), or behind a \
-                     justified `// lint: sync-primitive` comment",
-    },
-    Rule {
-        id: "hash-collections",
-        summary: "hash-based collection with nondeterministic iteration order",
-        needles: &["HashMap", "HashSet"],
-        allow_paths: &[],
-        suggestion: "use `BTreeMap`/`BTreeSet`; hash iteration order feeds \
-                     event ordering and is randomized per process",
-    },
-    Rule {
-        id: "rng-construction",
-        summary: "RNG constructed outside the seeded hierarchy",
-        needles: &["DetRng::new", "thread_rng", "rand::rngs", "StdRng", "OsRng"],
-        allow_paths: &["crates/sim/src/rng.rs"],
-        suggestion: "fork from the cluster's root RNG (`DetRng::fork`) so \
-                     every stream derives from the world seed",
-    },
-    Rule {
-        id: "payload-clone",
-        summary: "payload-carrying value cloned on the simulation path",
-        needles: &[
-            "payload.clone()",
-            "payload().clone()",
-            "Payload::clone",
-            "SharedPayload::clone",
-            "msg.clone()",
-            "Msg::clone",
-            "frame.clone()",
-        ],
-        allow_paths: &[],
-        suggestion: "deep-copying a payload on the hot path defeats the \
-                     zero-copy delivery design; share it (`SharedPayload` \
-                     is an `Rc`), move it, or justify the copy with a \
-                     `// lint: payload-clone` comment",
-    },
-    Rule {
-        id: "allow-attr",
-        summary: "#[allow(..)] without a recorded justification",
-        needles: &["#[allow(", "#![allow("],
-        allow_paths: &[],
-        suggestion: "add a `// lint: allow-attr — why` comment above the \
-                     attribute (silenced warnings hide exactly the bugs \
-                     this pass hunts)",
-    },
+    "sim", "types", "net", "os", "core", "balancer", "cluster", "workload", "ganglia",
 ];
 
 /// One violation found in a source file.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id (see [`RULES`]).
+    /// Rule id (see [`rules::RULES`] and [`rules::STRUCTURAL_RULES`]).
     pub rule: &'static str,
     /// Workspace-relative path.
     pub path: String,
@@ -174,177 +72,22 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Replace comments, string literals, and char literals with spaces while
-/// preserving line structure, so rules never fire on prose. Handles line
-/// comments, (nested) block comments, plain/escaped strings, raw strings
-/// with `#` fences, and char literals; lifetime ticks are left alone.
-fn strip_source(src: &str) -> String {
-    let b: Vec<char> = src.chars().collect();
-    let mut out = String::with_capacity(src.len());
-    let mut i = 0;
-
-    fn keep_or_space(out: &mut String, c: char) {
-        out.push(if c == '\n' { '\n' } else { ' ' });
-    }
-
-    while i < b.len() {
-        let c = b[i];
-        let next = b.get(i + 1).copied();
-        match c {
-            '/' if next == Some('/') => {
-                while i < b.len() && b[i] != '\n' {
-                    out.push(' ');
-                    i += 1;
-                }
-            }
-            '/' if next == Some('*') => {
-                let mut depth = 1;
-                out.push_str("  ");
-                i += 2;
-                while i < b.len() && depth > 0 {
-                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
-                        depth += 1;
-                        out.push_str("  ");
-                        i += 2;
-                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
-                        depth -= 1;
-                        out.push_str("  ");
-                        i += 2;
-                    } else {
-                        keep_or_space(&mut out, b[i]);
-                        i += 1;
-                    }
-                }
-            }
-            'r' if next == Some('"')
-                || (next == Some('#') && {
-                    // r#"..."# / r##"..."## (also covers r#ident, skipped below)
-                    let mut j = i + 1;
-                    while b.get(j) == Some(&'#') {
-                        j += 1;
-                    }
-                    b.get(j) == Some(&'"')
-                }) =>
-            {
-                // Raw string: r"..." or r#"..."# etc.
-                let mut j = i + 1;
-                let mut fences = 0;
-                while b.get(j) == Some(&'#') {
-                    fences += 1;
-                    j += 1;
-                }
-                // j is at the opening quote.
-                out.push(' ');
-                for _ in 0..fences + 1 {
-                    out.push(' ');
-                }
-                j += 1;
-                loop {
-                    match b.get(j) {
-                        None => break,
-                        Some('"') => {
-                            let mut k = j + 1;
-                            let mut closing = 0;
-                            while closing < fences && b.get(k) == Some(&'#') {
-                                closing += 1;
-                                k += 1;
-                            }
-                            if closing == fences {
-                                for _ in 0..closing + 1 {
-                                    out.push(' ');
-                                }
-                                j = k;
-                                break;
-                            }
-                            out.push(' ');
-                            j += 1;
-                        }
-                        Some(&ch) => {
-                            keep_or_space(&mut out, ch);
-                            j += 1;
-                        }
-                    }
-                }
-                i = j;
-            }
-            '"' => {
-                out.push(' ');
-                i += 1;
-                while i < b.len() {
-                    if b[i] == '\\' {
-                        out.push_str("  ");
-                        i += 2;
-                    } else if b[i] == '"' {
-                        out.push(' ');
-                        i += 1;
-                        break;
-                    } else {
-                        keep_or_space(&mut out, b[i]);
-                        i += 1;
-                    }
-                }
-            }
-            '\'' => {
-                // Char literal or lifetime. A lifetime ('a, '_, 'static)
-                // has no closing quote right after one "payload"; detect
-                // char literals conservatively: '\x', or 'c' followed by '.
-                let is_char = matches!(
-                    (b.get(i + 1), b.get(i + 2)),
-                    (Some('\\'), _) | (Some(_), Some('\''))
-                );
-                if is_char {
-                    out.push(' ');
-                    i += 1;
-                    while i < b.len() {
-                        if b[i] == '\\' {
-                            out.push_str("  ");
-                            i += 2;
-                        } else if b[i] == '\'' {
-                            out.push(' ');
-                            i += 1;
-                            break;
-                        } else {
-                            keep_or_space(&mut out, b[i]);
-                            i += 1;
-                        }
-                    }
-                } else {
-                    out.push(c);
-                    i += 1;
-                }
-            }
-            _ => {
-                out.push(c);
-                i += 1;
-            }
-        }
-    }
-    out
+/// Scan configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScanOptions {
+    /// When set, needle/structural findings inside functions the call
+    /// graph cannot reach from a sim entry point (`Engine::run*`/`step`,
+    /// `Cluster::run*`, `on_*` handlers, `main`) are dropped. Findings
+    /// outside any fn (imports, statics) are always kept, as are
+    /// `stale-suppression` and `allow-reentry`.
+    pub reachability: bool,
 }
 
-fn is_ident_char(c: char) -> bool {
-    c.is_ascii_alphanumeric() || c == '_'
-}
-
-/// Match `needle` in a stripped code line. Bare-identifier needles match
-/// only on token boundaries.
-fn line_matches(code: &str, needle: &str) -> bool {
-    let token = needle.chars().all(is_ident_char);
-    let mut from = 0;
-    while let Some(pos) = code[from..].find(needle) {
-        let start = from + pos;
-        let end = start + needle.len();
-        if !token {
-            return true;
-        }
-        let before_ok = start == 0 || !is_ident_char(code[..start].chars().next_back().unwrap());
-        let after_ok = end >= code.len() || !is_ident_char(code[end..].chars().next().unwrap());
-        if before_ok && after_ok {
-            return true;
-        }
-        from = end;
-    }
-    false
+/// One source file handed to [`analyze`]: the workspace-relative label
+/// (used for reports and `allow_paths` matching) plus its content.
+pub struct SourceFile {
+    pub label: String,
+    pub source: String,
 }
 
 /// Compute which lines fall inside `#[cfg(test)]`-gated regions: the
@@ -384,70 +127,202 @@ fn cfg_test_lines(code_lines: &[&str]) -> Vec<bool> {
     skip
 }
 
-/// Is the finding on `line_idx` suppressed? A suppression is a raw line
+/// Is the finding on `line_idx` suppressed? A suppression is a comment
 /// containing `lint: <rule-id>` either on the finding line itself or in
-/// the contiguous run of `//` comment lines directly above it (so a
-/// multi-line justification works). The `allow-attr` rule accepts any
-/// `lint:` justification, since its whole demand is "write one".
-fn is_suppressed(raw_lines: &[&str], line_idx: usize, rule_id: &str) -> bool {
-    let hits =
-        |line: &str| line.contains("lint:") && (rule_id == "allow-attr" || line.contains(rule_id));
-    if hits(raw_lines[line_idx]) {
+/// the contiguous run of comment/attribute lines directly above it (so a
+/// multi-line justification works). Only *comment* text counts — a
+/// `lint:` inside a string literal is not a justification. The
+/// `allow-attr` rule accepts any `lint:` comment, since its whole demand
+/// is "write one".
+fn is_suppressed(raw_lines: &[&str], comments: &[String], line_idx: usize, rule_id: &str) -> bool {
+    let hits = |j: usize| {
+        comments.get(j).is_some_and(|c| {
+            c.contains("lint:") && (rule_id == "allow-attr" || c.contains(rule_id))
+        })
+    };
+    if hits(line_idx) {
         return true;
     }
     let mut j = line_idx;
     while j > 0 {
         j -= 1;
-        let t = raw_lines[j].trim_start();
+        let t = raw_lines.get(j).map_or("", |l| l.trim_start());
         if !(t.starts_with("//") || t.starts_with("#[") || t.starts_with("#![")) {
             break;
         }
-        if hits(raw_lines[j]) {
+        if hits(j) {
             return true;
         }
     }
     false
 }
 
-/// Scan one file's source. `path_label` is the workspace-relative path
-/// used both for reports and for `allow_paths` matching.
-pub fn scan_source(path_label: &str, source: &str) -> Vec<Finding> {
-    let stripped = strip_source(source);
-    let raw_lines: Vec<&str> = source.lines().collect();
-    let code_lines: Vec<&str> = stripped.lines().collect();
-
-    // Whole files gated to test builds (e.g. in-crate proptest modules)
-    // never run in the sim path.
-    if code_lines.iter().any(|l| l.contains("#![cfg(test)]")) {
-        return Vec::new();
+/// Analyze a set of files as one workspace: per-file needle and
+/// structural rules, then the cross-file graph passes. Findings come
+/// back grouped by file (input order), sorted by line within a file.
+pub fn analyze(files: &[SourceFile], opts: &ScanOptions) -> Vec<Finding> {
+    let mut lexed_items: Vec<(lexer::Lexed, items::FileItems)> = Vec::new();
+    let mut whole_test: Vec<bool> = Vec::new();
+    for f in files {
+        let lexed = lexer::lex(&f.source);
+        let mut its = items::scan_items(&lexed.toks);
+        // Whole files gated to test builds (e.g. in-crate proptest
+        // modules) never run in the sim path: no findings, no graph
+        // nodes.
+        let wt = lexed.stripped.lines().any(|l| l.contains("#![cfg(test)]"));
+        if wt {
+            its.fns.clear();
+        }
+        whole_test.push(wt);
+        lexed_items.push((lexed, its));
     }
-    let skip = cfg_test_lines(&code_lines);
 
-    let mut findings = Vec::new();
-    for (idx, code) in code_lines.iter().enumerate() {
-        if skip[idx] {
+    let g = graph::CallGraph::build(&lexed_items);
+    let event_live = g.reachable(&lexed_items, graph::event_root);
+    let reach_live = if opts.reachability {
+        Some(g.reachable(&lexed_items, graph::reach_root))
+    } else {
+        None
+    };
+
+    let mut per_file: Vec<Vec<Finding>> = files.iter().map(|_| Vec::new()).collect();
+    for (fi, f) in files.iter().enumerate() {
+        if whole_test[fi] {
             continue;
         }
-        for rule in RULES {
-            if rule.allow_paths.iter().any(|p| path_label.contains(p)) {
+        let (lexed, its) = &lexed_items[fi];
+        let raw_lines: Vec<&str> = f.source.lines().collect();
+        let code_lines = lexed.code_lines();
+        let skip = cfg_test_lines(&code_lines);
+        let skipped = |idx: usize| skip.get(idx).copied().unwrap_or(false);
+
+        // Raw matches — pre-suppression, pre-allow-path — shared by the
+        // real findings and the stale-suppression pass (a justified
+        // construct in its sanctioned home still keeps its comment
+        // fresh).
+        let mut raw: BTreeSet<(&'static str, usize)> = BTreeSet::new();
+        for (idx, code) in code_lines.iter().enumerate() {
+            if skipped(idx) {
                 continue;
             }
-            if !rule.needles.iter().any(|n| line_matches(code, n)) {
+            for rule in rules::RULES {
+                if rule.needles.iter().any(|n| rules::line_matches(code, n)) {
+                    raw.insert((rule.id, idx));
+                }
+            }
+        }
+        for line0 in rules::float_order(lexed, its) {
+            if !skipped(line0) {
+                raw.insert(("float-order", line0));
+            }
+        }
+        for line0 in rules::truncating_cast(&lexed.toks) {
+            if !skipped(line0) {
+                raw.insert(("truncating-cast", line0));
+            }
+        }
+
+        let snippet = |idx: usize| raw_lines.get(idx).unwrap_or(&"").trim().to_string();
+
+        for &(id, idx) in &raw {
+            if rules::allow_paths_for(id)
+                .iter()
+                .any(|p| f.label.contains(p))
+            {
                 continue;
             }
-            if idx < raw_lines.len() && is_suppressed(&raw_lines, idx, rule.id) {
+            if is_suppressed(&raw_lines, &lexed.comments, idx, id) {
                 continue;
             }
-            findings.push(Finding {
-                rule: rule.id,
-                path: path_label.to_string(),
+            if let Some(live) = &reach_live {
+                if let Some(ii) = its.fn_at_line(idx) {
+                    if !live.contains(&(fi, ii)) {
+                        continue;
+                    }
+                }
+            }
+            per_file[fi].push(Finding {
+                rule: id,
+                path: f.label.clone(),
                 line: idx + 1,
-                snippet: raw_lines.get(idx).unwrap_or(&"").trim().to_string(),
-                suggestion: rule.suggestion,
+                snippet: snippet(idx),
+                suggestion: rules::suggestion_for(id),
+            });
+        }
+
+        for idx in rules::stale_suppression(&raw_lines, &code_lines, &lexed.comments, &skip, &raw) {
+            per_file[fi].push(Finding {
+                rule: "stale-suppression",
+                path: f.label.clone(),
+                line: idx + 1,
+                snippet: snippet(idx),
+                suggestion: rules::suggestion_for("stale-suppression"),
             });
         }
     }
-    findings
+
+    // allow-reentry: allow-path files are sanctioned *homes*, not
+    // sanctioned *entry points*. Any fn there that uses the rule's
+    // construct and is reachable from the event path gets reported.
+    for rule in rules::RULES {
+        if rule.allow_paths.is_empty() {
+            continue;
+        }
+        for (fi, f) in files.iter().enumerate() {
+            if whole_test[fi] || !rule.allow_paths.iter().any(|p| f.label.contains(p)) {
+                continue;
+            }
+            let (lexed, its) = &lexed_items[fi];
+            let raw_lines: Vec<&str> = f.source.lines().collect();
+            let code_lines = lexed.code_lines();
+            for (ii, fun) in its.fns.iter().enumerate() {
+                if fun.cfg_test || fun.body_toks.is_empty() {
+                    continue;
+                }
+                if !event_live.contains(&(fi, ii)) {
+                    continue;
+                }
+                let uses = (fun.lines.0..=fun.lines.1).any(|l| {
+                    code_lines
+                        .get(l)
+                        .is_some_and(|cl| rule.needles.iter().any(|n| rules::line_matches(cl, n)))
+                });
+                if !uses {
+                    continue;
+                }
+                if is_suppressed(&raw_lines, &lexed.comments, fun.lines.0, "allow-reentry") {
+                    continue;
+                }
+                per_file[fi].push(Finding {
+                    rule: "allow-reentry",
+                    path: f.label.clone(),
+                    line: fun.lines.0 + 1,
+                    snippet: raw_lines.get(fun.lines.0).unwrap_or(&"").trim().to_string(),
+                    suggestion: rules::suggestion_for("allow-reentry"),
+                });
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for mut v in per_file {
+        v.sort_by_key(|f| (f.line, rules::rule_rank(f.rule)));
+        out.append(&mut v);
+    }
+    out
+}
+
+/// Scan one file's source in isolation (no cross-file graph edges).
+/// `path_label` is the workspace-relative path used both for reports and
+/// for `allow_paths` matching.
+pub fn scan_source(path_label: &str, source: &str) -> Vec<Finding> {
+    analyze(
+        &[SourceFile {
+            label: path_label.to_string(),
+            source: source.to_string(),
+        }],
+        &ScanOptions::default(),
+    )
 }
 
 /// Recursively collect `.rs` files under `dir`, sorted for deterministic
@@ -467,12 +342,12 @@ fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Scan every sim-path crate under `root` (the workspace root). Only
-/// `crates/<name>/src` trees are scanned: `tests/`, `benches/`, and the
-/// harness crates may use whatever the host offers.
-pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
-    for krate in SIM_CRATES {
+/// Load the `crates/<name>/src` trees of the given crates under `root`
+/// (the workspace root). Only `src/` is loaded: `tests/`, `benches/`,
+/// and the harness crates may use whatever the host offers.
+pub fn load_workspace(root: &Path, crates: &[&str]) -> std::io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    for krate in crates {
         let src = root.join("crates").join(krate).join("src");
         let mut files = Vec::new();
         rs_files(&src, &mut files);
@@ -483,10 +358,20 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
                 .unwrap_or(&file)
                 .to_string_lossy()
                 .replace('\\', "/");
-            findings.extend(scan_source(&label, &source));
+            out.push(SourceFile { label, source });
         }
     }
-    Ok(findings)
+    Ok(out)
+}
+
+/// Scan every sim-path crate under `root` with default options.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    scan_workspace_opts(root, &ScanOptions::default())
+}
+
+/// Scan every sim-path crate under `root`.
+pub fn scan_workspace_opts(root: &Path, opts: &ScanOptions) -> std::io::Result<Vec<Finding>> {
+    Ok(analyze(&load_workspace(root, SIM_CRATES)?, opts))
 }
 
 /// Minimal JSON string escaping (the report has no exotic content, but
@@ -527,6 +412,52 @@ pub fn render_json(findings: &[Finding]) -> String {
     out
 }
 
+/// Render findings as a SARIF 2.1.0 log, the minimal subset CI
+/// annotation consumers need: one run, the full rule table in the
+/// driver, one `result` per finding with a physical location.
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [{\n");
+    out.push_str("    \"tool\": {\"driver\": {\n");
+    out.push_str("      \"name\": \"fgmon-lint\",\n");
+    out.push_str("      \"rules\": [\n");
+    let infos = rules::rule_infos();
+    for (i, r) in infos.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \
+             \"help\": {{\"text\": \"{}\"}}}}{}\n",
+            json_escape(r.id),
+            json_escape(r.summary),
+            json_escape(r.suggestion),
+            if i + 1 < infos.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      ]\n");
+    out.push_str("    }},\n");
+    out.push_str("    \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"ruleId\": \"{}\", \"level\": \"error\", \
+             \"message\": {{\"text\": \"{}\"}}, \
+             \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
+            json_escape(f.rule),
+            json_escape(&f.snippet),
+            json_escape(&f.path),
+            f.line,
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ]\n");
+    out.push_str("  }]\n");
+    out.push_str("}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -559,6 +490,39 @@ mod tests {
     }
 
     #[test]
+    fn method_spawn_calls_are_threads_too() {
+        assert_eq!(
+            rules_hit("scope.spawn(|| drain(shard));"),
+            vec!["thread-spawn"]
+        );
+        assert_eq!(
+            rules_hit("builder.spawn(move || run())?;"),
+            vec!["thread-spawn"]
+        );
+        // `spawn_thread(` (the simulated OS call) is not an OS thread.
+        assert!(rules_hit("os.spawn_thread(name, entry);").is_empty());
+    }
+
+    #[test]
+    fn interior_mutability_and_unsafe_fire() {
+        assert_eq!(
+            rules_hit("let c = Cell::new(0u64);"),
+            vec!["interior-mutability"]
+        );
+        assert_eq!(
+            rules_hit("load: RefCell<f64>,"),
+            vec!["interior-mutability"]
+        );
+        assert_eq!(
+            rules_hit("let p = unsafe { ptr.read() };"),
+            vec!["unsafe-block"]
+        );
+        // Token boundaries: `Cell` must not double-fire inside `RefCell`,
+        // and lookalikes stay clean.
+        assert!(rules_hit("let c = CellarDoor::new();").is_empty());
+    }
+
+    #[test]
     fn token_boundary_spares_lookalikes() {
         // `Instant` must not fire inside `Instantaneous`.
         assert!(rules_hit("/// doc\nfn instantaneous() {}").is_empty());
@@ -573,6 +537,9 @@ mod tests {
         assert!(rules_hit("let s = \"HashMap\";").is_empty());
         assert!(rules_hit("/* Instant::now() */ let x = 1;").is_empty());
         assert!(rules_hit("let r = r#\"thread::spawn\"#;").is_empty());
+        // Nested block comments and byte strings are opaque too.
+        assert!(rules_hit("/* a /* HashMap */ b */ let x = 1;").is_empty());
+        assert!(rules_hit("let b = b\"SystemTime\";").is_empty());
     }
 
     #[test]
@@ -607,12 +574,28 @@ fn also_real() { let m = HashMap::new(); }
 let r = DetRng::new(seed);
 ";
         assert!(rules_hit(multi).is_empty());
-        // A comment for a *different* rule does not suppress.
+        // A comment for a *different* rule does not suppress — and is
+        // itself reported as stale, since wall-clock never fires here.
         let wrong = "// lint: wall-clock — nope\nlet r = DetRng::new(seed);\n";
-        assert_eq!(rules_hit(wrong), vec!["rng-construction"]);
-        // Suppression does not leak past non-comment lines.
+        assert_eq!(
+            rules_hit(wrong),
+            vec!["stale-suppression", "rng-construction"]
+        );
+        // Suppression does not leak past non-comment lines (and the
+        // orphaned comment is flagged stale).
         let gap = "// lint: rng-construction — stale\nlet x = 1;\nlet r = DetRng::new(seed);\n";
-        assert_eq!(rules_hit(gap), vec!["rng-construction"]);
+        assert_eq!(
+            rules_hit(gap),
+            vec!["stale-suppression", "rng-construction"]
+        );
+    }
+
+    #[test]
+    fn lint_markers_inside_strings_do_not_suppress() {
+        // The old engine matched `lint:` on raw lines, so a string could
+        // silence a same-line finding. Comments-only now.
+        let src = "let m = HashMap::new(); let s = \"lint: hash-collections\";";
+        assert_eq!(rules_hit(src), vec!["hash-collections"]);
     }
 
     #[test]
@@ -667,6 +650,14 @@ let r = DetRng::new(seed);
             rules_hit("let (tx, rx) = std::sync::mpsc::channel();"),
             vec!["sync-primitive"]
         );
+        // The needle-list gaps the old engine had are closed.
+        for narrow in ["AtomicU8", "AtomicU16", "AtomicI32"] {
+            assert_eq!(
+                rules_hit(&format!("let n = {narrow}::new(0);")),
+                vec!["sync-primitive"],
+                "{narrow} must fire"
+            );
+        }
         // The executor and the sweep runner are the sanctioned homes.
         let src = "let heads: Vec<AtomicU64> = Vec::new();";
         assert!(scan_source("crates/sim/src/parallel.rs", src).is_empty());
@@ -678,12 +669,72 @@ let r = DetRng::new(seed);
 let slot = Mutex::new(None);
 ";
         assert!(rules_hit(justified).is_empty());
-        // ...but a justification for a different rule is not.
+        // ...but a justification for a different rule is not (and rots
+        // visibly as a stale suppression).
         let wrong = "// lint: thread-spawn — nope\nlet slot = Mutex::new(None);\n";
-        assert_eq!(rules_hit(wrong), vec!["sync-primitive"]);
+        assert_eq!(
+            rules_hit(wrong),
+            vec!["stale-suppression", "sync-primitive"]
+        );
         // Token boundaries: `MutexGuard`-like lookalikes in *other* words
         // do not fire.
         assert!(rules_hit("fn mpscale(x: f64) -> f64 { x }").is_empty());
+    }
+
+    #[test]
+    fn reachability_mode_drops_dead_code_findings() {
+        let src = "\
+impl Engine {
+    pub fn run_until(&mut self) { self.dispatch(); }
+    fn dispatch(&mut self) { live_helper(); }
+}
+fn live_helper() { let m = HashMap::new(); }
+fn dead_helper() { let m = HashMap::new(); }
+use std::collections::HashMap;
+";
+        let files = [SourceFile {
+            label: "crates/os/src/x.rs".into(),
+            source: src.into(),
+        }];
+        let strict = analyze(&files, &ScanOptions::default());
+        assert_eq!(strict.len(), 3, "both fns + the import in strict mode");
+        let reach = analyze(&files, &ScanOptions { reachability: true });
+        let lines: Vec<usize> = reach.iter().map(|f| f.line).collect();
+        // live_helper (line 5) and the top-level import (line 7) stay;
+        // dead_helper (line 6) is dropped.
+        assert_eq!(lines, vec![5, 7]);
+    }
+
+    #[test]
+    fn allow_path_reentered_from_event_path_is_reported() {
+        let executor = SourceFile {
+            label: "crates/sim/src/parallel.rs".into(),
+            source: "\
+pub fn run_sharded() { let m = Mutex::new(0); }
+pub fn merge_locked(x: u64) -> u64 { let g = Mutex::new(x); x }
+"
+            .into(),
+        };
+        let engine = SourceFile {
+            label: "crates/sim/src/engine.rs".into(),
+            source: "impl Engine { pub fn step(&mut self) { merge_locked(1); } }".into(),
+        };
+        let findings = analyze(&[executor, engine], &ScanOptions::default());
+        // run_sharded is allow-path'd and never called from the event
+        // path: clean. merge_locked is re-entered from Engine::step.
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "allow-reentry");
+        assert_eq!(findings[0].path, "crates/sim/src/parallel.rs");
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn stale_suppression_reported_via_scan_source() {
+        let src = "// lint: wall-clock — long gone\nlet x = 1;\n";
+        let f = scan_source("crates/os/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "stale-suppression");
+        assert_eq!(f[0].line, 1);
     }
 
     #[test]
@@ -699,5 +750,25 @@ let slot = Mutex::new(None);
         assert!(j.starts_with('[') && j.ends_with(']'));
         assert!(j.contains("\\\"x\\\\y\\\""));
         assert!(j.contains("\"line\": 3"));
+    }
+
+    #[test]
+    fn sarif_output_names_tool_rules_and_locations() {
+        let f = vec![Finding {
+            rule: "float-order",
+            path: "crates/ganglia/src/gmetad.rs".into(),
+            line: 81,
+            snippet: "agg.sum += v;".into(),
+            suggestion: "fix the order",
+        }];
+        let s = render_sarif(&f);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"name\": \"fgmon-lint\""));
+        // Every rule family is declared in the driver.
+        for r in rules::rule_ids() {
+            assert!(s.contains(&format!("\"id\": \"{r}\"")), "{r} missing");
+        }
+        assert!(s.contains("\"startLine\": 81"));
+        assert!(s.contains("crates/ganglia/src/gmetad.rs"));
     }
 }

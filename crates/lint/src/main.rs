@@ -1,16 +1,23 @@
 //! `fgmon-lint` — determinism lint for the sim-path crates.
 //!
 //! Usage:
-//!   fgmon-lint check [--json] [--root <workspace>]
+//!   fgmon-lint check [--format text|json|sarif] [--json] [--root <workspace>]
+//!              [--reachability] [--budget-ms <n>]
 //!   fgmon-lint rules
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/scan error, 3 budget blown.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use fgmon_lint::{render_json, scan_workspace, RULES};
+use fgmon_lint::{render_json, render_sarif, rules, scan_workspace_opts, ScanOptions};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: fgmon-lint check [--json] [--root <workspace>] | fgmon-lint rules");
+    eprintln!(
+        "usage: fgmon-lint check [--format text|json|sarif] [--json] \
+         [--root <workspace>] [--reachability] [--budget-ms <n>] \
+         | fgmon-lint rules"
+    );
     ExitCode::from(2)
 }
 
@@ -26,23 +33,41 @@ fn default_root() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("."))
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("rules") => {
-            for r in RULES {
-                println!("{:<18} {}", r.id, r.summary);
-                println!("{:<18}   fix: {}", "", r.suggestion);
+            for r in rules::rule_infos() {
+                println!("{:<20} {}", r.id, r.summary);
+                println!("{:<20}   fix: {}", "", r.suggestion);
             }
             ExitCode::SUCCESS
         }
         Some("check") => {
-            let mut json = false;
+            let mut format = Format::Text;
             let mut root = default_root();
+            let mut opts = ScanOptions::default();
+            let mut budget_ms: Option<u64> = None;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
-                    "--json" => json = true,
+                    "--json" => format = Format::Json,
+                    "--format" => {
+                        i += 1;
+                        format = match args.get(i).map(String::as_str) {
+                            Some("text") => Format::Text,
+                            Some("json") => Format::Json,
+                            Some("sarif") => Format::Sarif,
+                            _ => return usage(),
+                        };
+                    }
                     "--root" => {
                         i += 1;
                         let Some(p) = args.get(i) else {
@@ -50,29 +75,52 @@ fn main() -> ExitCode {
                         };
                         root = PathBuf::from(p);
                     }
+                    "--reachability" => opts.reachability = true,
+                    "--budget-ms" => {
+                        i += 1;
+                        let Some(ms) = args.get(i).and_then(|s| s.parse().ok()) else {
+                            return usage();
+                        };
+                        budget_ms = Some(ms);
+                    }
                     _ => return usage(),
                 }
                 i += 1;
             }
-            let findings = match scan_workspace(&root) {
+            // lint: wall-clock — the budget check times the lint pass
+            // itself (host-side harness code, never inside a simulation).
+            let started = std::time::Instant::now();
+            let findings = match scan_workspace_opts(&root, &opts) {
                 Ok(f) => f,
                 Err(e) => {
                     eprintln!("fgmon-lint: failed to scan {}: {e}", root.display());
                     return ExitCode::from(2);
                 }
             };
-            if json {
-                println!("{}", render_json(&findings));
-            } else if findings.is_empty() {
-                println!(
-                    "fgmon-lint: clean ({} rules over sim-path crates)",
-                    RULES.len()
-                );
-            } else {
-                for f in &findings {
-                    println!("{f}");
+            let elapsed_ms = started.elapsed().as_millis() as u64;
+            match format {
+                Format::Json => println!("{}", render_json(&findings)),
+                Format::Sarif => println!("{}", render_sarif(&findings)),
+                Format::Text if findings.is_empty() => println!(
+                    "fgmon-lint: clean ({} rule families over sim-path crates, {} ms)",
+                    rules::rule_ids().len(),
+                    elapsed_ms
+                ),
+                Format::Text => {
+                    for f in &findings {
+                        println!("{f}");
+                    }
+                    println!("fgmon-lint: {} finding(s)", findings.len());
                 }
-                println!("fgmon-lint: {} finding(s)", findings.len());
+            }
+            if let Some(budget) = budget_ms {
+                if elapsed_ms > budget {
+                    eprintln!(
+                        "fgmon-lint: scan took {elapsed_ms} ms, over the \
+                         {budget} ms budget"
+                    );
+                    return ExitCode::from(3);
+                }
             }
             if findings.is_empty() {
                 ExitCode::SUCCESS

@@ -115,6 +115,8 @@ impl OsApi<'_, '_> {
     /// Create a thread owned by this service. It starts blocked; queue ops
     /// or call [`OsApi::wake_thread`] to run it.
     pub fn spawn_thread(&mut self, name: &'static str) -> ThreadId {
+        // lint: thread-spawn — this "spawn" is the simulated ThreadTable:
+        // a bookkeeping entry scheduled by engine events, not an OS thread.
         self.core.threads.spawn(self.slot, name)
     }
 
