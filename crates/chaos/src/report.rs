@@ -1,0 +1,114 @@
+//! Reproducer emission: render a shrunk failing schedule as a
+//! ready-to-commit scenario snippet and (optionally) write it where CI
+//! can pick it up as an artifact.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::grammar::Schedule;
+use crate::search::{RunConfig, RunVerdict};
+
+/// Render the shrunk schedule as a paste-ready `#[test]` body. The
+/// builder chain mirrors [`crate::grammar::ChaosOp::apply`] exactly, so
+/// committing the snippet replays the same fate stream bit for bit.
+pub fn reproducer_snippet(schedule: &Schedule, verdict: &RunVerdict, cfg: &RunConfig) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// Chaos reproducer — {} op(s), world seed {:#x}.",
+        schedule.ops.len(),
+        schedule.seed
+    );
+    for v in &verdict.violations {
+        let _ = writeln!(
+            out,
+            "// violated: {} at {} ms — {}",
+            v.invariant, v.at_ms, v.detail
+        );
+    }
+    let _ = writeln!(
+        out,
+        "// use fgmon_chaos::{{run_schedule, ChaosOp, RunConfig, Schedule}};\n\
+         // or drive the world directly:"
+    );
+    let _ = writeln!(
+        out,
+        "use fgmon_cluster::chaos_world;\n\
+         use fgmon_sim::{{SimDuration, SimTime}};\n\
+         use fgmon_types::{{FaultOp, FaultPlan, NodeId, RaceMode}};\n"
+    );
+    let _ = writeln!(
+        out,
+        "let plan = FaultPlan::new({:#x})",
+        schedule.seed ^ 0xCA05
+    );
+    for (i, op) in schedule.ops.iter().enumerate() {
+        let eol = if i + 1 == schedule.ops.len() { ";" } else { "" };
+        let _ = writeln!(out, "    {}{eol}", op.snippet());
+    }
+    let _ = writeln!(
+        out,
+        "let mut w = chaos_world(plan, {:#x}, RaceMode::Off);\n\
+         w.cluster.run_for(SimDuration::from_millis({}));",
+        schedule.seed,
+        cfg.horizon.nanos() / 1_000_000,
+    );
+    out
+}
+
+/// Write a reproducer snippet under `dir` (created on demand). Returns
+/// the file path.
+pub fn write_reproducer(dir: &Path, index: usize, snippet: &str) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("repro-{index:04}.rs"));
+    fs::write(&path, snippet)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::{ChaosOp, BACKEND};
+    use crate::invariants::Violation;
+
+    #[test]
+    fn snippet_contains_the_full_builder_chain() {
+        let s = Schedule {
+            seed: 0xBEEF,
+            ops: vec![
+                ChaosOp::Crash {
+                    node: BACKEND,
+                    from_ms: 500,
+                    until_ms: 1_100,
+                },
+                ChaosOp::Duplicate {
+                    probability: 0.25,
+                    echo_ms: 400,
+                    from_ms: 300,
+                    until_ms: 900,
+                },
+            ],
+        };
+        let verdict = RunVerdict {
+            violations: vec![Violation {
+                invariant: "stale-admission",
+                at_ms: 1_250,
+                detail: "test".into(),
+            }],
+            checks: 10,
+            events: 100,
+            fault_checks: 50,
+        };
+        let snip = reproducer_snippet(&s, &verdict, &RunConfig::default());
+        assert!(snip.contains("FaultPlan::new"));
+        assert!(snip.contains(".crash(NodeId(1), SimTime(500_000_000), SimTime(1100_000_000))"));
+        assert!(snip.contains(".duplicated(0.25"));
+        assert!(snip.contains("violated: stale-admission at 1250 ms"));
+        assert!(snip.contains("chaos_world(plan, 0xbeef, RaceMode::Off)"));
+        assert!(snip.contains("run_for(SimDuration::from_millis(3000))"));
+        // The chain must end exactly once.
+        assert!(snip.matches(";\n").count() >= 1);
+    }
+}

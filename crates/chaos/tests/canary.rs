@@ -1,0 +1,69 @@
+//! Canary validation: with the seeded stale-admission mutation armed
+//! (`--features chaos-canary`, forwarded into `fgmon-core`), the chaos
+//! search must *find* the bug within a fixed seed budget and *shrink*
+//! the failing schedule to a tiny reproducer. This is the test of the
+//! harness itself — a search that never catches an armed bug is theater.
+
+#![cfg(feature = "chaos-canary")]
+
+use fgmon_chaos::{is_one_minimal, run_schedule, search, SearchConfig};
+
+/// Fixed seed budget the canary must fall within: one 64-schedule sweep
+/// from one pinned planner seed. No retries, no seed shopping.
+const SEED_BUDGET: usize = 64;
+const PLANNER_SEED: u64 = 0xCA9A_0001;
+
+#[test]
+fn search_finds_and_shrinks_the_canary() {
+    let cfg = SearchConfig {
+        schedules: SEED_BUDGET,
+        seed: PLANNER_SEED,
+        stop_after: Some(1),
+        reproducer_dir: Some(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/chaos-reproducers"),
+        ),
+        ..Default::default()
+    };
+    let out = search(&cfg);
+    assert!(
+        out.divergences.is_empty(),
+        "canary must not break determinism: {:?}",
+        out.divergences
+    );
+    let failure = out
+        .failures
+        .first()
+        .expect("the armed canary must be found within the fixed seed budget");
+    assert!(
+        failure
+            .verdict
+            .violations
+            .iter()
+            .any(|v| v.invariant == "stale-admission"),
+        "the canary is a stale-admission bug; got {:?}",
+        failure.verdict.violations
+    );
+    assert!(
+        failure.shrunk.ops.len() <= 3,
+        "reproducer must shrink to <= 3 ops, got {} ({:?})",
+        failure.shrunk.ops.len(),
+        failure.shrunk.ops
+    );
+    assert!(failure.minimal, "shrinker must verify 1-minimality");
+    // The shrunk schedule must still fail on a fresh run …
+    let cfg_run = cfg.run;
+    assert!(
+        run_schedule(&failure.shrunk, 1, &cfg_run).failed(),
+        "shrunk reproducer must still fail"
+    );
+    // … and be locally minimal: removing any single op passes.
+    let mut fails = |s: &fgmon_chaos::Schedule| run_schedule(s, 1, &cfg_run).failed();
+    assert!(is_one_minimal(&failure.shrunk, &mut fails));
+    // The emitted snippet is a committable scenario.
+    assert!(failure.reproducer.contains("FaultPlan::new"));
+    assert!(failure.reproducer.contains("chaos_world(plan"));
+    assert!(
+        failure.reproducer_path.as_ref().is_some_and(|p| p.exists()),
+        "reproducer artifact must land on disk for CI upload"
+    );
+}

@@ -1,0 +1,119 @@
+//! Measurement harness behind the EXPERIMENTS.md invariant-cost table:
+//! how much does segmenting a run and probing the invariant registry at
+//! every boundary cost versus just running the same world? Ignored by
+//! default (it is a benchmark, not a correctness test); regenerate with:
+//!   cargo test --release -p fgmon-chaos --test cost -- --ignored --nocapture
+
+#![cfg(not(feature = "chaos-canary"))]
+
+use fgmon_chaos::{run_schedule, InvariantProbe, RunConfig, Schedule, SchedulePlanner};
+use fgmon_cluster::chaos_world;
+use fgmon_sim::SimDuration;
+
+const SCHEDULES: usize = 200;
+const SEED: u64 = 0xC405_0001;
+
+fn sampled() -> Vec<Schedule> {
+    let mut planner = SchedulePlanner::new(SEED, Default::default());
+    (0..SCHEDULES).map(|_| planner.next_schedule()).collect()
+}
+
+/// (total events, wall seconds)
+fn timed<F: FnMut(&Schedule) -> u64>(schedules: &[Schedule], mut run: F) -> (u64, f64) {
+    // lint: wall-clock — host-side benchmark timing; nothing inside the
+    // simulation observes it.
+    let start = std::time::Instant::now();
+    let mut events = 0u64;
+    for s in schedules {
+        events += run(s);
+    }
+    (events, start.elapsed().as_secs_f64())
+}
+
+fn run_monolithic(s: &Schedule) -> u64 {
+    let mut w = chaos_world(s.compile(), s.seed, fgmon_types::RaceMode::Off);
+    w.cluster.run_for(SimDuration::from_secs(3));
+    w.cluster.eng.events_processed()
+}
+
+fn run_segmented_unprobed(s: &Schedule) -> u64 {
+    let mut w = chaos_world(s.compile(), s.seed, fgmon_types::RaceMode::Off);
+    let seg = SimDuration::from_millis(250);
+    let mut remaining = SimDuration::from_secs(3);
+    while remaining > SimDuration::ZERO {
+        let step = if remaining < seg { remaining } else { seg };
+        w.cluster.run_for(step);
+        remaining = remaining - step;
+    }
+    w.cluster.eng.events_processed()
+}
+
+fn run_segmented_probed_noshard(s: &Schedule) -> u64 {
+    let mut w = chaos_world(s.compile(), s.seed, fgmon_types::RaceMode::Off);
+    let mut probe = InvariantProbe::new();
+    let seg = SimDuration::from_millis(250);
+    let mut remaining = SimDuration::from_secs(3);
+    while remaining > SimDuration::ZERO {
+        let step = if remaining < seg { remaining } else { seg };
+        w.cluster.run_for(step);
+        remaining = remaining - step;
+        if remaining > SimDuration::ZERO {
+            probe.check(&mut w);
+        }
+    }
+    probe.final_check(&mut w, true);
+    assert!(probe.violations.is_empty());
+    w.cluster.eng.events_processed()
+}
+
+#[test]
+#[ignore]
+fn measure_invariant_cost() {
+    let schedules = sampled();
+    // Warm up caches / page in the binary.
+    let _ = timed(&schedules[..4], run_monolithic);
+
+    let best = |f: &mut dyn FnMut() -> (u64, f64)| {
+        let mut out = f();
+        for _ in 0..2 {
+            let (ev, t) = f();
+            assert_eq!(ev, out.0);
+            if t < out.1 {
+                out.1 = t;
+            }
+        }
+        out
+    };
+    let (ev_mono, t_mono) = best(&mut || timed(&schedules, run_monolithic));
+    let (ev_seg, t_seg) = best(&mut || timed(&schedules, run_segmented_unprobed));
+    let (ev_probe, t_probe) = best(&mut || timed(&schedules, run_segmented_probed_noshard));
+    let cfg = RunConfig::default();
+    let mut total_checks = 0u64;
+    let (ev_full, t_full) = best(&mut || {
+        total_checks = 0;
+        timed(&schedules, |s| {
+            let v = run_schedule(s, 1, &cfg);
+            total_checks += v.checks;
+            v.events
+        })
+    });
+    println!(
+        "total invariant evaluations: {total_checks} ({} per schedule)",
+        total_checks / SCHEDULES as u64
+    );
+    let (ev_sh, t_sh) = best(&mut || timed(&schedules, |s| run_schedule(s, 2, &cfg).events));
+
+    let report = |name: &str, ev: u64, t: f64| {
+        println!(
+            "{name:32} events={ev:>10}  wall={t:>7.3}s  ev/s={:>12.0}",
+            ev as f64 / t
+        );
+    };
+    report("monolithic (no segments)", ev_mono, t_mono);
+    report("segmented 250ms, no probe", ev_seg, t_seg);
+    report("segmented + probe", ev_probe, t_probe);
+    report("run_schedule (probe+verdict)", ev_full, t_full);
+    report("run_schedule, 2 shards", ev_sh, t_sh);
+    assert_eq!(ev_mono, ev_seg, "segmentation must not change event count");
+    assert_eq!(ev_seg, ev_probe, "probing must not change event count");
+}

@@ -119,6 +119,9 @@ impl ClusterBuilder {
     /// Install a fault schedule on the fabric. Panics if the plan is
     /// malformed (see [`FaultPlan::validate`]).
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        if let Err(e) = plan.validate() {
+            panic!("invalid fault plan: {e}");
+        }
         self.fabric.set_fault_plan(plan);
     }
 
@@ -149,6 +152,14 @@ impl ClusterBuilder {
         self.eng
             .reserve_capacity(self.nodes.len() + 1, 64 * self.nodes.len().max(1));
         let mut fabric = self.fabric;
+        // Re-validate at the last gate: [`set_fault_plan`] already checks,
+        // but a plan mutated through the fabric after installation (or one
+        // that slipped in through a future builder path) must never reach a
+        // running engine — fate draws on a malformed rule would silently
+        // skew every downstream fingerprint.
+        if let Err(e) = fabric.fault_plan().validate() {
+            panic!("invalid fault plan: {e}");
+        }
         fabric.set_node_actors(self.nodes.clone());
         if let Some(race) = &self.race {
             fabric.set_race_detector(race.clone());

@@ -32,13 +32,14 @@ pub mod sweep;
 pub use builder::{Cluster, ClusterBuilder};
 pub use report::Table;
 pub use scenarios::{
-    accuracy_world, big_cluster, congested_switch, crash_during_burst, crash_restart_recovery,
-    fault_compare_world, fault_compare_world_raced, flaky_rdma_failover, float_granularity,
-    ganglia_world, lossy_fabric, micro_latency, noisy_neighbor, noisy_neighbor_qos,
-    noisy_neighbor_raced, noisy_rubis, quiet_neighbor, rdma_lock_crash, rdma_lock_world,
-    rdma_lock_world_raced, rubis_world, torn_read_world, AccuracyWorld, BigClusterWorld,
-    CrashWorld, FailoverWorld, FaultCompareWorld, FloatWorld, GangliaWorld, LockWorld, MicroWorld,
-    NoisyWorld, RubisWorld, RubisWorldCfg, TornReadWorld, GT_PERIOD, NOISY_RATE_LIMIT,
+    accuracy_world, big_cluster, chaos_world, congested_switch, crash_during_burst,
+    crash_restart_recovery, fault_compare_world, fault_compare_world_raced, flaky_rdma_failover,
+    float_granularity, ganglia_world, gray_failure_world, lossy_fabric, micro_latency,
+    noisy_neighbor, noisy_neighbor_qos, noisy_neighbor_raced, noisy_rubis, quiet_neighbor,
+    rdma_lock_crash, rdma_lock_world, rdma_lock_world_raced, rubis_world, torn_read_world,
+    AccuracyWorld, BigClusterWorld, ChaosWorld, CrashWorld, FailoverWorld, FaultCompareWorld,
+    FloatWorld, GangliaWorld, LockWorld, MicroWorld, NoisyWorld, RubisWorld, RubisWorldCfg,
+    TornReadWorld, CHAOS_POLL, GT_PERIOD, NOISY_RATE_LIMIT,
 };
 pub use summary::{
     channel_health_section, node_summaries, pooled_responses, render_report, NodeSummary,

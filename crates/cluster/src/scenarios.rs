@@ -677,6 +677,26 @@ pub fn lossy_fabric(loss_p: f64, poll: SimDuration, seed: u64) -> FaultCompareWo
     fault_compare_world(plan, retry, poll, seed)
 }
 
+/// Gray-failure comparison world: nothing fail-stops, yet everything is
+/// subtly wrong. The front-end→back-end direction partitions for a
+/// window (requests vanish, replies would flow), the back-end's NIC
+/// degrades to 3× latency over an overlapping window, and the back-end's
+/// clock drifts so its *reported* timestamps lie. The plan mixes
+/// deterministic physics (partition, slow NIC) with payload rewriting
+/// (skew), which makes this the canonical world for the parallel
+/// determinism suite: every shard must agree bit-for-bit on fates that
+/// depend on draw-index discipline.
+pub fn gray_failure_world(seed: u64, race: RaceMode) -> FaultCompareWorld {
+    let poll = SimDuration::from_millis(5);
+    let sec = |s: u64| SimTime(SimDuration::from_secs(s).nanos());
+    let plan = FaultPlan::new(seed ^ 0x64AF)
+        .partition(Some(NodeId(0)), Some(NodeId(1)), sec(1), sec(2))
+        .slow_nic(NodeId(1), 3.0, SimTime(1_500_000_000), sec(3))
+        .clock_skew(NodeId(1), -2_000_000, sec(2), sec(4));
+    let retry = RetryPolicy::aggressive(poll.mul_f64(3.0));
+    fault_compare_world_raced(plan, retry, poll, seed, race)
+}
+
 /// Congested-switch scenario: every frame's wire latency is multiplied by
 /// `latency_mult` inside `[from, until)`, and socket frames additionally
 /// suffer tail-drop loss (congested kernel queues drop; RDMA transports
@@ -1404,4 +1424,144 @@ pub fn rdma_lock_crash(seed: u64) -> LockWorld {
     let from = SimTime(SimDuration::from_secs(1).nanos());
     let until = SimTime(SimDuration::from_millis(1_600).nanos());
     rdma_lock_world(4, 1, Some((from, until)), seed)
+}
+
+// ---------------------------------------------------------------------------
+// Chaos search — the world every sampled schedule runs against
+// ---------------------------------------------------------------------------
+
+/// The combined world the chaos search throws random fault schedules at:
+/// every invariant-bearing subsystem in one cluster, so a single sampled
+/// [`FaultPlan`] can probe fence gates, circuit breakers, checksum seals,
+/// and lock fencing in the same run.
+pub struct ChaosWorld {
+    pub cluster: Cluster,
+    /// Node 0: front-end running both monitoring clients.
+    pub frontend: NodeId,
+    /// Node 1: the monitored back-end (socket + RDMA reporters, hogs).
+    pub backend: NodeId,
+    /// Node 2: lock-table host. The chaos grammar never crashes it —
+    /// a dead lock host stalls every client and teaches the search
+    /// nothing about fencing.
+    pub lock_host: NodeId,
+    /// Nodes 3 and 4: closed-loop lock clients.
+    pub lock_clients: Vec<NodeId>,
+    /// Slot of the Socket-Sync poller on the front-end.
+    pub fe_socket: ServiceSlot,
+    /// Slot of the RDMA-Sync poller (breaker-guarded) on the front-end.
+    pub fe_rdma: ServiceSlot,
+    /// Slot of the [`LockHost`] on `lock_host`.
+    pub host_slot: ServiceSlot,
+    /// Slot of each [`LockClient`] on its node.
+    pub client_slots: Vec<ServiceSlot>,
+}
+
+/// Monitoring poll period of the chaos world (exported so the chaos
+/// grammar can size fault windows relative to the poll cadence).
+pub const CHAOS_POLL: SimDuration = SimDuration(5_000_000); // 5 ms
+
+/// Build the chaos world: five nodes wiring together every mechanism the
+/// invariant registry checks.
+///
+/// * Front-end (node 0) runs a Socket-Sync poller and a breaker-guarded
+///   RDMA-Sync poller, both with an aggressive retry policy, watching the
+///   same back-end.
+/// * Back-end (node 1) hosts the socket reporter (slot 0), the RDMA
+///   reporter with a fallback socket path (slot 1, region 0), and two
+///   compute hogs so the monitored signal moves.
+/// * Node 2 hosts a one-lock [`LockHost`]; nodes 3–4 run closed-loop
+///   [`LockClient`]s contending over one-sided CAS.
+///
+/// The sampled `plan` arrives pre-validated by the chaos planner; the
+/// builder validates it again on `finish` (defense in depth, not the
+/// primary gate).
+pub fn chaos_world(plan: FaultPlan, seed: u64, race: RaceMode) -> ChaosWorld {
+    let poll = CHAOS_POLL;
+    let mut b = ClusterBuilder::new(seed, NetConfig::default());
+    b.set_race_mode(race);
+    let frontend = b.add_node(OsConfig::frontend());
+    let backend = b.add_node(OsConfig::default());
+    let lock_host = b.add_node(OsConfig::default());
+    let cfg = BackendConfig {
+        calc_interval: poll,
+        via_kernel_module: false,
+        mcast_group: McastGroup(0),
+        push_target: None,
+        fallback_reporter: false,
+    };
+    // Back-end slot 0 = socket reporter (no region), slot 1 = RDMA
+    // reporter — its exported region is RegionId(0). The RDMA reporter
+    // keeps a fallback socket path alive so the breaker has somewhere to
+    // fail over to when a schedule degrades the RDMA op class.
+    let h_sock = wire_monitoring(
+        &mut b,
+        Scheme::SocketSync,
+        cfg,
+        frontend,
+        ServiceSlot(0),
+        backend,
+        0,
+    );
+    let rdma_cfg = BackendConfig {
+        fallback_reporter: true,
+        ..cfg
+    };
+    let h_rdma = wire_monitoring(
+        &mut b,
+        Scheme::RdmaSync,
+        rdma_cfg,
+        frontend,
+        ServiceSlot(1),
+        backend,
+        0,
+    );
+    let retry = RetryPolicy::aggressive(poll.mul_f64(3.0));
+    let mut sock = MonitorFrontendService::new(Scheme::SocketSync, false, poll, vec![h_sock]);
+    sock.client.set_retry_policy(retry);
+    let fe_socket = b.add_service(frontend, Box::new(sock));
+    let mut rdma = MonitorFrontendService::new(Scheme::RdmaSync, false, poll, vec![h_rdma]);
+    rdma.client.set_retry_policy(retry);
+    rdma.client.set_breaker(BreakerConfig::default());
+    let fe_rdma = b.add_service(frontend, Box::new(rdma));
+    b.add_service(backend, Box::new(ComputeHogs::new(2)));
+    // The host's atomic region is its first registration: RegionId(0).
+    let host_slot = b.add_service(
+        lock_host,
+        Box::new(LockHost::new(
+            1,
+            SimDuration::from_millis(120),
+            SimDuration::from_millis(25),
+        )),
+    );
+    let mut lock_clients = Vec::new();
+    let mut client_slots = Vec::new();
+    for _ in 0..2 {
+        let n = b.add_node(OsConfig::frontend());
+        let slot = b.add_service(
+            n,
+            Box::new(LockClient::new(
+                lock_host,
+                RegionId(0),
+                1,
+                SimDuration::from_millis(25),
+            )),
+        );
+        lock_clients.push(n);
+        client_slots.push(slot);
+    }
+    if !plan.is_empty() {
+        b.set_fault_plan(plan);
+    }
+    let cluster = b.finish(&[]);
+    ChaosWorld {
+        cluster,
+        frontend,
+        backend,
+        lock_host,
+        lock_clients,
+        fe_socket,
+        fe_rdma,
+        host_slot,
+        client_slots,
+    }
 }

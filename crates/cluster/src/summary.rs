@@ -111,7 +111,8 @@ pub fn channel_health_section(client: &MonitorClient) -> Option<String> {
         let _ = writeln!(
             out,
             "  {}: breaker {} path {} gen {} — trips {} reopens {} restorations {} \
-             probes {} fallback-polls {} stale-rejected {} repins {}",
+             probes {} fallback-polls {} stale-rejected {} repins {} \
+             corrupt-rejected {} fence-regressions {}",
             client.backend_node(i),
             state,
             path,
@@ -123,6 +124,8 @@ pub fn channel_health_section(client: &MonitorClient) -> Option<String> {
             h.fallback_polls,
             h.stale_gen_rejected,
             h.repins,
+            h.corrupt_rejected,
+            h.fence_regressions,
         );
     }
     Some(out)
@@ -152,6 +155,41 @@ pub fn render_report(cluster: &mut Cluster, scheme: Scheme, now: SimTime) -> Str
             out,
             "monitoring:      latency mean {:.1}µs max {:.1}µs, staleness mean {:.2}ms",
             q.latency_mean_us, q.latency_max_us, q.staleness_mean_ms
+        );
+    }
+    // Fault-injection and chaos counters: only rendered when a fault plan
+    // actually evaluated frames, so pristine runs keep a pristine report.
+    let fs = cluster.fabric_stats();
+    if fs.fault_checks > 0 {
+        let _ = writeln!(
+            out,
+            "fault injection: {} checks — {} dropped, {} crash-dropped, \
+             {} partitioned, {} delayed, {} reordered, {} duplicated, \
+             {} corrupted, {} clock-skewed",
+            fs.fault_checks,
+            fs.fault_dropped,
+            fs.fault_crash_dropped,
+            fs.fault_partitioned,
+            fs.fault_delayed,
+            fs.fault_reordered,
+            fs.fault_duplicated,
+            fs.fault_corrupted,
+            fs.fault_skewed,
+        );
+    }
+    // The chaos harness records its registry activity into the cluster's
+    // recorder; surface it next to the fault counters it polices.
+    if let Some(checks) = cluster.recorder().get_counter("chaos/invariant_checks") {
+        let violations = cluster
+            .recorder()
+            .get_counter("chaos/invariant_violations")
+            .map(|c| c.get())
+            .unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "invariants:      {} checks passed, {} violated",
+            checks.get().saturating_sub(violations),
+            violations,
         );
     }
     let race = cluster.race_report();

@@ -185,6 +185,16 @@ pub struct MonitorClient {
     /// Scratch buffer for coalescing one poll round's RDMA reads into a
     /// single doorbell batch (capacity persists across rounds).
     batch_scratch: Vec<(NodeId, RegionId, u64)>,
+    /// Seeded canary mutation for validating the chaos harness: the
+    /// client stops deduplicating late and echoed socket replies (the
+    /// retry tracker's verdict is overridden in `on_packet`), and the
+    /// first provably stale record that consequently reaches the gate
+    /// is waved through the fence exactly once. The stale-admission
+    /// cross-check in [`MonitorClient::admit_fenced`] is *not*
+    /// disabled, so the bug is observable as a `fence_regressions`
+    /// increment — which the chaos search must find and shrink.
+    #[cfg(feature = "chaos-canary")]
+    canary_spent: bool,
 }
 
 /// Interned handles for one back-end's reported-value series; formatted
@@ -241,6 +251,8 @@ impl MonitorClient {
             stale_id: None,
             series_ids,
             batch_scratch: Vec::new(),
+            #[cfg(feature = "chaos-canary")]
+            canary_spent: false,
         }
     }
 
@@ -425,6 +437,13 @@ impl MonitorClient {
                     continue;
                 };
                 if let Some(snap) = os.read_local_region(region) {
+                    if !snap.checksum_ok() {
+                        // The pushed record was bit-corrupted in flight and
+                        // DMA'd into our buffer as-is; the stale seal is
+                        // detected at read time.
+                        self.channels[idx].health.corrupt_rejected += 1;
+                        continue;
+                    }
                     let fresh = self.views[idx]
                         .latest
                         .map(|old| old.measured_at != snap.measured_at)
@@ -617,6 +636,42 @@ impl MonitorClient {
         v.unreachable = t.is_unreachable();
     }
 
+    /// Run one fenced admission, maintaining the stale/advance counters
+    /// and the stale-admission cross-check: independently of the gate's
+    /// verdict, re-derive "is this record's generation behind the gate's
+    /// high-water mark?" at the moment of admission and count violations
+    /// in `fence_regressions`. In a correct build the counter is zero by
+    /// construction (any verdict other than `StaleGeneration` implies
+    /// the generation is at or above the high-water mark), which is
+    /// exactly what makes it a chaos-search invariant: a mutation that
+    /// bypasses the verdict cannot bypass the cross-check.
+    fn admit_fenced(&mut self, idx: usize, fence: RecordFence) -> FenceVerdict {
+        let high_water = self.channels[idx].fence.latest().map(|l| l.generation);
+        // lint: allow-attr — `mut` is only exercised by the chaos-canary feature below
+        #[allow(unused_mut)]
+        let mut verdict = self.channels[idx].fence.admit(fence);
+        #[cfg(feature = "chaos-canary")]
+        if verdict == FenceVerdict::StaleGeneration && !self.canary_spent {
+            // The seeded bug: wave one stale record through the gate.
+            self.canary_spent = true;
+            verdict = FenceVerdict::Admitted;
+        }
+        match verdict {
+            FenceVerdict::StaleGeneration => {
+                self.channels[idx].health.stale_gen_rejected += 1;
+            }
+            v => {
+                if v == FenceVerdict::GenerationAdvanced {
+                    self.channels[idx].health.generation_advances += 1;
+                }
+                if high_water.is_some_and(|g| fence.generation < g) {
+                    self.channels[idx].health.fence_regressions += 1;
+                }
+            }
+        }
+        verdict
+    }
+
     fn accept(
         &mut self,
         idx: usize,
@@ -679,20 +734,34 @@ impl MonitorClient {
                     return false;
                 };
                 let sent = self.inflight[idx].take_sent(*req);
-                match self.inflight[idx].tracker.on_reply(*req) {
-                    ReplyOutcome::Accepted => match self.channels[idx].fence.admit(*fence) {
-                        FenceVerdict::StaleGeneration => {
-                            // A pre-restart straggler: provably stale, never
-                            // admitted into the view.
-                            self.channels[idx].health.stale_gen_rejected += 1;
-                        }
-                        verdict => {
-                            if verdict == FenceVerdict::GenerationAdvanced {
-                                self.channels[idx].health.generation_advances += 1;
-                            }
+                let outcome = self.inflight[idx].tracker.on_reply(*req);
+                // The canary bug's production half: late and duplicate
+                // replies are no longer ignored, so a pre-restart
+                // straggler (reordered or echoed past the backend's
+                // crash window) reaches the fence — whose own canary
+                // half in `admit_fenced` waves the first stale
+                // generation through.
+                #[cfg(feature = "chaos-canary")]
+                let outcome =
+                    if matches!(outcome, ReplyOutcome::LateIgnored | ReplyOutcome::Unknown) {
+                        ReplyOutcome::Accepted
+                    } else {
+                        outcome
+                    };
+                match outcome {
+                    ReplyOutcome::Accepted => {
+                        if !snap.checksum_ok() {
+                            // Bit-corrupted in flight: the seal no longer
+                            // matches the content. Never admitted — and the
+                            // fence never sees it, so a corrupt fence field
+                            // can't poison the gate either.
+                            self.channels[idx].health.corrupt_rejected += 1;
+                        } else if self.admit_fenced(idx, *fence) != FenceVerdict::StaleGeneration {
                             self.accept(idx, *snap, sent, os);
                         }
-                    },
+                        // A pre-restart straggler is provably stale, never
+                        // admitted into the view (counted by admit_fenced).
+                    }
                     // Late or unknown replies are counted by the tracker and
                     // dropped — never double-counted into the view.
                     ReplyOutcome::LateIgnored | ReplyOutcome::Unknown => {}
@@ -749,23 +818,22 @@ impl MonitorClient {
         match self.inflight[idx].tracker.on_reply(token) {
             ReplyOutcome::Accepted => match result {
                 RdmaResult::ReadOk { data, fence } => {
-                    match self.channels[idx].fence.admit(*fence) {
-                        FenceVerdict::StaleGeneration => {
-                            // A read served from a pre-restart registration
-                            // that raced the generation bump: reject it and
-                            // judge the channel.
-                            self.channels[idx].health.stale_gen_rejected += 1;
-                            self.note_failure(idx, os);
+                    if matches!(data, RegionData::Snapshot(s) if !s.checksum_ok()) {
+                        // Bit-corrupted on the data leg: reject the record
+                        // and judge the channel — a NIC serving garbage is
+                        // a sick channel, not a healthy one.
+                        self.channels[idx].health.corrupt_rejected += 1;
+                        self.note_failure(idx, os);
+                    } else if self.admit_fenced(idx, *fence) == FenceVerdict::StaleGeneration {
+                        // A read served from a pre-restart registration
+                        // that raced the generation bump: reject it and
+                        // judge the channel.
+                        self.note_failure(idx, os);
+                    } else {
+                        if let RegionData::Snapshot(snap) = data {
+                            self.accept(idx, *snap, sent, os);
                         }
-                        verdict => {
-                            if verdict == FenceVerdict::GenerationAdvanced {
-                                self.channels[idx].health.generation_advances += 1;
-                            }
-                            if let RegionData::Snapshot(snap) = data {
-                                self.accept(idx, *snap, sent, os);
-                            }
-                            self.note_success(idx, os);
-                        }
+                        self.note_success(idx, os);
                     }
                 }
                 RdmaResult::AccessDenied => {
@@ -812,6 +880,13 @@ impl MonitorClient {
         let Some(&idx) = self.node_to_idx.get(origin) else {
             return false;
         };
+        // Multicast bodies are Arc-shared and never mutated in flight,
+        // but the check is one compare and keeps the admission rule
+        // uniform: no record with a broken seal enters a view.
+        if !snap.checksum_ok() {
+            self.channels[idx].health.corrupt_rejected += 1;
+            return true;
+        }
         self.accept(idx, *snap, None, os);
         true
     }

@@ -44,7 +44,7 @@ pub use rules::{Rule, RuleInfo, RULES, STRUCTURAL_RULES};
 /// therefore must be deterministic. Harness crates (`bench`) and the
 /// vendored compat shims are exempt.
 pub const SIM_CRATES: &[&str] = &[
-    "sim", "types", "net", "os", "core", "balancer", "cluster", "workload", "ganglia",
+    "sim", "types", "net", "os", "core", "balancer", "cluster", "workload", "ganglia", "chaos",
 ];
 
 /// One violation found in a source file.

@@ -48,6 +48,16 @@ pub struct FabricStats {
     pub fault_crash_dropped: u64,
     /// Frames whose latency was inflated by congestion or a NIC stall.
     pub fault_delayed: u64,
+    /// Frames dropped by an asymmetric partition rule.
+    pub fault_partitioned: u64,
+    /// Socket frames delivered a second time by a duplication rule.
+    pub fault_duplicated: u64,
+    /// Frames held back (extra delay) by a reordering rule.
+    pub fault_reordered: u64,
+    /// Snapshot payloads bit-corrupted in flight (seal left stale).
+    pub fault_corrupted: u64,
+    /// Snapshot payloads whose reported timestamp was clock-skewed.
+    pub fault_skewed: u64,
     /// One-sided reads whose target region was written mid-flight
     /// (race checker in strict mode).
     pub torn_reads: u64,
@@ -82,6 +92,11 @@ impl FabricStats {
         self.fault_dropped += o.fault_dropped;
         self.fault_crash_dropped += o.fault_crash_dropped;
         self.fault_delayed += o.fault_delayed;
+        self.fault_partitioned += o.fault_partitioned;
+        self.fault_duplicated += o.fault_duplicated;
+        self.fault_reordered += o.fault_reordered;
+        self.fault_corrupted += o.fault_corrupted;
+        self.fault_skewed += o.fault_skewed;
         self.torn_reads += o.torn_reads;
         self.seqlock_retries += o.seqlock_retries;
         self.region_invalidated += o.region_invalidated;
@@ -106,6 +121,9 @@ pub struct Fabric {
     /// builds that predate fault injection.
     plan: FaultPlan,
     fault_active: bool,
+    /// True iff the plan has payload-mutating rules (clock skew,
+    /// corruption); cached so the common case costs one boolean test.
+    payload_faults: bool,
     /// Per-event fate counter: reset when an event arrives, bumped per
     /// fate evaluation. Makes every fate a pure function of
     /// `(plan seed, event time, event seq, check index)` — the same on
@@ -163,6 +181,7 @@ impl Fabric {
             mcast: BTreeMap::new(),
             plan: FaultPlan::default(),
             fault_active: false,
+            payload_faults: false,
             fault_check_index: 0,
             race: None,
             tenants: Vec::new(),
@@ -188,6 +207,7 @@ impl Fabric {
                 mcast: self.mcast.clone(),
                 plan: self.plan.clone(),
                 fault_active: self.fault_active,
+                payload_faults: self.payload_faults,
                 fault_check_index: 0,
                 race: self.race.clone(),
                 tenants: self.tenants.clone(),
@@ -240,6 +260,7 @@ impl Fabric {
             panic!("invalid fault plan: {e}");
         }
         self.fault_active = !plan.is_empty();
+        self.payload_faults = plan.has_payload_faults();
         self.plan = plan;
     }
 
@@ -411,21 +432,116 @@ impl Fabric {
             self.stats.fault_crash_dropped += 1;
             return None;
         }
+        // Asymmetric partitions are deterministic physics, not dice: a
+        // severed direction drops every matching frame, the reverse
+        // direction is untouched.
+        if self.plan.partitioned(src, dst, now) {
+            self.stats.fault_partitioned += 1;
+            return None;
+        }
         if u < self.plan.loss_probability(src, dst, op, now) {
             self.stats.fault_dropped += 1;
             return None;
         }
-        let mut delay = base.mul_f64(self.plan.latency_mult(now));
+        // Latency inflation: cluster-wide congestion times the sick-NIC
+        // multiplier of each known endpoint (a slow NIC serves both its
+        // own posts and reads against it slowly — the gray failure).
+        let mut mult = self.plan.latency_mult(now);
+        if let Some(n) = src {
+            mult *= self.plan.slow_nic_mult(n, now);
+        }
+        if let Some(n) = dst {
+            mult *= self.plan.slow_nic_mult(n, now);
+        }
+        let mut delay = base.mul_f64(mult);
         if let Some(n) = src {
             delay += self.plan.stall_extra(n, now);
         }
         if let Some(n) = dst {
             delay += self.plan.stall_extra(n, now);
         }
+        // Reordering = probabilistic hold-back: in a discrete-event
+        // fabric the held frame arrives after frames sent later, which
+        // is all reordering ever is on a wire. The extra draw happens
+        // only when a matching rule is live, so plans without reorder
+        // rules evaluate the exact draw sequence they always did.
+        let (rp, extra) = self.plan.reorder_probability(src, dst, op, now);
+        if rp > 0.0 {
+            let idx = self.fault_check_index;
+            self.fault_check_index += 1;
+            if fate_u(self.plan.seed, now, seq, idx) < rp {
+                delay += extra;
+                self.stats.fault_reordered += 1;
+            }
+        }
         if delay != base {
             self.stats.fault_delayed += 1;
         }
         Some(delay)
+    }
+
+    /// Mutate a snapshot in flight according to the payload fault rules:
+    /// clock skew shifts the *reported* timestamp and re-seals (the
+    /// producer's clock was wrong when it stamped and sealed, so the
+    /// seal legitimately covers the wrong value); bit-corruption
+    /// perturbs content fields and leaves the seal stale, which is what
+    /// makes it detectable at the client. Draws ride the same per-event
+    /// counter as frame fates.
+    fn apply_payload_faults(
+        &mut self,
+        now: SimTime,
+        seq: u64,
+        producer: NodeId,
+        snap: &mut fgmon_types::LoadSnapshot,
+    ) {
+        if !self.payload_faults {
+            return;
+        }
+        let skew = self.plan.clock_skew_nanos(producer, now);
+        if skew != 0 {
+            let shifted = (snap.measured_at.0 as i64).saturating_add(skew).max(0) as u64;
+            snap.measured_at = SimTime(shifted);
+            if snap.checksum != 0 {
+                *snap = snap.sealed();
+            }
+            self.stats.fault_skewed += 1;
+        }
+        let p = self.plan.corrupt_probability(producer, now);
+        if p > 0.0 {
+            let idx = self.fault_check_index;
+            self.fault_check_index += 1;
+            if fate_u(self.plan.seed, now, seq, idx) < p {
+                // Flip bits in integer content fields. `| 1` guarantees
+                // each XOR mask is nonzero, so the content always
+                // changes and a sealed snapshot always fails its check.
+                let mask = mix64(self.plan.seed ^ mix64(now.0 ^ seq));
+                snap.run_queue ^= (mask as u32) | 1;
+                snap.mem_used_kb ^= (mask >> 8) | 1;
+                snap.nthreads ^= ((mask >> 32) as u32) | 1;
+                self.stats.fault_corrupted += 1;
+            }
+        }
+    }
+
+    /// Duplication fate for one socket frame: `Some(echo_delay)` when an
+    /// active rule fires. Socket frames only — the RC transport that
+    /// RDMA verbs ride guarantees exactly-once execution in hardware.
+    fn duplicate_fate(&mut self, now: SimTime, seq: u64) -> Option<SimDuration> {
+        if !self.fault_active {
+            return None;
+        }
+        let (p, echo) = self.plan.duplicate_probability(now);
+        if p <= 0.0 {
+            return None;
+        }
+        let idx = self.fault_check_index;
+        self.fault_check_index += 1;
+        if fate_u(self.plan.seed, now, seq, idx) < p {
+            self.stats.fault_duplicated += 1;
+            Some(echo)
+        } else {
+            None
+        }
     }
 
     /// Provide (or replace) the node-id → engine-actor table. Builders
@@ -482,7 +598,7 @@ impl Fabric {
         src: NodeId,
         conn: ConnId,
         size: u32,
-        payload: Payload,
+        mut payload: Payload,
     ) {
         if !self.admit_post(now, src) {
             return;
@@ -507,6 +623,25 @@ impl Fabric {
         else {
             return;
         };
+        // Monitor replies carry a load snapshot produced by the sender:
+        // the payload fault rules (skew, corruption) apply in flight.
+        if let Payload::MonitorReply { snap, .. } = &mut payload {
+            self.apply_payload_faults(now, seq, src, snap);
+        }
+        if let Some(echo) = self.duplicate_fate(now, seq) {
+            ctx.send_in(
+                delay + echo,
+                dst_actor,
+                Msg::Node(NodeMsg::PacketArrive {
+                    conn,
+                    dst_service,
+                    size,
+                    // The echo shares the sender's body; frames without a
+                    // duplication fate are moved, never copied.
+                    payload: payload.clone(), // lint: payload-clone — duplication echo shares the body
+                }),
+            );
+        }
         ctx.send_in(
             delay,
             dst_actor,
@@ -621,7 +756,7 @@ impl Actor<Msg> for Fabric {
                 dst,
                 region,
                 req_id,
-                data,
+                mut data,
             } => {
                 if !self.admit_post(now, src) {
                     return;
@@ -637,6 +772,11 @@ impl Actor<Msg> for Fabric {
                 else {
                     return;
                 };
+                // Pushed snapshots are payloads in flight like any other;
+                // the producer is the writing node.
+                if let fgmon_types::RegionData::Snapshot(snap) = &mut data {
+                    self.apply_payload_faults(now, seq, src, snap);
+                }
                 ctx.send_in(
                     delay,
                     dst_actor,
@@ -693,7 +833,7 @@ impl Actor<Msg> for Fabric {
             NetMsg::RdmaReadData {
                 initiator,
                 req_id,
-                result,
+                mut result,
                 target,
                 region,
                 posted: _,
@@ -793,6 +933,16 @@ impl Actor<Msg> for Fabric {
                 else {
                     return;
                 };
+                // The snapshot the target NIC served is in flight now:
+                // payload faults (skew, corruption) apply to the data
+                // leg, keyed to the snapshot's *producer* (the target).
+                if let RdmaResult::ReadOk {
+                    data: fgmon_types::RegionData::Snapshot(snap),
+                    ..
+                } = &mut result
+                {
+                    self.apply_payload_faults(now, seq, target, snap);
+                }
                 ctx.send_in(
                     delay,
                     dst_actor,
@@ -1260,5 +1410,184 @@ mod tests {
             .unwrap();
         assert_eq!(d, base);
         assert_eq!(f.stats.fault_delayed, 1);
+    }
+
+    #[test]
+    fn partition_drops_one_direction_only() {
+        let mut f = Fabric::new(NetConfig::default(), vec![]);
+        f.set_fault_plan(FaultPlan::new(0).partition(
+            Some(NodeId(0)),
+            Some(NodeId(1)),
+            SimTime(0),
+            SimTime(100),
+        ));
+        let base = SimDuration(10);
+        let fwd = f.apply_faults(
+            SimTime(50),
+            0,
+            Some(NodeId(0)),
+            Some(NodeId(1)),
+            FaultOp::Socket,
+            base,
+        );
+        assert_eq!(fwd, None);
+        let rev = f.apply_faults(
+            SimTime(50),
+            1,
+            Some(NodeId(1)),
+            Some(NodeId(0)),
+            FaultOp::Socket,
+            base,
+        );
+        assert_eq!(rev, Some(base));
+        // After the window the direction heals.
+        let healed = f.apply_faults(
+            SimTime(150),
+            2,
+            Some(NodeId(0)),
+            Some(NodeId(1)),
+            FaultOp::Socket,
+            base,
+        );
+        assert_eq!(healed, Some(base));
+        assert_eq!(f.stats.fault_partitioned, 1);
+        assert_eq!(f.stats.fault_dropped, 0);
+    }
+
+    #[test]
+    fn slow_nic_inflates_frames_touching_the_node() {
+        let mut f = Fabric::new(NetConfig::default(), vec![]);
+        f.set_fault_plan(FaultPlan::new(0).slow_nic(NodeId(1), 5.0, SimTime(0), SimTime(100)));
+        let base = SimDuration(10);
+        let touching = f
+            .apply_faults(
+                SimTime(50),
+                0,
+                Some(NodeId(0)),
+                Some(NodeId(1)),
+                FaultOp::RdmaRead,
+                base,
+            )
+            .unwrap();
+        assert_eq!(touching, SimDuration(50));
+        // No loss, no errors: the frame still arrives — gray, not black.
+        let elsewhere = f
+            .apply_faults(
+                SimTime(50),
+                1,
+                Some(NodeId(0)),
+                Some(NodeId(2)),
+                FaultOp::RdmaRead,
+                base,
+            )
+            .unwrap();
+        assert_eq!(elsewhere, base);
+        // Completion legs carry only the initiator; a slow initiator NIC
+        // still applies via the known endpoint.
+        let completion = f
+            .apply_faults(
+                SimTime(50),
+                2,
+                None,
+                Some(NodeId(1)),
+                FaultOp::RdmaRead,
+                base,
+            )
+            .unwrap();
+        assert_eq!(completion, SimDuration(50));
+    }
+
+    #[test]
+    fn reorder_holds_frames_back() {
+        let mut f = Fabric::new(NetConfig::default(), vec![]);
+        f.set_fault_plan(FaultPlan::new(7).reordered(
+            Some(FaultOp::Socket),
+            1.0,
+            SimDuration(500),
+            SimTime(0),
+            SimTime(100),
+        ));
+        let base = SimDuration(10);
+        let held = f
+            .apply_faults(
+                SimTime(50),
+                0,
+                Some(NodeId(0)),
+                Some(NodeId(1)),
+                FaultOp::Socket,
+                base,
+            )
+            .unwrap();
+        assert_eq!(held, SimDuration(510));
+        // Non-matching op takes no reorder draw and flies on time.
+        let checks_before = f.fault_check_index;
+        let rdma = f
+            .apply_faults(
+                SimTime(50),
+                1,
+                Some(NodeId(0)),
+                Some(NodeId(1)),
+                FaultOp::RdmaRead,
+                base,
+            )
+            .unwrap();
+        assert_eq!(rdma, base);
+        assert_eq!(f.fault_check_index, checks_before + 1, "no extra draw");
+        assert_eq!(f.stats.fault_reordered, 1);
+    }
+
+    #[test]
+    fn payload_faults_skew_reseals_and_corruption_breaks_the_seal() {
+        use fgmon_types::LoadSnapshot;
+        let mut f = Fabric::new(NetConfig::default(), vec![]);
+        f.set_fault_plan(
+            FaultPlan::new(3)
+                .clock_skew(NodeId(1), -2_000_000, SimTime(0), SimTime(100))
+                .corrupting(Some(NodeId(2)), 1.0, SimTime(0), SimTime(100)),
+        );
+        let mut snap = LoadSnapshot {
+            measured_at: SimTime(5_000_000),
+            ..LoadSnapshot::zero()
+        }
+        .sealed();
+        // Skew shifts the reported timestamp and re-seals: the fault is
+        // the producer's clock, not the wire.
+        f.apply_payload_faults(SimTime(50), 0, NodeId(1), &mut snap);
+        assert_eq!(snap.measured_at, SimTime(3_000_000));
+        assert!(snap.checksum_ok());
+        assert_eq!(f.stats.fault_skewed, 1);
+        assert_eq!(f.stats.fault_corrupted, 0);
+        // Corruption perturbs content and leaves the seal stale.
+        let mut snap2 = LoadSnapshot::zero().sealed();
+        f.apply_payload_faults(SimTime(50), 1, NodeId(2), &mut snap2);
+        assert!(!snap2.checksum_ok());
+        assert_eq!(f.stats.fault_corrupted, 1);
+        // Negative skew saturates at time zero.
+        let mut snap3 = LoadSnapshot {
+            measured_at: SimTime(1_000_000),
+            ..LoadSnapshot::zero()
+        }
+        .sealed();
+        f.apply_payload_faults(SimTime(50), 2, NodeId(1), &mut snap3);
+        assert_eq!(snap3.measured_at, SimTime::ZERO);
+        assert!(snap3.checksum_ok());
+    }
+
+    #[test]
+    fn duplicate_fate_fires_only_in_window() {
+        let mut f = Fabric::new(NetConfig::default(), vec![]);
+        f.set_fault_plan(FaultPlan::new(5).duplicated(
+            1.0,
+            SimDuration(250),
+            SimTime(0),
+            SimTime(100),
+        ));
+        assert_eq!(f.duplicate_fate(SimTime(50), 0), Some(SimDuration(250)));
+        assert_eq!(f.duplicate_fate(SimTime(100), 1), None);
+        assert_eq!(f.stats.fault_duplicated, 1);
+        // An empty plan takes the fast path and draws nothing.
+        let mut quiet = Fabric::new(NetConfig::default(), vec![]);
+        assert_eq!(quiet.duplicate_fate(SimTime(50), 0), None);
+        assert_eq!(quiet.fault_check_index, 0);
     }
 }

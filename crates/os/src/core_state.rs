@@ -454,7 +454,9 @@ impl OsCore {
             active_conns: self.stats.active_conns,
             pending_irqs: pending,
             irq_total: totals,
+            checksum: 0,
         }
+        .sealed()
     }
 
     /// Mark a thread runnable and enqueue it. `boost` places it at the

@@ -76,6 +76,95 @@ pub struct NicStall {
     pub extra: SimDuration,
 }
 
+// ---------------------------------------------------------------------------
+// Gray-failure rules
+// ---------------------------------------------------------------------------
+//
+// The rules below model failures where the system keeps *partially*
+// working — exactly the regime the paper argues one-sided monitoring is
+// built for. They are deterministic where the physics is deterministic
+// (a partition drops every matching frame; a slow NIC slows every frame)
+// and probabilistic where it is not (duplication, reordering,
+// bit-corruption), with all dice owned by the fabric.
+
+/// Asymmetric partition: every frame `src → dst` in the window is
+/// dropped deterministically, while the reverse direction flows. `None`
+/// endpoints are wildcards, so one rule can sever a node's entire
+/// ingress or egress.
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionRule {
+    pub src: Option<NodeId>,
+    pub dst: Option<NodeId>,
+    pub from: SimTime,
+    pub until: SimTime,
+}
+
+/// Slow-NIC degradation: every frame touching `node` pays a latency
+/// multiplier — no loss, no errors, just a sick NIC serving reads
+/// slowly. The gray failure the paper's §6 argument hinges on.
+#[derive(Clone, Copy, Debug)]
+pub struct SlowNicRule {
+    pub node: NodeId,
+    /// Multiplier `>= 1.0` applied to the frame's flight latency.
+    pub latency_mult: f64,
+    pub from: SimTime,
+    pub until: SimTime,
+}
+
+/// Clock skew on *reported* load timestamps: snapshots produced by
+/// `node` while the window is active carry `measured_at` shifted by
+/// `skew_nanos` (the node's wall clock is wrong, so everything it
+/// stamps is wrong — staleness accounting included).
+#[derive(Clone, Copy, Debug)]
+pub struct ClockSkewRule {
+    pub node: NodeId,
+    /// Signed shift applied to reported timestamps; negative skew
+    /// saturates at time zero.
+    pub skew_nanos: i64,
+    pub from: SimTime,
+    pub until: SimTime,
+}
+
+/// Duplicated delivery: a matching two-sided (socket) frame is delivered
+/// a second time after `echo_delay`. Applies to socket frames only —
+/// the RC transport RDMA verbs ride guarantees exactly-once execution
+/// in hardware, so one-sided ops cannot duplicate.
+#[derive(Clone, Copy, Debug)]
+pub struct DuplicateRule {
+    /// Per-frame duplication probability in `[0, 1]`.
+    pub probability: f64,
+    /// Extra delay of the echo relative to the original delivery.
+    pub echo_delay: SimDuration,
+    pub from: SimTime,
+    pub until: SimTime,
+}
+
+/// Reordered delivery: a matching frame is held back by `extra` with
+/// probability `probability`. In a discrete-event fabric added delay
+/// *is* reordering — the held frame arrives after frames sent later.
+#[derive(Clone, Copy, Debug)]
+pub struct ReorderRule {
+    pub src: Option<NodeId>,
+    pub dst: Option<NodeId>,
+    pub op: Option<FaultOp>,
+    pub probability: f64,
+    pub extra: SimDuration,
+    pub from: SimTime,
+    pub until: SimTime,
+}
+
+/// Payload bit-corruption: a load snapshot produced by `node` (any node
+/// if `None`) is bit-perturbed in flight with probability `probability`,
+/// leaving its integrity seal stale — detectable (and rejected) at the
+/// monitoring client via `LoadSnapshot::checksum_ok`.
+#[derive(Clone, Copy, Debug)]
+pub struct CorruptionRule {
+    pub node: Option<NodeId>,
+    pub probability: f64,
+    pub from: SimTime,
+    pub until: SimTime,
+}
+
 /// Complete fault schedule for one simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
@@ -86,7 +175,81 @@ pub struct FaultPlan {
     pub congestion: Vec<CongestionWindow>,
     pub crashes: Vec<CrashWindow>,
     pub stalls: Vec<NicStall>,
+    pub partitions: Vec<PartitionRule>,
+    pub slow_nics: Vec<SlowNicRule>,
+    pub skews: Vec<ClockSkewRule>,
+    pub duplicates: Vec<DuplicateRule>,
+    pub reorders: Vec<ReorderRule>,
+    pub corruptions: Vec<CorruptionRule>,
 }
+
+/// Why a [`FaultPlan`] was rejected by [`FaultPlan::validate`]. `rule`
+/// names the rule family, `index` its position within it.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum FaultPlanError {
+    /// A probability field outside `[0, 1]` (or NaN).
+    ProbabilityOutOfRange {
+        rule: &'static str,
+        index: usize,
+        value: f64,
+    },
+    /// A latency multiplier that is not finite or below 1.
+    BadLatencyMult {
+        rule: &'static str,
+        index: usize,
+        value: f64,
+    },
+    /// A window with `from > until`.
+    InvertedWindow { rule: &'static str, index: usize },
+    /// A window with `from == until`: it can never fire, which is an
+    /// authoring bug, not a no-op worth silently accepting.
+    ZeroDurationWindow { rule: &'static str, index: usize },
+    /// Two crash windows for the same node overlap. The cluster
+    /// schedules one restart at each window's end, so overlapping
+    /// windows would boot a node mid-crash.
+    OverlappingCrashWindows {
+        node: NodeId,
+        first: usize,
+        second: usize,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::ProbabilityOutOfRange { rule, index, value } => {
+                write!(f, "{rule} rule {index}: probability {value} outside [0, 1]")
+            }
+            FaultPlanError::BadLatencyMult { rule, index, value } => {
+                write!(
+                    f,
+                    "{rule} rule {index}: latency_mult {value} must be finite and >= 1"
+                )
+            }
+            FaultPlanError::InvertedWindow { rule, index } => {
+                write!(f, "{rule} rule {index}: from > until")
+            }
+            FaultPlanError::ZeroDurationWindow { rule, index } => {
+                write!(
+                    f,
+                    "{rule} rule {index}: zero-duration window can never fire"
+                )
+            }
+            FaultPlanError::OverlappingCrashWindows {
+                node,
+                first,
+                second,
+            } => {
+                write!(
+                    f,
+                    "crash windows {first} and {second} overlap on node {node}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 impl FaultPlan {
     pub fn new(seed: u64) -> Self {
@@ -103,6 +266,19 @@ impl FaultPlan {
             && self.congestion.is_empty()
             && self.crashes.is_empty()
             && self.stalls.is_empty()
+            && self.partitions.is_empty()
+            && self.slow_nics.is_empty()
+            && self.skews.is_empty()
+            && self.duplicates.is_empty()
+            && self.reorders.is_empty()
+            && self.corruptions.is_empty()
+    }
+
+    /// Any rules that mutate snapshot *payloads* (skew, corruption)? The
+    /// fabric caches this so the common no-payload-fault case costs one
+    /// boolean test per frame.
+    pub fn has_payload_faults(&self) -> bool {
+        !self.skews.is_empty() || !self.corruptions.is_empty()
     }
 
     /// Add a loss rule matching any frame.
@@ -198,39 +374,201 @@ impl FaultPlan {
         self
     }
 
+    /// Add an asymmetric partition: `src → dst` frames drop in the
+    /// window, the reverse direction is untouched.
+    pub fn partition(
+        mut self,
+        src: Option<NodeId>,
+        dst: Option<NodeId>,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.partitions.push(PartitionRule {
+            src,
+            dst,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Add a slow-NIC window for a node.
+    pub fn slow_nic(
+        mut self,
+        node: NodeId,
+        latency_mult: f64,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.slow_nics.push(SlowNicRule {
+            node,
+            latency_mult,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Add a clock-skew window on a node's reported timestamps.
+    pub fn clock_skew(
+        mut self,
+        node: NodeId,
+        skew_nanos: i64,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.skews.push(ClockSkewRule {
+            node,
+            skew_nanos,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Add a socket-frame duplication rule.
+    pub fn duplicated(
+        mut self,
+        probability: f64,
+        echo_delay: SimDuration,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.duplicates.push(DuplicateRule {
+            probability,
+            echo_delay,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Add a reordering rule for one operation kind (any if `None`) on
+    /// any link.
+    pub fn reordered(
+        mut self,
+        op: Option<FaultOp>,
+        probability: f64,
+        extra: SimDuration,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.reorders.push(ReorderRule {
+            src: None,
+            dst: None,
+            op,
+            probability,
+            extra,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Add a payload bit-corruption rule for snapshots produced by `node`
+    /// (any producer if `None`).
+    pub fn corrupting(
+        mut self,
+        node: Option<NodeId>,
+        probability: f64,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.corruptions.push(CorruptionRule {
+            node,
+            probability,
+            from,
+            until,
+        });
+        self
+    }
+
     /// Check every rule for well-formedness. Returns the first problem
-    /// found, described for humans.
-    pub fn validate(&self) -> Result<(), String> {
+    /// found as a typed [`FaultPlanError`].
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        fn window(
+            rule: &'static str,
+            index: usize,
+            from: SimTime,
+            until: SimTime,
+        ) -> Result<(), FaultPlanError> {
+            if from > until {
+                return Err(FaultPlanError::InvertedWindow { rule, index });
+            }
+            if from == until {
+                return Err(FaultPlanError::ZeroDurationWindow { rule, index });
+            }
+            Ok(())
+        }
+        fn probability(rule: &'static str, index: usize, value: f64) -> Result<(), FaultPlanError> {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(FaultPlanError::ProbabilityOutOfRange { rule, index, value });
+            }
+            Ok(())
+        }
+        fn mult(rule: &'static str, index: usize, value: f64) -> Result<(), FaultPlanError> {
+            if !value.is_finite() || value < 1.0 {
+                return Err(FaultPlanError::BadLatencyMult { rule, index, value });
+            }
+            Ok(())
+        }
         for (i, r) in self.loss.iter().enumerate() {
-            if !r.probability.is_finite() || !(0.0..=1.0).contains(&r.probability) {
-                return Err(format!(
-                    "loss rule {i}: probability {} outside [0, 1]",
-                    r.probability
-                ));
-            }
-            if r.from > r.until {
-                return Err(format!("loss rule {i}: from > until"));
-            }
+            probability("loss", i, r.probability)?;
+            window("loss", i, r.from, r.until)?;
         }
         for (i, w) in self.congestion.iter().enumerate() {
-            if !w.latency_mult.is_finite() || w.latency_mult < 1.0 {
-                return Err(format!(
-                    "congestion window {i}: latency_mult {} must be finite and >= 1",
-                    w.latency_mult
-                ));
-            }
-            if w.from > w.until {
-                return Err(format!("congestion window {i}: from > until"));
-            }
+            mult("congestion", i, w.latency_mult)?;
+            window("congestion", i, w.from, w.until)?;
         }
         for (i, c) in self.crashes.iter().enumerate() {
-            if c.from > c.until {
-                return Err(format!("crash window {i}: from > until"));
-            }
+            window("crash", i, c.from, c.until)?;
         }
         for (i, s) in self.stalls.iter().enumerate() {
-            if s.from > s.until {
-                return Err(format!("nic stall {i}: from > until"));
+            window("nic-stall", i, s.from, s.until)?;
+        }
+        for (i, p) in self.partitions.iter().enumerate() {
+            window("partition", i, p.from, p.until)?;
+        }
+        for (i, s) in self.slow_nics.iter().enumerate() {
+            mult("slow-nic", i, s.latency_mult)?;
+            window("slow-nic", i, s.from, s.until)?;
+        }
+        for (i, s) in self.skews.iter().enumerate() {
+            window("clock-skew", i, s.from, s.until)?;
+        }
+        for (i, d) in self.duplicates.iter().enumerate() {
+            probability("duplicate", i, d.probability)?;
+            window("duplicate", i, d.from, d.until)?;
+        }
+        for (i, r) in self.reorders.iter().enumerate() {
+            probability("reorder", i, r.probability)?;
+            window("reorder", i, r.from, r.until)?;
+        }
+        for (i, c) in self.corruptions.iter().enumerate() {
+            probability("corruption", i, c.probability)?;
+            window("corruption", i, c.from, c.until)?;
+        }
+        // Crash windows on the same node must not overlap: the cluster
+        // schedules a restart at each window's end, and a restart inside
+        // another crash window would boot a node the plan says is down.
+        // Windows are half-open, so a window starting exactly where the
+        // previous ends is legal.
+        let mut by_node: Vec<(NodeId, SimTime, SimTime, usize)> = self
+            .crashes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.node, c.from, c.until, i))
+            .collect();
+        by_node.sort_by_key(|&(node, from, _, _)| (node.0, from.0));
+        for pair in by_node.windows(2) {
+            let (n0, _, until0, i0) = pair[0];
+            let (n1, from1, _, i1) = pair[1];
+            if n0 == n1 && from1 < until0 {
+                return Err(FaultPlanError::OverlappingCrashWindows {
+                    node: n0,
+                    first: i0,
+                    second: i1,
+                });
             }
         }
         Ok(())
@@ -297,6 +635,114 @@ impl FaultPlan {
             .fold(SimDuration::ZERO, |acc, s| acc + s.extra)
     }
 
+    /// Is the directed path `src → dst` severed at `now`? Wildcard
+    /// endpoint matching follows [`FaultPlan::loss_probability`]: a rule
+    /// pinning an endpoint never matches a frame whose corresponding
+    /// endpoint is unknown.
+    pub fn partitioned(&self, src: Option<NodeId>, dst: Option<NodeId>, now: SimTime) -> bool {
+        self.partitions.iter().any(|p| {
+            if now < p.from || now >= p.until {
+                return false;
+            }
+            let src_ok = match (p.src, src) {
+                (None, _) => true,
+                (Some(want), Some(have)) => want == have,
+                (Some(_), None) => false,
+            };
+            let dst_ok = match (p.dst, dst) {
+                (None, _) => true,
+                (Some(want), Some(have)) => want == have,
+                (Some(_), None) => false,
+            };
+            src_ok && dst_ok
+        })
+    }
+
+    /// Product of slow-NIC multipliers active on `node` at `now` (1.0
+    /// when none are).
+    pub fn slow_nic_mult(&self, node: NodeId, now: SimTime) -> f64 {
+        self.slow_nics
+            .iter()
+            .filter(|s| s.node == node && s.from <= now && now < s.until)
+            .map(|s| s.latency_mult)
+            .product::<f64>()
+            .max(1.0)
+    }
+
+    /// Net clock skew on `node`'s reported timestamps at `now` (sum of
+    /// active rules; zero when none are).
+    pub fn clock_skew_nanos(&self, node: NodeId, now: SimTime) -> i64 {
+        self.skews
+            .iter()
+            .filter(|s| s.node == node && s.from <= now && now < s.until)
+            .map(|s| s.skew_nanos)
+            .fold(0i64, i64::saturating_add)
+    }
+
+    /// Duplication fate for a socket frame at `now`: combined probability
+    /// (independent rules compose) and the largest echo delay among
+    /// active rules.
+    pub fn duplicate_probability(&self, now: SimTime) -> (f64, SimDuration) {
+        let mut keep = 1.0f64;
+        let mut echo = SimDuration::ZERO;
+        for d in &self.duplicates {
+            if now < d.from || now >= d.until {
+                continue;
+            }
+            keep *= 1.0 - d.probability.clamp(0.0, 1.0);
+            echo = echo.max(d.echo_delay);
+        }
+        ((1.0 - keep).clamp(0.0, 1.0), echo)
+    }
+
+    /// Reordering fate for one frame at `now`: combined hold-back
+    /// probability and the largest extra delay among matching rules.
+    pub fn reorder_probability(
+        &self,
+        src: Option<NodeId>,
+        dst: Option<NodeId>,
+        op: FaultOp,
+        now: SimTime,
+    ) -> (f64, SimDuration) {
+        let mut keep = 1.0f64;
+        let mut extra = SimDuration::ZERO;
+        for r in &self.reorders {
+            if now < r.from || now >= r.until {
+                continue;
+            }
+            let src_ok = match (r.src, src) {
+                (None, _) => true,
+                (Some(want), Some(have)) => want == have,
+                (Some(_), None) => false,
+            };
+            let dst_ok = match (r.dst, dst) {
+                (None, _) => true,
+                (Some(want), Some(have)) => want == have,
+                (Some(_), None) => false,
+            };
+            if src_ok && dst_ok && r.op.is_none_or(|o| o == op) {
+                keep *= 1.0 - r.probability.clamp(0.0, 1.0);
+                extra = extra.max(r.extra);
+            }
+        }
+        ((1.0 - keep).clamp(0.0, 1.0), extra)
+    }
+
+    /// Corruption probability for a snapshot produced by `producer`,
+    /// in flight at `now`.
+    pub fn corrupt_probability(&self, producer: NodeId, now: SimTime) -> f64 {
+        let mut keep = 1.0f64;
+        for c in &self.corruptions {
+            if now < c.from || now >= c.until {
+                continue;
+            }
+            if c.node.is_none_or(|n| n == producer) {
+                keep *= 1.0 - c.probability.clamp(0.0, 1.0);
+            }
+        }
+        (1.0 - keep).clamp(0.0, 1.0)
+    }
+
     /// The latest instant any rule references — useful for sizing runs so
     /// recovery behaviour is actually exercised.
     pub fn horizon(&self) -> SimTime {
@@ -314,6 +760,36 @@ impl FaultPlan {
         }
         for s in &self.stalls {
             t = t.max(s.until);
+        }
+        for p in &self.partitions {
+            if p.until < SimTime::MAX {
+                t = t.max(p.until);
+            }
+        }
+        for s in &self.slow_nics {
+            if s.until < SimTime::MAX {
+                t = t.max(s.until);
+            }
+        }
+        for s in &self.skews {
+            if s.until < SimTime::MAX {
+                t = t.max(s.until);
+            }
+        }
+        for d in &self.duplicates {
+            if d.until < SimTime::MAX {
+                t = t.max(d.until);
+            }
+        }
+        for r in &self.reorders {
+            if r.until < SimTime::MAX {
+                t = t.max(r.until);
+            }
+        }
+        for c in &self.corruptions {
+            if c.until < SimTime::MAX {
+                t = t.max(c.until);
+            }
         }
         t
     }
@@ -660,6 +1136,227 @@ mod tests {
             .crash(NodeId(0), SimTime(10), SimTime(5))
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn validate_reports_typed_errors() {
+        assert_eq!(
+            FaultPlan::new(0).lossy_all(1.5).validate(),
+            Err(FaultPlanError::ProbabilityOutOfRange {
+                rule: "loss",
+                index: 0,
+                value: 1.5
+            })
+        );
+        assert_eq!(
+            FaultPlan::new(0)
+                .duplicated(-0.1, SimDuration(MS), SimTime(0), SimTime(10))
+                .validate(),
+            Err(FaultPlanError::ProbabilityOutOfRange {
+                rule: "duplicate",
+                index: 0,
+                value: -0.1
+            })
+        );
+        assert_eq!(
+            FaultPlan::new(0)
+                .reordered(None, 2.0, SimDuration(MS), SimTime(0), SimTime(10))
+                .validate(),
+            Err(FaultPlanError::ProbabilityOutOfRange {
+                rule: "reorder",
+                index: 0,
+                value: 2.0
+            })
+        );
+        assert_eq!(
+            FaultPlan::new(0)
+                .corrupting(None, f64::INFINITY, SimTime(0), SimTime(10))
+                .validate(),
+            Err(FaultPlanError::ProbabilityOutOfRange {
+                rule: "corruption",
+                index: 0,
+                value: f64::INFINITY
+            })
+        );
+        assert_eq!(
+            FaultPlan::new(0)
+                .slow_nic(NodeId(1), 0.5, SimTime(0), SimTime(10))
+                .validate(),
+            Err(FaultPlanError::BadLatencyMult {
+                rule: "slow-nic",
+                index: 0,
+                value: 0.5
+            })
+        );
+        assert_eq!(
+            FaultPlan::new(0)
+                .partition(None, Some(NodeId(1)), SimTime(10), SimTime(5))
+                .validate(),
+            Err(FaultPlanError::InvertedWindow {
+                rule: "partition",
+                index: 0
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_duration_windows() {
+        assert_eq!(
+            FaultPlan::new(0)
+                .crash(NodeId(2), SimTime(50), SimTime(50))
+                .validate(),
+            Err(FaultPlanError::ZeroDurationWindow {
+                rule: "crash",
+                index: 0
+            })
+        );
+        assert_eq!(
+            FaultPlan::new(0)
+                .clock_skew(NodeId(1), 1_000, SimTime(7), SimTime(7))
+                .validate(),
+            Err(FaultPlanError::ZeroDurationWindow {
+                rule: "clock-skew",
+                index: 0
+            })
+        );
+        assert_eq!(
+            FaultPlan::new(0)
+                .lossy_op_window(FaultOp::Socket, 0.5, SimTime(3), SimTime(3))
+                .validate(),
+            Err(FaultPlanError::ZeroDurationWindow {
+                rule: "loss",
+                index: 0
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_crash_windows() {
+        // Overlap on the same node, listed out of order.
+        let plan = FaultPlan::new(0)
+            .crash(NodeId(3), SimTime(150), SimTime(300))
+            .crash(NodeId(3), SimTime(100), SimTime(200));
+        assert_eq!(
+            plan.validate(),
+            Err(FaultPlanError::OverlappingCrashWindows {
+                node: NodeId(3),
+                first: 1,
+                second: 0
+            })
+        );
+        // Touching windows are legal (half-open intervals).
+        assert!(FaultPlan::new(0)
+            .crash(NodeId(3), SimTime(100), SimTime(200))
+            .crash(NodeId(3), SimTime(200), SimTime(300))
+            .validate()
+            .is_ok());
+        // Same windows on different nodes are legal.
+        assert!(FaultPlan::new(0)
+            .crash(NodeId(3), SimTime(100), SimTime(200))
+            .crash(NodeId(4), SimTime(100), SimTime(200))
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn partitions_are_directional_and_windowed() {
+        let plan = FaultPlan::new(0).partition(
+            Some(NodeId(0)),
+            Some(NodeId(1)),
+            SimTime(100),
+            SimTime(200),
+        );
+        assert!(!plan.is_empty());
+        assert!(plan.partitioned(Some(NodeId(0)), Some(NodeId(1)), SimTime(150)));
+        // Reverse direction flows — the asymmetry that makes it gray.
+        assert!(!plan.partitioned(Some(NodeId(1)), Some(NodeId(0)), SimTime(150)));
+        // Outside the window both directions flow.
+        assert!(!plan.partitioned(Some(NodeId(0)), Some(NodeId(1)), SimTime(99)));
+        assert!(!plan.partitioned(Some(NodeId(0)), Some(NodeId(1)), SimTime(200)));
+        // A pinned endpoint never matches an unknown one.
+        assert!(!plan.partitioned(None, Some(NodeId(1)), SimTime(150)));
+        assert_eq!(plan.horizon(), SimTime(200));
+
+        // Wildcard src severs all ingress to node 1.
+        let ingress = FaultPlan::new(0).partition(None, Some(NodeId(1)), SimTime(0), SimTime(10));
+        assert!(ingress.partitioned(Some(NodeId(5)), Some(NodeId(1)), SimTime(5)));
+        assert!(!ingress.partitioned(Some(NodeId(1)), Some(NodeId(5)), SimTime(5)));
+    }
+
+    #[test]
+    fn slow_nic_multiplies_and_windows() {
+        let plan = FaultPlan::new(0)
+            .slow_nic(NodeId(1), 4.0, SimTime(10), SimTime(20))
+            .slow_nic(NodeId(1), 2.0, SimTime(10), SimTime(30));
+        assert_eq!(plan.slow_nic_mult(NodeId(1), SimTime(9)), 1.0);
+        assert_eq!(plan.slow_nic_mult(NodeId(1), SimTime(15)), 8.0);
+        assert_eq!(plan.slow_nic_mult(NodeId(1), SimTime(25)), 2.0);
+        assert_eq!(plan.slow_nic_mult(NodeId(2), SimTime(15)), 1.0);
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn clock_skew_sums_and_windows() {
+        let plan = FaultPlan::new(0)
+            .clock_skew(NodeId(1), 5_000, SimTime(10), SimTime(20))
+            .clock_skew(NodeId(1), -2_000, SimTime(10), SimTime(30));
+        assert_eq!(plan.clock_skew_nanos(NodeId(1), SimTime(9)), 0);
+        assert_eq!(plan.clock_skew_nanos(NodeId(1), SimTime(15)), 3_000);
+        assert_eq!(plan.clock_skew_nanos(NodeId(1), SimTime(25)), -2_000);
+        assert_eq!(plan.clock_skew_nanos(NodeId(2), SimTime(15)), 0);
+        assert!(plan.has_payload_faults());
+        assert!(!FaultPlan::new(0).lossy_all(0.1).has_payload_faults());
+    }
+
+    #[test]
+    fn duplicate_and_reorder_fates_compose() {
+        let plan = FaultPlan::new(0)
+            .duplicated(0.5, SimDuration(2 * MS), SimTime(0), SimTime(100))
+            .duplicated(0.5, SimDuration(MS), SimTime(0), SimTime(100));
+        let (p, echo) = plan.duplicate_probability(SimTime(50));
+        assert!((p - 0.75).abs() < 1e-12);
+        assert_eq!(echo, SimDuration(2 * MS));
+        assert_eq!(plan.duplicate_probability(SimTime(100)).0, 0.0);
+
+        let plan = FaultPlan::new(0).reordered(
+            Some(FaultOp::Socket),
+            0.4,
+            SimDuration(3 * MS),
+            SimTime(0),
+            SimTime(100),
+        );
+        let (p, extra) = plan.reorder_probability(None, None, FaultOp::Socket, SimTime(50));
+        assert!((p - 0.4).abs() < 1e-12);
+        assert_eq!(extra, SimDuration(3 * MS));
+        // Op filter applies.
+        assert_eq!(
+            plan.reorder_probability(None, None, FaultOp::RdmaRead, SimTime(50))
+                .0,
+            0.0
+        );
+    }
+
+    #[test]
+    fn corruption_targets_producers() {
+        let plan = FaultPlan::new(0).corrupting(Some(NodeId(1)), 0.3, SimTime(0), SimTime(100));
+        assert!((plan.corrupt_probability(NodeId(1), SimTime(50)) - 0.3).abs() < 1e-12);
+        assert_eq!(plan.corrupt_probability(NodeId(2), SimTime(50)), 0.0);
+        assert_eq!(plan.corrupt_probability(NodeId(1), SimTime(100)), 0.0);
+        assert!(plan.has_payload_faults());
+        let any = FaultPlan::new(0).corrupting(None, 0.2, SimTime(0), SimTime(100));
+        assert!((any.corrupt_probability(NodeId(9), SimTime(50)) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_plan_error_displays() {
+        let e = FaultPlan::new(0)
+            .crash(NodeId(3), SimTime(100), SimTime(300))
+            .crash(NodeId(3), SimTime(200), SimTime(400))
+            .validate()
+            .unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("overlap"), "{msg}");
+        assert!(msg.contains("node3"), "{msg}");
     }
 
     #[test]

@@ -350,6 +350,15 @@ pub struct ChannelHealthStats {
     pub region_invalidated: u64,
     /// Region re-advertisements received and re-pinned.
     pub repins: u64,
+    /// Records rejected because their integrity seal did not match
+    /// their content (payload bit-corruption in flight).
+    pub corrupt_rejected: u64,
+    /// Records *admitted into the view* whose generation was behind the
+    /// fence gate's high-water mark. The admit paths re-check every
+    /// record against the gate independently of the verdict that let it
+    /// through, so this stays zero by construction in correct builds —
+    /// it is the chaos harness's stale-admission invariant observable.
+    pub fence_regressions: u64,
 }
 
 impl ChannelHealthStats {
@@ -364,6 +373,8 @@ impl ChannelHealthStats {
         self.generation_advances += other.generation_advances;
         self.region_invalidated += other.region_invalidated;
         self.repins += other.repins;
+        self.corrupt_rejected += other.corrupt_rejected;
+        self.fence_regressions += other.fence_regressions;
     }
 
     /// Did anything health-related happen at all?

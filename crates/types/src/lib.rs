@@ -18,8 +18,9 @@ pub mod tenancy;
 
 pub use config::{CostModel, MonitorConfig, NetConfig, OsConfig};
 pub use fault::{
-    CongestionWindow, CrashWindow, FaultOp, FaultPlan, LossRule, NicStall, ReplyOutcome,
-    RetryPolicy, RetryTracker, TimeoutAction,
+    ClockSkewRule, CongestionWindow, CorruptionRule, CrashWindow, DuplicateRule, FaultOp,
+    FaultPlan, FaultPlanError, LossRule, NicStall, PartitionRule, ReorderRule, ReplyOutcome,
+    RetryPolicy, RetryTracker, SlowNicRule, TimeoutAction,
 };
 pub use health::{
     BreakerConfig, BreakerEvent, BreakerState, ChannelHealthStats, CircuitBreaker, FenceGate,

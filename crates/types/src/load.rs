@@ -34,6 +34,13 @@ pub struct LoadSnapshot {
     pub pending_irqs: [u32; MAX_CPUS],
     /// Cumulative serviced interrupts per CPU.
     pub irq_total: [u64; MAX_CPUS],
+    /// Integrity seal over every other field, computed by the producer
+    /// via [`LoadSnapshot::sealed`]. `0` means "unsealed" (legacy or
+    /// synthetic snapshots); consumers treat unsealed records as valid.
+    /// The fault model's payload bit-corruption perturbs fields without
+    /// re-sealing, which is what makes corruption *detectable* at the
+    /// monitoring client ([`LoadSnapshot::checksum_ok`]).
+    pub checksum: u32,
 }
 
 impl LoadSnapshot {
@@ -50,7 +57,51 @@ impl LoadSnapshot {
             active_conns: 0,
             pending_irqs: [0; MAX_CPUS],
             irq_total: [0; MAX_CPUS],
+            checksum: 0,
         }
+    }
+
+    /// FNV-1a over the content fields (everything except the seal
+    /// itself), folded to 32 bits. Never returns 0, so a sealed snapshot
+    /// is always distinguishable from an unsealed one.
+    pub fn content_checksum(&self) -> u32 {
+        const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |v: u64| {
+            for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+                h = (h ^ ((v >> shift) & 0xFF)).wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.measured_at.0);
+        eat(self.cpu_util.to_bits());
+        eat(self.run_queue as u64);
+        eat(self.loadavg1.to_bits());
+        eat(self.nthreads as u64);
+        eat(self.mem_used_kb);
+        eat(self.net_kbps.to_bits());
+        eat(self.active_conns as u64);
+        for p in self.pending_irqs {
+            eat(p as u64);
+        }
+        for t in self.irq_total {
+            eat(t);
+        }
+        let folded = (h ^ (h >> 32)) as u32;
+        folded.max(1)
+    }
+
+    /// Stamp the integrity seal (what every wire producer does just
+    /// before the snapshot leaves the node).
+    pub fn sealed(mut self) -> Self {
+        self.checksum = self.content_checksum();
+        self
+    }
+
+    /// Does the seal match the content? Unsealed snapshots (checksum 0)
+    /// pass vacuously — only a *broken* seal indicates corruption.
+    pub fn checksum_ok(&self) -> bool {
+        self.checksum == 0 || self.checksum == self.content_checksum()
     }
 
     /// Total pending interrupts across CPUs.
@@ -59,9 +110,14 @@ impl LoadSnapshot {
     }
 
     /// Strip kernel-only detail (what a plain user-space `/proc` reader
-    /// sees without the helper kernel module).
+    /// sees without the helper kernel module). Re-seals a sealed
+    /// snapshot: the stripping happens on the producing node, before the
+    /// record leaves it.
     pub fn without_kernel_detail(mut self) -> Self {
         self.pending_irqs = [0; MAX_CPUS];
+        if self.checksum != 0 {
+            self = self.sealed();
+        }
         self
     }
 
@@ -169,6 +225,7 @@ mod tests {
             active_conns: 256,
             pending_irqs: [3, 7, 0, 0],
             irq_total: [100, 200, 0, 0],
+            checksum: 0,
         }
     }
 
@@ -210,6 +267,34 @@ mod tests {
         assert_eq!(s.pending_irqs_total(), 0);
         assert_eq!(s.nthreads, 40); // everything else survives
         assert_eq!(s.irq_total[0], 100);
+    }
+
+    #[test]
+    fn checksum_seals_and_detects_corruption() {
+        let sealed = busy_snapshot().sealed();
+        assert_ne!(sealed.checksum, 0);
+        assert!(sealed.checksum_ok());
+        // Unsealed snapshots pass vacuously.
+        assert!(busy_snapshot().checksum_ok());
+        // Any content perturbation breaks the seal.
+        let mut torn = sealed;
+        torn.run_queue ^= 0x5A;
+        assert!(!torn.checksum_ok());
+        let mut skewed = sealed;
+        skewed.measured_at = SimTime(skewed.measured_at.0 + 1);
+        assert!(!skewed.checksum_ok());
+        // Re-sealing after a legitimate producer-side edit restores it.
+        assert!(skewed.sealed().checksum_ok());
+    }
+
+    #[test]
+    fn without_kernel_detail_reseals() {
+        let stripped = busy_snapshot().sealed().without_kernel_detail();
+        assert_eq!(stripped.pending_irqs_total(), 0);
+        assert!(stripped.checksum_ok());
+        assert_ne!(stripped.checksum, 0);
+        // An unsealed snapshot stays unsealed.
+        assert_eq!(busy_snapshot().without_kernel_detail().checksum, 0);
     }
 
     #[test]

@@ -100,15 +100,19 @@ impl TicketLock {
         self.cas(W_OWNER, 0, key) == 0
     }
 
-    /// Client step: release under `(epoch, ticket)`. Fails — harmlessly
-    /// and by design — if the lease manager fenced this generation.
+    /// Client step: release under `(epoch, ticket)`. The guard clears
+    /// *before* `SERVING` advances — the successor can only be granted
+    /// after the baton passes, by which point the guard provably reads
+    /// zero. (The reverse order leaves a window where the next grant
+    /// observes the old key; over the fabric, a slow releaser NIC
+    /// stretches that window past the successor's entry.) Fails —
+    /// harmlessly and by design — if the lease manager fenced this
+    /// generation: the fence already zeroed the guard, so the clear
+    /// CAS misses and the serving CAS carries a stale epoch.
     pub fn try_release(&mut self, epoch: u32, ticket: u32, key: u64) -> bool {
-        let cur = encode(epoch, ticket);
-        if self.cas(W_SERVING, cur, encode(epoch, ticket + 1)) != cur {
-            return false;
-        }
         self.cas(W_OWNER, key, 0);
-        true
+        let cur = encode(epoch, ticket);
+        self.cas(W_SERVING, cur, encode(epoch, ticket + 1)) == cur
     }
 
     /// Lease-manager step (host-local): the current holder is presumed

@@ -28,6 +28,7 @@ fn arb_snapshot() -> impl Strategy<Value = LoadSnapshot> {
                 active_conns: conns,
                 pending_irqs: irqs,
                 irq_total: [0; MAX_CPUS],
+                checksum: 0,
             },
         )
 }

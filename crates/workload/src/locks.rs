@@ -174,16 +174,23 @@ enum ClientState {
         epoch: u32,
         entered: bool,
     },
-    /// Releasing `SERVING` to the next ticket.
+    /// Clearing the owner guard — the first half of the release,
+    /// skipped when the grant never entered (the guard holds someone
+    /// else's key).
+    ClearingOwner {
+        lock: u32,
+        ticket: u32,
+        epoch: u32,
+    },
+    /// Advancing `SERVING` to the next ticket — the second half. The
+    /// successor can only be granted after this lands, by which point
+    /// the guard provably reads zero; the reverse order left a window
+    /// the chaos sweep caught (one slow-NIC op on the releaser was
+    /// enough to stretch it past the successor's entry).
     Releasing {
         lock: u32,
         ticket: u32,
         epoch: u32,
-        entered: bool,
-    },
-    /// Clearing the owner guard after a successful release.
-    ClearingOwner {
-        lock: u32,
     },
 }
 
@@ -291,19 +298,18 @@ impl LockClient {
             ClientState::Entering { lock, .. } => {
                 (lock::LockTable::word_of(lock, W_OWNER), 0, self.key)
             }
+            ClientState::ClearingOwner { lock, .. } => {
+                (lock::LockTable::word_of(lock, W_OWNER), self.key, 0)
+            }
             ClientState::Releasing {
                 lock,
                 ticket,
                 epoch,
-                ..
             } => (
                 lock::LockTable::word_of(lock, W_SERVING),
                 lock::encode(epoch, ticket),
                 lock::encode(epoch, ticket + 1),
             ),
-            ClientState::ClearingOwner { lock } => {
-                (lock::LockTable::word_of(lock, W_OWNER), self.key, 0)
-            }
         };
         os.rdma_cas(
             self.host,
@@ -314,6 +320,33 @@ impl LockClient {
             token(KIND_OP, p),
         );
         os.set_timer(self.op_timeout, token(KIND_TIMEOUT, p));
+    }
+
+    /// Leave the critical section: clear the owner guard first (when
+    /// this grant actually entered), then advance `SERVING`. See
+    /// [`ClientState::Releasing`] for why the order matters.
+    fn begin_release(
+        &mut self,
+        lock: u32,
+        ticket: u32,
+        epoch: u32,
+        entered: bool,
+        os: &mut OsApi<'_, '_>,
+    ) {
+        self.state = if entered {
+            ClientState::ClearingOwner {
+                lock,
+                ticket,
+                epoch,
+            }
+        } else {
+            ClientState::Releasing {
+                lock,
+                ticket,
+                epoch,
+            }
+        };
+        self.post(os);
     }
 
     fn on_cas(&mut self, prior: u64, os: &mut OsApi<'_, '_>) {
@@ -371,7 +404,10 @@ impl LockClient {
                 ticket,
                 epoch,
             } => {
-                let entered = prior == 0;
+                // `prior == key` is our own earlier guard CAS whose ack
+                // outran its repost timeout: the guard is already ours.
+                // Only a *foreign* key is a violated invariant.
+                let entered = prior == 0 || prior == self.key;
                 if !entered {
                     self.exclusion_violations += 1;
                 }
@@ -390,29 +426,31 @@ impl LockClient {
                 let hold = self.hold;
                 os.set_timer(hold, token(KIND_HOLD, p));
             }
-            ClientState::Releasing {
+            ClientState::ClearingOwner {
                 lock,
                 ticket,
                 epoch,
-                entered,
             } => {
+                // Prior deliberately ignored: a fenced generation finds
+                // the guard already zeroed by the manager (or already
+                // re-asserted by its successor) and the CAS misses
+                // harmlessly. Either way the baton pass comes next.
+                self.state = ClientState::Releasing {
+                    lock,
+                    ticket,
+                    epoch,
+                };
+                self.post(os);
+            }
+            ClientState::Releasing { ticket, epoch, .. } => {
                 if prior == lock::encode(epoch, ticket) {
                     self.releases += 1;
-                    if entered {
-                        self.state = ClientState::ClearingOwner { lock };
-                        self.post(os);
-                    } else {
-                        self.think(os);
-                    }
                 } else {
                     // Fenced: the manager declared us dead and moved the
                     // epoch on. Our generation can never touch this lock
                     // again; re-enter with a fresh ticket after thinking.
                     self.release_fenced += 1;
-                    self.think(os);
                 }
-            }
-            ClientState::ClearingOwner { .. } => {
                 self.think(os);
             }
         }
@@ -445,12 +483,16 @@ impl Service for LockClient {
                 epoch,
                 entered,
             } => {
-                self.state = ClientState::Releasing {
-                    lock,
-                    ticket,
-                    epoch,
-                    entered,
-                };
+                self.begin_release(lock, ticket, epoch, entered, os);
+            }
+            // A pre-crash grant cannot prove it is still current — the
+            // crash window dwarfs the lease, so the manager has almost
+            // certainly fenced it and zeroed the guard, which a blind
+            // `0 → key` repost would re-poison. Demote to `Waiting`:
+            // the fresh `SERVING` poll answers `grant_skipped` if the
+            // world moved on, or re-enters legitimately if not.
+            ClientState::Entering { lock, ticket, .. } => {
+                self.state = ClientState::Waiting { lock, ticket };
                 self.post(os);
             }
             ClientState::Idle => self.think(os),
@@ -474,6 +516,16 @@ impl Service for LockClient {
             KIND_POLL | KIND_TIMEOUT => {
                 if kind == KIND_TIMEOUT {
                     self.timeouts += 1;
+                    // An unconfirmed guard CAS is never blindly
+                    // reposted: by the time it would land, the lease
+                    // manager may have fenced our grant, and the CAS's
+                    // `expected == 0` carries no epoch to fail on. Fall
+                    // back to `Waiting` and re-verify the grant is
+                    // still current first; re-entry is idempotent if
+                    // the original CAS did land (`prior == key`).
+                    if let ClientState::Entering { lock, ticket, .. } = self.state {
+                        self.state = ClientState::Waiting { lock, ticket };
+                    }
                 }
                 self.post(os);
             }
@@ -485,13 +537,7 @@ impl Service for LockClient {
                     entered,
                 } = self.state
                 {
-                    self.state = ClientState::Releasing {
-                        lock,
-                        ticket,
-                        epoch,
-                        entered,
-                    };
-                    self.post(os);
+                    self.begin_release(lock, ticket, epoch, entered, os);
                 }
             }
             _ => {}

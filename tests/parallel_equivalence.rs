@@ -185,6 +185,43 @@ fn noisy_neighbor_world_is_bitwise_identical_across_thread_counts() {
 }
 
 #[test]
+fn gray_failure_world_is_bitwise_identical_across_thread_counts() {
+    type Fp = (FabricStats, RaceReport, u64, Vec<HistRow>);
+    let fingerprint = |seed: u64, threads: usize| -> Fp {
+        let mut w = fgmon_cluster::gray_failure_world(seed, RaceMode::Strict);
+        run(&mut w.cluster, SimDuration::from_secs(5), threads);
+        (
+            w.cluster.fabric_stats(),
+            w.cluster.race_report(),
+            w.cluster.eng.events_processed(),
+            histograms(&w.cluster),
+        )
+    };
+    for seed in SEEDS {
+        let sequential = fingerprint(seed, 1);
+        assert!(
+            sequential.0.fault_partitioned > 0,
+            "the partial partition must drop frames (seed {seed})"
+        );
+        assert!(
+            sequential.0.fault_skewed > 0,
+            "clock skew must rewrite reported timestamps (seed {seed})"
+        );
+        assert!(
+            sequential.0.fault_delayed > 0,
+            "the slow NIC must inflate latency (seed {seed})"
+        );
+        for threads in THREADS {
+            let parallel = fingerprint(seed, threads);
+            assert_eq!(
+                sequential, parallel,
+                "gray-failure run diverged (seed {seed}, threads {threads})"
+            );
+        }
+    }
+}
+
+#[test]
 fn rdma_lock_world_is_bitwise_identical_across_thread_counts() {
     use fgmon_sim::SimTime;
     use fgmon_workload::LockClient;
