@@ -116,6 +116,15 @@ impl ClusterBuilder {
         self.fabric.join_mcast(group, node);
     }
 
+    /// Declare a node pair that exchanges one-sided RDMA verbs without a
+    /// registered connection (e.g. lock clients CAS'ing a host's atomic
+    /// region). The parallel executor derives its shard channel graph
+    /// from connections, multicast membership, and these declarations;
+    /// an undeclared pair whose traffic crosses shards aborts the run.
+    pub fn declare_rdma_route(&mut self, a: NodeId, b: NodeId) {
+        self.fabric.declare_route(a, b);
+    }
+
     /// Install a fault schedule on the fabric. Panics if the plan is
     /// malformed (see [`FaultPlan::validate`]).
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
@@ -202,6 +211,7 @@ impl ClusterBuilder {
             fabric: self.fabric_slot,
             nodes: self.nodes,
             race: self.race,
+            plan_cache: None,
         }
     }
 }
@@ -212,6 +222,11 @@ pub struct Cluster {
     pub fabric: ActorId,
     nodes: Vec<ActorId>,
     race: Option<SharedRaceDetector>,
+    /// Shard plan memoized per shard count: the topology (and therefore
+    /// the affinity partition and channel graph) is fixed after
+    /// `finish`, and rebuilding it per `run_parallel` segment would put
+    /// avoidable allocations on the steady-state path.
+    plan_cache: Option<(usize, ShardPlan)>,
 }
 
 impl Cluster {
@@ -222,11 +237,15 @@ impl Cluster {
 
     /// Run for `dur` of virtual time across `threads` worker shards.
     ///
-    /// Bitwise identical to [`Cluster::run_for`]: nodes are dealt
-    /// round-robin onto shards, the fabric is replicated into every
-    /// shard, and the bounded-lag window width comes from the fabric's
-    /// minimum cross-shard latency. Falls back to the sequential engine
-    /// when fewer than two shards are possible.
+    /// Bitwise identical to [`Cluster::run_for`]: nodes are grouped
+    /// onto shards by communication affinity (a greedy partition of the
+    /// fabric's chatter graph, so ring/rack neighbors land together and
+    /// most traffic stays shard-local), the fabric is replicated into
+    /// every shard, and the bounded-lag window width comes from the
+    /// fabric's minimum cross-shard latency. The shard channel graph is
+    /// derived from the same chatter edges, so a shard's watermark only
+    /// waits on shards it actually exchanges events with. Falls back to
+    /// the sequential engine when fewer than two shards are possible.
     pub fn run_parallel(&mut self, dur: SimDuration, threads: usize) -> RunOutcome {
         let lookahead = self
             .eng
@@ -238,12 +257,31 @@ impl Cluster {
             return self.run_for(dur);
         }
         let horizon = self.eng.now() + dur;
-        let mut shard_of = vec![0u16; self.eng.actor_count()];
-        shard_of[self.fabric.index()] = ShardPlan::REPLICATED;
-        for (i, actor) in self.nodes.iter().enumerate() {
-            shard_of[actor.index()] = (i % shards) as u16;
+        if self.plan_cache.as_ref().is_none_or(|(s, _)| *s != shards) {
+            let chatter = self
+                .eng
+                .actor::<Fabric>(self.fabric)
+                .expect("fabric actor")
+                .chatter_edges();
+            let node_edges: Vec<(usize, usize, u64)> = chatter
+                .iter()
+                .map(|&(a, b, w)| (a.index(), b.index(), w))
+                .collect();
+            let groups = ShardPlan::affinity_groups(self.nodes.len(), shards, &node_edges);
+            let mut shard_of = vec![0u16; self.eng.actor_count()];
+            shard_of[self.fabric.index()] = ShardPlan::REPLICATED;
+            for (i, actor) in self.nodes.iter().enumerate() {
+                shard_of[actor.index()] = groups[i];
+            }
+            let mut plan = ShardPlan::new(shard_of, shards);
+            let actor_edges: Vec<(usize, usize)> = chatter
+                .iter()
+                .map(|&(a, b, _)| (self.nodes[a.index()].index(), self.nodes[b.index()].index()))
+                .collect();
+            plan.derive_channels(&actor_edges);
+            self.plan_cache = Some((shards, plan));
         }
-        let plan = ShardPlan { shard_of, shards };
+        let plan = &self.plan_cache.as_ref().expect("plan cached above").1;
         let fabric_replicas = self
             .eng
             .actor::<Fabric>(self.fabric)
@@ -256,7 +294,7 @@ impl Cluster {
                 .map(|f| Box::new(f) as Box<dyn Actor<Msg>>)
                 .collect(),
         }];
-        let returned = run_sharded(&mut self.eng, horizon, lookahead, &plan, replicas);
+        let returned = run_sharded(&mut self.eng, horizon, lookahead, plan, replicas);
         // Fold every replica's traffic counters back into the main
         // fabric so `fabric_stats` reports the whole run.
         let mut total = fgmon_net::FabricStats::default();

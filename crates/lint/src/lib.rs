@@ -663,6 +663,23 @@ let r = DetRng::new(seed);
         assert!(scan_source("crates/sim/src/parallel.rs", src).is_empty());
         assert!(scan_source("crates/cluster/src/sweep.rs", src).is_empty());
         assert!(!scan_source("crates/net/src/fabric.rs", src).is_empty());
+        // The watermark executor's primitives — per-shard AtomicU64
+        // watermarks and the mailbox's AtomicBool fast-path flag — are
+        // sanctioned in the executor, and *only* there: the identical
+        // line anywhere else still fires.
+        let watermark = "let wm = AtomicU64::new(0); let has_mail = AtomicBool::new(false);";
+        assert!(scan_source("crates/sim/src/parallel.rs", watermark).is_empty());
+        for stray in [
+            "crates/cluster/src/builder.rs",
+            "crates/sim/src/engine.rs",
+            "crates/sim/src/queue.rs",
+        ] {
+            let findings = scan_source(stray, watermark);
+            assert!(
+                !findings.is_empty() && findings.iter().all(|f| f.rule == "sync-primitive"),
+                "stray executor atomics in {stray} must fire sync-primitive, got {findings:?}"
+            );
+        }
         // A justified suppression is honored anywhere...
         let justified = "\
 // lint: sync-primitive — result slot written once, read after join

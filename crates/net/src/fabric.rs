@@ -116,6 +116,11 @@ pub struct Fabric {
     node_actors: Vec<ActorId>,
     conns: Vec<ConnEntry>,
     mcast: BTreeMap<McastGroup, Vec<NodeId>>,
+    /// Node pairs that exchange one-sided RDMA verbs without a
+    /// registered connection (the lock service's CAS traffic): declared
+    /// at build time so the shard-split channel graph covers them. Part
+    /// of the immutable routing state shard replicas share.
+    declared_routes: Vec<(NodeId, NodeId)>,
     /// Fault schedule; `fault_active` is true iff the plan has rules, so
     /// fault-free runs evaluate zero fates and stay bit-identical to
     /// builds that predate fault injection.
@@ -179,6 +184,7 @@ impl Fabric {
             node_actors,
             conns: Vec::new(),
             mcast: BTreeMap::new(),
+            declared_routes: Vec::new(),
             plan: FaultPlan::default(),
             fault_active: false,
             payload_faults: false,
@@ -205,6 +211,7 @@ impl Fabric {
                 node_actors: self.node_actors.clone(),
                 conns: self.conns.clone(),
                 mcast: self.mcast.clone(),
+                declared_routes: self.declared_routes.clone(),
                 plan: self.plan.clone(),
                 fault_active: self.fault_active,
                 payload_faults: self.payload_faults,
@@ -579,6 +586,54 @@ impl Fabric {
         if !members.contains(&node) {
             members.push(node);
         }
+    }
+
+    /// Declare that `a` and `b` exchange frames outside any registered
+    /// connection (one-sided RDMA verbs address nodes directly). Builders
+    /// must declare every such pair: the parallel executor derives its
+    /// shard channel graph from [`Fabric::chatter_edges`], and traffic
+    /// crossing an undeclared channel aborts the run.
+    pub fn declare_route(&mut self, a: NodeId, b: NodeId) {
+        if a != b && !self.declared_routes.contains(&(a, b)) {
+            self.declared_routes.push((a, b));
+        }
+    }
+
+    /// The static node-chatter graph: weighted undirected edges between
+    /// every node pair that can exchange frames, derived from the
+    /// routing state (connection table, multicast membership, declared
+    /// RDMA routes). This is the shard-split route metadata the parallel
+    /// executor partitions on — affinity grouping uses the weights,
+    /// channel derivation the pairs. Deterministic: edges come out in
+    /// ascending `(a, b)` order.
+    pub fn chatter_edges(&self) -> Vec<(NodeId, NodeId, u64)> {
+        let mut weights: BTreeMap<(u16, u16), u64> = BTreeMap::new();
+        let mut bump = |a: NodeId, b: NodeId, w: u64| {
+            if a != b {
+                let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+                *weights.entry(key).or_insert(0) += w;
+            }
+        };
+        // A connection carries request *and* completion legs; weight it
+        // above a multicast co-membership, which most pairs only share
+        // for occasional pushes.
+        for c in &self.conns {
+            bump(c.a, c.b, 4);
+        }
+        for (a, b) in &self.declared_routes {
+            bump(*a, *b, 4);
+        }
+        for members in self.mcast.values() {
+            for (i, &a) in members.iter().enumerate() {
+                for &b in &members[i + 1..] {
+                    bump(a, b, 1);
+                }
+            }
+        }
+        weights
+            .into_iter()
+            .map(|((a, b), w)| (NodeId(a), NodeId(b), w))
+            .collect()
     }
 
     /// Wire + serialization latency for a frame of `size` bytes.

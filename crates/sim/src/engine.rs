@@ -521,11 +521,8 @@ impl<M: 'static> Engine<M> {
     /// deterministically (documented in `parallel`).
     pub(crate) fn run_window(&mut self, bound: SimTime) -> u64 {
         let mut n = 0;
-        while let Some((head_time, _)) = self.queue.peek_key() {
-            if head_time >= bound {
-                break;
-            }
-            let entry = self.queue.pop().expect("peeked entry vanished");
+        // Fused peek-min + pop: one queue probe per event instead of two.
+        while let Some(entry) = self.queue.pop_below(bound) {
             debug_assert!(entry.time >= self.now, "time went backwards");
             self.now = entry.time;
             self.events_processed += 1;

@@ -151,6 +151,23 @@ impl<M> EventQueue<M> {
             EventQueue::Wheel(w) => w.pop(),
         }
     }
+
+    /// Pop the earliest entry only if its time is strictly below `bound`
+    /// — the fused peek-min + pop the bounded-lag window loop and the
+    /// watermark computation lean on, saving a second ready-list probe
+    /// per event over `peek_key` followed by `pop`.
+    pub fn pop_below(&mut self, bound: SimTime) -> Option<Entry<M>> {
+        match self {
+            EventQueue::Heap(h) => {
+                if h.peek().is_none_or(|Reverse(e)| e.time >= bound) {
+                    None
+                } else {
+                    h.pop().map(|Reverse(e)| e)
+                }
+            }
+            EventQueue::Wheel(w) => w.pop_below(bound),
+        }
+    }
 }
 
 const SLOT_BITS: u32 = 8;
@@ -445,6 +462,23 @@ impl<M> TimingWheel<M> {
     fn pop(&mut self) -> Option<Entry<M>> {
         self.refill();
         let idx = self.ready.pop()?;
+        self.take_ready(idx)
+    }
+
+    /// Fused peek-min + conditional pop: one `refill` and one ready-list
+    /// probe whether or not the head clears `bound`.
+    fn pop_below(&mut self, bound: SimTime) -> Option<Entry<M>> {
+        self.refill();
+        let &idx = self.ready.last()?;
+        if self.slab[idx as usize].time >= bound {
+            return None;
+        }
+        self.ready.pop();
+        self.take_ready(idx)
+    }
+
+    /// Detach a slab node already removed from `ready` into an [`Entry`].
+    fn take_ready(&mut self, idx: u32) -> Option<Entry<M>> {
         self.len -= 1;
         let n = &mut self.slab[idx as usize];
         let entry = Entry {

@@ -1,9 +1,11 @@
-//! Integration: the sharded parallel executor is *bitwise identical* to
-//! the sequential engine. Every observable output — fabric frame
-//! counters, the strict race report (each torn-read diagnostic,
-//! timestamp, and epoch), monitoring histograms, channel-health
-//! counters, and the event count — must match exactly for any thread
-//! count, on both a fault-injected world and the failover world.
+//! Integration: the sharded parallel executor — asynchronous watermark
+//! advancement over communication-affinity partitions — is *bitwise
+//! identical* to the sequential engine. Every observable output —
+//! fabric frame counters, the strict race report (each torn-read
+//! diagnostic, timestamp, and epoch), monitoring histograms,
+//! channel-health counters, and the event count — must match exactly
+//! for any thread count, on both a fault-injected world and the
+//! failover world.
 
 use fgmon_balancer::Dispatcher;
 use fgmon_cluster::{big_cluster, fault_compare_world_raced, flaky_rdma_failover, Cluster};
@@ -12,7 +14,9 @@ use fgmon_sim::{SimDuration, SimTime};
 use fgmon_types::{ChannelHealthStats, FaultPlan, RaceMode, RaceReport, RetryPolicy, Scheme};
 
 const SEEDS: [u64; 3] = [11, 29, 4242];
-const THREADS: [usize; 2] = [2, 4];
+// Includes a prime shard count (uneven affinity groups) and more shards
+// than some worlds have busy nodes (degenerate near-empty shards).
+const THREADS: [usize; 4] = [2, 3, 4, 8];
 
 type HistRow = (String, u64, u64, u64);
 
@@ -144,7 +148,7 @@ fn big_cluster_with_batched_doorbells_is_bitwise_identical() {
         sequential.0.rdma_batched_reads >= 2 * sequential.0.rdma_batch_posts,
         "each batch must carry multiple reads"
     );
-    for threads in [2, 3, 4] {
+    for threads in [2, 3, 4, 8] {
         let parallel = fingerprint(threads);
         assert_eq!(
             sequential, parallel,
